@@ -1,0 +1,43 @@
+"""Benchmarks E5/E7/E8 -- ablations around the protocol's design choices."""
+
+from repro.experiments.ablations import asynchrony_sweep, log_cost_sweep, scaling_sweep
+
+
+def test_bench_ablation_asynchrony(benchmark):
+    """E5: client patience and failure-detector reliability (primary-backup
+    versus active-replication behaviour of the same protocol)."""
+    points = benchmark(asynchrony_sweep)
+    print()
+    for point in points:
+        print(f"  {point.label:<38} claimers={point.distinct_claimers} "
+              f"aborted={point.aborted_results} spec_ok={point.spec_ok}")
+    assert all(point.spec_ok and point.delivered for point in points)
+    quiet = points[0]
+    assert quiet.distinct_claimers == 1 and quiet.aborted_results == 0
+
+
+def test_bench_ablation_logcost(benchmark):
+    """E7: forced-log latency sweep -- where 2PC and AR cross over."""
+    points = benchmark(lambda: log_cost_sweep(latencies=[0.0, 2.0, 5.0, 12.5, 25.0],
+                                              requests=1))
+    print()
+    for point in points:
+        print(f"  log={point.forced_write_latency:5.1f} ms  AR={point.ar_total:6.1f}  "
+              f"2PC={point.twopc_total:6.1f}  AR wins: {point.ar_wins}")
+    assert not points[0].ar_wins        # free logs: 2PC is leaner
+    assert points[-1].ar_wins           # expensive logs: AR wins
+    assert any(point.ar_wins for point in points if point.forced_write_latency >= 12.5)
+
+
+def test_bench_ablation_scaling(benchmark):
+    """E8: replication degree (1, 3, 5, 7 application servers)."""
+    points = benchmark(lambda: scaling_sweep(degrees=[1, 3, 5, 7], requests=1))
+    print()
+    for point in points:
+        print(f"  n={point.num_app_servers}  latency={point.mean_latency:6.1f} ms  "
+              f"messages={point.total_messages}")
+    assert all(point.delivered for point in points)
+    latencies = [point.mean_latency for point in points]
+    assert max(latencies) - min(latencies) < 10.0
+    messages = [point.total_messages for point in points]
+    assert messages == sorted(messages)

@@ -1,0 +1,18 @@
+"""Benchmark E6 -- correctness and progress under randomised failure schedules."""
+
+from repro.experiments import fault_sweep
+
+
+def test_bench_fault_sweep_safety_and_liveness(benchmark):
+    """Random crash/recovery/suspicion schedules: every property must hold."""
+    result = benchmark(lambda: fault_sweep.run(num_runs=8, seed=3))
+    print("\n " + result.summary())
+    assert result.all_safe, result.violations
+    assert result.delivery_rate == 1.0
+
+
+def test_bench_fault_sweep_with_client_crashes(benchmark):
+    """Same sweep but the client itself may crash: at-most-once must still hold."""
+    result = benchmark(lambda: fault_sweep.run(num_runs=6, seed=9, allow_client_crash=True))
+    print("\n " + result.summary())
+    assert result.all_safe, result.violations

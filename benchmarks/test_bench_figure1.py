@@ -1,0 +1,17 @@
+"""Benchmark E3 -- regenerate Figure 1 (the four e-Transaction executions)."""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1_scenarios(benchmark):
+    """Failure-free commit/abort and fail-over with commit/abort."""
+    report = benchmark(figure1.run)
+    print("\n" + report.to_text())
+    assert report.all_spec_ok()
+    assert report.scenario("a").attempts == 1
+    assert report.scenario("b").aborted_results
+    assert report.scenario("c").answered_by - {"a1"}
+    assert report.scenario("d").aborted_results
+    # Every scenario applies the debit exactly once.
+    for name in "abcd":
+        assert report.scenario(name).committed_balance == 100_000 - 10

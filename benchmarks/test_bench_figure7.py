@@ -1,0 +1,22 @@
+"""Benchmark E2 -- regenerate Figure 7 (communication steps, failure-free runs)."""
+
+from repro.experiments import figure7
+
+
+def test_bench_figure7_communication_steps(benchmark):
+    """One failure-free request through each of the four protocol stacks."""
+    report = benchmark(figure7.run)
+    print("\n" + report.to_table())
+    print("\nclient latencies:", {k: round(v, 1) for k, v in report.latencies.items()})
+    assert report.expected_structure_holds()
+    counts = report.message_counts()
+    assert counts["baseline"] < counts["2PC"] <= counts["AR"] <= counts["PB"]
+
+
+def test_bench_figure7_sequence_diagrams(benchmark):
+    """Render the message-sequence listings (the figure's content)."""
+    report = benchmark(figure7.run)
+    diagrams = report.sequence_diagrams()
+    print("\n" + diagrams)
+    for protocol in ("baseline", "2PC", "PB", "AR"):
+        assert protocol in diagrams

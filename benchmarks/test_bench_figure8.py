@@ -1,0 +1,54 @@
+"""Benchmark E1/E4 -- regenerate Figure 8 (latency table, cost of reliability).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark drives the
+calibrated simulator; the assertions check the *shape* of the paper's result
+(ordering and approximate magnitude of the overheads), and the printed table
+is the regenerated figure.
+"""
+
+import pytest
+
+from repro.experiments import calibration, figure8
+from repro.workload.generator import ClosedLoopDriver
+
+
+def test_bench_figure8_full_table(benchmark):
+    """Regenerate the full Figure 8 table (baseline, AR, 2PC columns)."""
+    report = benchmark(lambda: figure8.run(requests_per_protocol=2))
+    print("\n" + report.to_table())
+    print("\n" + report.compare_with_paper())
+    assert report.shape_holds()
+
+
+def test_bench_cost_of_reliability(benchmark):
+    """E4: the headline claim -- AR ≈ +16 %, 2PC ≈ +23 % over the baseline."""
+    report = benchmark(lambda: figure8.run(requests_per_protocol=1))
+    overheads = report.overheads()
+    assert 0.0 < overheads["AR"] < overheads["2PC"]
+    assert overheads["AR"] == pytest.approx(0.16, abs=0.06)
+    assert overheads["2PC"] == pytest.approx(0.23, abs=0.06)
+
+
+def _single_request_latency(builder):
+    workload = calibration.default_workload()
+    deployment = builder(workload=workload, db_timing=calibration.paper_database_timing())
+    stats = ClosedLoopDriver(deployment).run([workload.debit(0, 10)])
+    return stats.mean_latency
+
+
+def test_bench_figure8_baseline_column(benchmark):
+    """The baseline (unreliable) column in isolation."""
+    latency = benchmark(lambda: _single_request_latency(calibration.build_baseline_deployment))
+    assert latency == pytest.approx(calibration.PAPER_FIGURE8["baseline"]["total"], rel=0.05)
+
+
+def test_bench_figure8_ar_column(benchmark):
+    """The asynchronous-replication (e-Transaction) column in isolation."""
+    latency = benchmark(lambda: _single_request_latency(calibration.build_ar_deployment))
+    assert latency == pytest.approx(calibration.PAPER_FIGURE8["AR"]["total"], rel=0.05)
+
+
+def test_bench_figure8_twopc_column(benchmark):
+    """The 2PC column in isolation."""
+    latency = benchmark(lambda: _single_request_latency(calibration.build_twopc_deployment))
+    assert latency == pytest.approx(calibration.PAPER_FIGURE8["2PC"]["total"], rel=0.05)

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 8 (latency table) and compare with the paper.
+
+Runs the closed-loop bank-account workload through the three measured protocol
+stacks (unreliable baseline, asynchronous replication, presumed-nothing 2PC)
+on the calibrated simulator and prints the component breakdown, the measured
+"cost of reliability", and a side-by-side comparison with the paper's numbers.
+
+Run with:  python examples/reproduce_figure8.py
+"""
+
+from repro.experiments import figure1, figure7, figure8
+
+
+def main() -> None:
+    print("Reproducing Figure 8 (latency, milliseconds) ...\n")
+    report = figure8.run(requests_per_protocol=5)
+    print(report.to_table())
+    print()
+    print(report.compare_with_paper())
+    print()
+    print("shape of the result holds (baseline < AR < 2PC, overheads ~16%/~23%):",
+          report.shape_holds())
+
+    print("\nReproducing Figure 7 (communication steps, failure-free runs) ...\n")
+    steps = figure7.run()
+    print(steps.to_table())
+
+    print("\nReproducing Figure 1 (the four e-Transaction executions) ...\n")
+    executions = figure1.run()
+    print(executions.to_text())
+
+
+if __name__ == "__main__":
+    main()

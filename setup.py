@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in fully
+offline environments (no ``wheel`` package available for PEP 517 editable
+builds): pip falls back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

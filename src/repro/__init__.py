@@ -1,0 +1,36 @@
+"""Reproduction of *Implementing e-Transactions with Asynchronous Replication*.
+
+This package re-implements, from scratch and on top of a deterministic
+discrete-event simulator, the exactly-once transaction (e-Transaction) protocol
+of Frolund and Guerraoui (DSN 2000) together with every substrate the paper
+depends on:
+
+* ``repro.sim`` -- discrete-event simulation kernel (virtual time, processes,
+  crash/recovery, coroutine threads, tracing).
+* ``repro.net`` -- message-passing network with latency, loss, partitions and
+  the reliable-channel abstraction (retransmission + duplicate suppression).
+* ``repro.failure`` -- failure detectors (perfect, eventually perfect,
+  timeout-based) and fault-injection schedules.
+* ``repro.consensus`` -- Chandra-Toueg rotating-coordinator consensus.
+* ``repro.registers`` -- write-once registers built on consensus.
+* ``repro.storage`` -- stable storage, write-ahead log, lock manager,
+  transactional key-value store and an XA-style resource manager.
+* ``repro.core`` -- the e-Transaction protocol itself (client, application
+  server, database server) and an executable version of its specification.
+* ``repro.baselines`` -- the comparison protocols (unreliable baseline,
+  presumed-nothing 2PC, primary-backup replication).
+* ``repro.workload`` -- bank-account and travel-booking workloads.
+* ``repro.metrics`` -- latency-component accounting and communication-step
+  counting used to regenerate the paper's figures.
+* ``repro.experiments`` -- one harness per table/figure plus ablations.
+
+Quickstart::
+
+    from repro.experiments import figure8
+    report = figure8.run()
+    print(report.to_table())
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

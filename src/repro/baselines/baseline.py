@@ -1,0 +1,90 @@
+"""The unreliable baseline protocol (the paper's Figure 7a).
+
+The client talks to a single application server, which runs the business logic
+on the database and asks for a one-phase commit.  Nothing is logged and nothing
+is replicated: if the application server crashes mid-request, the client never
+hears back (no T.1), and if it crashes between the database commit and the
+reply, a retry by the end user would execute the request twice (no A.2).
+This is the protocol whose latency defines the 0 % row of Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import (
+    ACK_COMMIT,
+    COMMIT_ONE_PHASE,
+    BaseThreeTierDeployment,
+    OnePhaseDatabaseServer,
+)
+from repro.core import messages as msg
+from repro.core.types import ABORT, COMMIT, Decision, Request, Result
+from repro.net.message import Message, is_type, is_type_with
+from repro.sim.process import Process
+
+
+class BaselineAppServer(Process):
+    """A stateless application server offering no reliability guarantee."""
+
+    def __init__(self, sim, name: str, db_server_names: list[str]):
+        super().__init__(sim, name)
+        self.db_server_names = list(db_server_names)
+
+    def on_start(self, recovery: bool) -> None:
+        self.spawn(self._serve(), name="baseline-serve")
+
+    def _serve(self):
+        while True:
+            message = yield self.receive(is_type(msg.REQUEST))
+            client = message.sender
+            j = message["j"]
+            request: Request = message["request"]
+            key = (client, j)
+            self.trace.record("as_request", self.name, client=client, j=j,
+                              request_id=request.request_id)
+            value = yield from self._execute(key, request)
+            result = Result(value=value, request_id=request.request_id, computed_by=self.name)
+            self.trace.record("as_compute", self.name, client=client, j=j,
+                              request_id=request.request_id, result=repr(value))
+            committed = yield from self._commit(key)
+            outcome = COMMIT if committed else ABORT
+            decision = Decision(result=result if committed else None, outcome=outcome)
+            self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
+            self.send(client, msg.result_message(j, decision))
+
+    def _execute(self, key, request: Request):
+        """Run the business logic on every database (no retries, no recovery)."""
+        values = {}
+        for db_name in self.db_server_names:
+            self.send(db_name, msg.execute_message(key, request))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(msg.EXECUTE_RESULT, j=key))
+            if reply.sender in pending:
+                values[reply.sender] = reply["value"]
+                pending.discard(reply.sender)
+        if len(self.db_server_names) == 1:
+            return values[self.db_server_names[0]]
+        return values
+
+    def _commit(self, key):
+        """One-phase commit on every database; returns overall success."""
+        for db_name in self.db_server_names:
+            self.send(db_name, Message(COMMIT_ONE_PHASE, payload={"j": key}))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(ACK_COMMIT, j=key))
+            if reply.sender in pending:
+                pending.discard(reply.sender)
+        return True
+
+
+class BaselineDeployment(BaseThreeTierDeployment):
+    """Three-tier deployment running the unreliable baseline protocol."""
+
+    db_server_class = OnePhaseDatabaseServer
+
+    def _build_app_servers(self) -> None:
+        for name in self.config.app_server_names:
+            server = BaselineAppServer(self.sim, name, self.config.db_server_names)
+            self.network.register(server)
+            self.app_servers[name] = server

@@ -1,0 +1,206 @@
+"""Shared scaffolding for the comparison protocols.
+
+The three baselines (unreliable baseline, presumed-nothing 2PC, primary-backup
+replication) reuse the same three-tier skeleton as the e-Transaction
+deployment: one or more clients (the protocol-agnostic client of Figure 2),
+a set of application servers provided by the concrete baseline, and the
+database servers of :mod:`repro.core.dataserver`.  Only the middle tier
+changes between protocols, which is exactly the point of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.client import Client, IssuedRequest
+from repro.core.dataserver import DatabaseServer
+from repro.core.spec import SpecificationChecker, SpecReport
+from repro.core.timing import DatabaseTiming, ProtocolTiming
+from repro.core.types import Request
+from repro.failure.detectors import PerfectFailureDetector
+from repro.failure.injection import FaultSchedule
+from repro.net.latency import FixedLatency, PerLinkLatency
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+COMMIT_ONE_PHASE = "CommitOnePhase"
+ACK_COMMIT = "AckCommit"
+
+
+class OnePhaseDatabaseServer(DatabaseServer):
+    """A database server that additionally accepts one-phase commits.
+
+    The unreliable baseline of Figure 7(a) skips the voting phase entirely and
+    simply asks the database to commit -- the XA one-phase-commit optimisation.
+    """
+
+    def on_start(self, recovery: bool) -> None:
+        super().on_start(recovery)
+        self.spawn(self._serve_one_phase_commit(), name="db-commit-1p")
+
+    def _serve_one_phase_commit(self):
+        from repro.net.message import is_type
+
+        while True:
+            message = yield self.receive(is_type(COMMIT_ONE_PHASE))
+            key = message["j"]
+            try:
+                io_cost = self.resource.commit_one_phase(key)
+                outcome = "commit"
+            except Exception:
+                io_cost = 0.0
+                outcome = "abort"
+            if io_cost > 0:
+                yield self.sleep(self.timing.commit_cpu + io_cost + self.timing.end)
+            self.trace.record("db_decide", self.name, j=key, outcome=outcome,
+                              requested="commit", one_phase=True)
+            self.send(message.sender, Message(ACK_COMMIT, payload={"j": key}))
+
+
+@dataclass
+class BaselineConfig:
+    """Deployment knobs shared by the comparison protocols."""
+
+    num_app_servers: int = 1
+    num_db_servers: int = 1
+    num_clients: int = 1
+    seed: int = 0
+    loss_probability: float = 0.0
+    client_app_latency: float = 2.5
+    app_app_latency: float = 2.25
+    app_db_latency: float = 0.5
+    db_timing: DatabaseTiming = field(default_factory=DatabaseTiming)
+    protocol_timing: ProtocolTiming = field(default_factory=ProtocolTiming)
+    coordinator_log_latency: float = 12.5
+    initial_data: dict[str, Any] = field(default_factory=dict)
+    business_logic: Callable[[Request], Callable[[Any], Any]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.business_logic is None:
+            from repro.core.deployment import default_business_logic
+
+            self.business_logic = default_business_logic
+        if self.num_app_servers < 1 or self.num_db_servers < 1 or self.num_clients < 1:
+            raise ValueError("a deployment needs at least one process per tier")
+
+    @property
+    def client_names(self) -> list[str]:
+        return [f"c{i + 1}" for i in range(self.num_clients)]
+
+    @property
+    def app_server_names(self) -> list[str]:
+        return [f"a{i + 1}" for i in range(self.num_app_servers)]
+
+    @property
+    def db_server_names(self) -> list[str]:
+        return [f"d{i + 1}" for i in range(self.num_db_servers)]
+
+
+class BaseThreeTierDeployment:
+    """Common deployment machinery; subclasses provide the middle tier."""
+
+    db_server_class: type[DatabaseServer] = DatabaseServer
+
+    def __init__(self, config: Optional[BaselineConfig] = None, **overrides: Any):
+        if config is None:
+            config = BaselineConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.network = Network(self.sim, latency=self._build_latency(),
+                               loss_probability=config.loss_probability)
+        self.failure_detector = PerfectFailureDetector(self.network)
+        self.db_servers: dict[str, DatabaseServer] = {}
+        self.app_servers: dict[str, Process] = {}
+        self.clients: dict[str, Client] = {}
+        self._build_db_servers()
+        self._build_app_servers()
+        self._build_clients()
+        self._start_all()
+
+    # ------------------------------------------------------------------- build
+
+    def _build_latency(self) -> PerLinkLatency:
+        config = self.config
+        latency = PerLinkLatency(FixedLatency(config.app_app_latency))
+        for client in config.client_names:
+            for app in config.app_server_names:
+                latency.set_link(client, app, FixedLatency(config.client_app_latency))
+                latency.set_link(app, client, FixedLatency(config.client_app_latency))
+        for app in config.app_server_names:
+            for db in config.db_server_names:
+                latency.set_link(app, db, FixedLatency(config.app_db_latency))
+                latency.set_link(db, app, FixedLatency(config.app_db_latency))
+        return latency
+
+    def _build_db_servers(self) -> None:
+        for name in self.config.db_server_names:
+            server = self.db_server_class(
+                self.sim, name, self.config.app_server_names,
+                business_logic=self.config.business_logic,
+                timing=self.config.db_timing,
+                initial_data=dict(self.config.initial_data))
+            self.network.register(server)
+            self.db_servers[name] = server
+
+    def _build_app_servers(self) -> None:
+        raise NotImplementedError
+
+    def _build_clients(self) -> None:
+        for name in self.config.client_names:
+            client = Client(self.sim, name, self.config.app_server_names,
+                            timing=self.config.protocol_timing,
+                            default_primary=self.config.app_server_names[0])
+            self.network.register(client)
+            self.clients[name] = client
+
+    def _start_all(self) -> None:
+        for group in (self.db_servers, self.app_servers, self.clients):
+            for process in group.values():
+                process.start()
+
+    # --------------------------------------------------------------- execution
+
+    @property
+    def client(self) -> Client:
+        """The first (often only) client."""
+        return self.clients[self.config.client_names[0]]
+
+    @property
+    def trace(self):
+        """The shared trace recorder of this run."""
+        return self.sim.trace
+
+    def apply_faults(self, schedule: FaultSchedule) -> None:
+        """Schedule a fault-injection plan against this deployment."""
+        schedule.apply(self.sim, self.network)
+
+    def issue(self, request: Request, client: Optional[str] = None) -> IssuedRequest:
+        """Issue a request from the named (or first) client."""
+        target = self.clients[client] if client is not None else self.client
+        return target.issue(request)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation."""
+        return self.sim.run(until=until)
+
+    def run_request(self, request: Request, client: Optional[str] = None,
+                    horizon: float = 1_000_000.0) -> IssuedRequest:
+        """Issue ``request`` and run until delivery (or the horizon)."""
+        issued = self.issue(request, client)
+        self.sim.run_until(lambda: issued.delivered, until=horizon)
+        return issued
+
+    def check_spec(self, check_termination: bool = True) -> SpecReport:
+        """Check the e-Transaction properties over the trace.
+
+        The baselines are *not expected* to satisfy all of them -- that is the
+        paper's argument; the checker quantifies which ones break and when.
+        """
+        checker = SpecificationChecker(self.trace, self.config.db_server_names,
+                                       self.config.client_names)
+        return checker.check(check_termination=check_termination)

@@ -1,0 +1,223 @@
+"""Primary-backup replication of the transaction-processing state (Figure 7c).
+
+This is the comparator the authors adapted in [18]: the primary application
+server replicates the request (a *start* notification) and later the outcome
+to a single backup with explicit messages, then commits at the databases and
+answers the client.  If the primary crashes, the backup -- relying on a
+**perfect** failure detector -- finishes the commitment of results whose
+outcome it knows and aborts the rest, then answers the client.
+
+The paper's warning is reproduced verbatim by the tests: "a false suspicion
+might lead to an inconsistency".  If the backup wrongly suspects a live
+primary, it may abort a result at the databases while the primary goes on to
+report it as committed to the client -- violating agreement property A.1.
+The asynchronous-replication protocol avoids exactly this by funnelling every
+decision through the write-once registers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.baselines.common import BaseThreeTierDeployment
+from repro.core import messages as msg
+from repro.core.types import ABORT, COMMIT, Decision, Request, Result, VOTE_YES
+from repro.failure.detectors import FailureDetector
+from repro.net.message import Message, is_type, is_type_with
+from repro.sim.process import Process
+
+PB_START = "PBStart"
+PB_START_ACK = "PBStartAck"
+PB_OUTCOME = "PBOutcome"
+PB_OUTCOME_ACK = "PBOutcomeAck"
+
+
+class PrimaryServer(Process):
+    """The primary application server of the primary-backup scheme."""
+
+    def __init__(self, sim, name: str, backup_name: str, db_server_names: list[str]):
+        super().__init__(sim, name)
+        self.backup_name = backup_name
+        self.db_server_names = list(db_server_names)
+
+    def on_start(self, recovery: bool) -> None:
+        self.spawn(self._serve(), name="pb-primary")
+
+    def _serve(self):
+        while True:
+            message = yield self.receive(is_type(msg.REQUEST))
+            client = message.sender
+            j = message["j"]
+            request: Request = message["request"]
+            key = (client, j)
+            self.trace.record("as_request", self.name, client=client, j=j,
+                              request_id=request.request_id)
+            # Replicate the request to the backup before doing any work.
+            self.send(self.backup_name, Message(PB_START, payload={
+                "j": key, "request": request, "client": client}))
+            yield self.receive(is_type_with(PB_START_ACK, j=key))
+            value = yield from self._execute(key, request)
+            result = Result(value=value, request_id=request.request_id, computed_by=self.name)
+            self.trace.record("as_compute", self.name, client=client, j=j,
+                              request_id=request.request_id, result=repr(value))
+            outcome = yield from self._prepare(key)
+            # Replicate the outcome (and the result) to the backup.
+            self.send(self.backup_name, Message(PB_OUTCOME, payload={
+                "j": key, "outcome": outcome, "result": result, "client": client}))
+            yield self.receive(is_type_with(PB_OUTCOME_ACK, j=key))
+            yield from self._decide(key, outcome)
+            decision = Decision(result=result if outcome == COMMIT else None, outcome=outcome)
+            self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
+            self.send(client, msg.result_message(j, decision))
+
+    def _execute(self, key, request: Request):
+        values = {}
+        for db_name in self.db_server_names:
+            self.send(db_name, msg.execute_message(key, request))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(msg.EXECUTE_RESULT, j=key))
+            if reply.sender in pending:
+                values[reply.sender] = reply["value"]
+                pending.discard(reply.sender)
+        if len(self.db_server_names) == 1:
+            return values[self.db_server_names[0]]
+        return values
+
+    def _prepare(self, key):
+        votes = {}
+        for db_name in self.db_server_names:
+            self.send(db_name, msg.prepare_message(key))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(msg.VOTE, j=key))
+            if reply.sender in pending:
+                votes[reply.sender] = reply["vote"]
+                pending.discard(reply.sender)
+        outcome = COMMIT if all(v == VOTE_YES for v in votes.values()) else ABORT
+        self.trace.record("as_prepare", self.name, client=key[0], j=key[1], outcome=outcome,
+                          votes=dict(votes))
+        return outcome
+
+    def _decide(self, key, outcome):
+        for db_name in self.db_server_names:
+            self.send(db_name, msg.decide_message(key, outcome))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(msg.ACK_DECIDE, j=key))
+            if reply.sender in pending:
+                pending.discard(reply.sender)
+        self.trace.record("as_terminate", self.name, client=key[0], j=key[1], outcome=outcome)
+
+
+class BackupServer(Process):
+    """The backup: mirrors the primary's state and takes over on suspicion."""
+
+    def __init__(self, sim, name: str, primary_name: str, db_server_names: list[str],
+                 failure_detector: Optional[FailureDetector] = None,
+                 check_interval: float = 25.0):
+        super().__init__(sim, name)
+        self.primary_name = primary_name
+        self.db_server_names = list(db_server_names)
+        self.failure_detector = failure_detector
+        self.check_interval = check_interval
+        # (client, j) -> {"request":, "client":, "outcome":, "result":}
+        self._state: dict[Any, dict[str, Any]] = {}
+        self._taken_over: set[Any] = set()
+
+    def on_start(self, recovery: bool) -> None:
+        self.spawn(self._mirror(), name="pb-backup-mirror")
+        self.spawn(self._monitor(), name="pb-backup-monitor")
+
+    def _mirror(self):
+        while True:
+            message = yield self.receive(is_type(PB_START, PB_OUTCOME))
+            key = message["j"]
+            if message.msg_type == PB_START:
+                self._state[key] = {"request": message["request"],
+                                    "client": message["client"]}
+                self.send(message.sender, Message(PB_START_ACK, payload={"j": key}))
+            else:
+                entry = self._state.setdefault(key, {"client": message["client"]})
+                entry["outcome"] = message["outcome"]
+                entry["result"] = message["result"]
+                self.send(message.sender, Message(PB_OUTCOME_ACK, payload={"j": key}))
+
+    def _monitor(self):
+        while True:
+            yield self.sleep(self.check_interval)
+            if self.failure_detector is None:
+                continue
+            if not self.failure_detector.suspect(self.name, self.primary_name):
+                continue
+            for key, entry in list(self._state.items()):
+                if key in self._taken_over:
+                    continue
+                self._taken_over.add(key)
+                yield from self._take_over(key, entry)
+
+    def _take_over(self, key, entry):
+        """Finish (or abort) a result on behalf of the suspected primary."""
+        outcome = entry.get("outcome", ABORT)
+        result = entry.get("result")
+        client = entry["client"]
+        self.trace.record("pb_takeover", self.name, client=client, j=key[1], outcome=outcome)
+        for db_name in self.db_server_names:
+            self.send(db_name, msg.decide_message(key, outcome))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(msg.ACK_DECIDE, j=key))
+            if reply.sender in pending:
+                pending.discard(reply.sender)
+        decision = Decision(result=result if outcome == COMMIT else None, outcome=outcome)
+        self.trace.record("as_result_sent", self.name, client=client, j=key[1], outcome=outcome)
+        self.send(client, msg.result_message(key[1], decision))
+
+
+class PrimaryBackupDeployment(BaseThreeTierDeployment):
+    """Three-tier deployment running the primary-backup comparator.
+
+    The first application server is the primary, the second is the backup.
+    ``failure_detector_override`` lets experiments replace the (correct)
+    perfect failure detector with an unreliable one to reproduce the paper's
+    inconsistency warning.
+    """
+
+    def __init__(self, config=None, failure_detector_override=None, **overrides):
+        if config is None and "num_app_servers" not in overrides:
+            overrides["num_app_servers"] = 2
+        self._fd_override = failure_detector_override
+        super().__init__(config, **overrides)
+
+    def _build_app_servers(self) -> None:
+        names = self.config.app_server_names
+        if len(names) < 2:
+            raise ValueError("primary-backup needs at least two application servers")
+        primary_name, backup_name = names[0], names[1]
+        primary = PrimaryServer(self.sim, primary_name, backup_name,
+                                self.config.db_server_names)
+        self.network.register(primary)
+        self.app_servers[primary_name] = primary
+        backup = BackupServer(self.sim, backup_name, primary_name,
+                              self.config.db_server_names,
+                              failure_detector=None)
+        self.network.register(backup)
+        self.app_servers[backup_name] = backup
+        self._backup = backup
+
+    def _start_all(self) -> None:
+        # The perfect failure detector needs the network fully populated; give
+        # the backup its detector (or the experiment's override) before starting.
+        self._backup.failure_detector = (self._fd_override if self._fd_override is not None
+                                         else self.failure_detector)
+        super()._start_all()
+
+    @property
+    def primary(self) -> PrimaryServer:
+        """The primary application server."""
+        return self.app_servers[self.config.app_server_names[0]]  # type: ignore[return-value]
+
+    @property
+    def backup(self) -> BackupServer:
+        """The backup application server."""
+        return self._backup

@@ -1,0 +1,116 @@
+"""Presumed-nothing two-phase commit (the paper's Figure 7b).
+
+The application server plays transaction manager: it force-writes a *start*
+record to its local disk before sending prepare messages, collects votes,
+force-writes the *outcome* record, then sends the decision and finally answers
+the client.  This gives at-most-once semantics, but
+
+* the two forced log writes cost ~25 ms (the 2PC column of Figure 8), and
+* the protocol is *blocking*: if the coordinator crashes after the databases
+  voted yes, they stay in doubt -- locks held -- until it comes back, and the
+  client never learns the outcome.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import BaseThreeTierDeployment
+from repro.core import messages as msg
+from repro.core.types import ABORT, COMMIT, Decision, Request, Result, VOTE_YES
+from repro.net.message import is_type, is_type_with
+from repro.sim.process import Process
+from repro.storage.stable import StableStorage
+from repro.storage.wal import WriteAheadLog
+
+
+class TwoPCCoordinator(Process):
+    """Application server acting as a classic 2PC transaction manager."""
+
+    def __init__(self, sim, name: str, db_server_names: list[str],
+                 log_latency: float = 12.5):
+        super().__init__(sim, name)
+        self.db_server_names = list(db_server_names)
+        self.disk = StableStorage(f"{name}.tmlog", forced_write_latency=log_latency)
+        self.log = WriteAheadLog(self.disk)
+
+    def on_start(self, recovery: bool) -> None:
+        self.spawn(self._serve(), name="twopc-serve")
+
+    def _serve(self):
+        while True:
+            message = yield self.receive(is_type(msg.REQUEST))
+            client = message.sender
+            j = message["j"]
+            request: Request = message["request"]
+            key = (client, j)
+            self.trace.record("as_request", self.name, client=client, j=j,
+                              request_id=request.request_id)
+            # Presumed nothing: force a start record before doing anything.
+            cost = self.log.append_prepare(key, {"request": request.request_id}, forced=True)
+            yield self.sleep(cost)
+            self.trace.record("tm_log", self.name, which="start", j=j, client=client,
+                              duration=cost)
+            value = yield from self._execute(key, request)
+            result = Result(value=value, request_id=request.request_id, computed_by=self.name)
+            self.trace.record("as_compute", self.name, client=client, j=j,
+                              request_id=request.request_id, result=repr(value))
+            outcome = yield from self._prepare(key)
+            # Force the outcome record before telling anyone.
+            cost = self.log.append_commit(key, forced=True) if outcome == COMMIT \
+                else self.log.append_abort(key, forced=True)
+            yield self.sleep(cost)
+            self.trace.record("tm_log", self.name, which="outcome", j=j, client=client,
+                              duration=cost)
+            yield from self._decide(key, outcome)
+            decision = Decision(result=result if outcome == COMMIT else None, outcome=outcome)
+            self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
+            self.send(client, msg.result_message(j, decision))
+
+    def _execute(self, key, request: Request):
+        values = {}
+        for db_name in self.db_server_names:
+            self.send(db_name, msg.execute_message(key, request))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(msg.EXECUTE_RESULT, j=key))
+            if reply.sender in pending:
+                values[reply.sender] = reply["value"]
+                pending.discard(reply.sender)
+        if len(self.db_server_names) == 1:
+            return values[self.db_server_names[0]]
+        return values
+
+    def _prepare(self, key):
+        votes = {}
+        for db_name in self.db_server_names:
+            self.send(db_name, msg.prepare_message(key))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(msg.VOTE, j=key))
+            if reply.sender in pending:
+                votes[reply.sender] = reply["vote"]
+                pending.discard(reply.sender)
+        outcome = COMMIT if all(v == VOTE_YES for v in votes.values()) else ABORT
+        self.trace.record("as_prepare", self.name, client=key[0], j=key[1],
+                          outcome=outcome, votes=dict(votes))
+        return outcome
+
+    def _decide(self, key, outcome):
+        for db_name in self.db_server_names:
+            self.send(db_name, msg.decide_message(key, outcome))
+        pending = set(self.db_server_names)
+        while pending:
+            reply = yield self.receive(is_type_with(msg.ACK_DECIDE, j=key))
+            if reply.sender in pending:
+                pending.discard(reply.sender)
+        self.trace.record("as_terminate", self.name, client=key[0], j=key[1], outcome=outcome)
+
+
+class TwoPCDeployment(BaseThreeTierDeployment):
+    """Three-tier deployment running presumed-nothing 2PC."""
+
+    def _build_app_servers(self) -> None:
+        for name in self.config.app_server_names:
+            server = TwoPCCoordinator(self.sim, name, self.config.db_server_names,
+                                      log_latency=self.config.coordinator_log_latency)
+            self.network.register(server)
+            self.app_servers[name] = server

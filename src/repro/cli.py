@@ -1,0 +1,146 @@
+"""Command-line interface for the reproduction harnesses.
+
+Usage (any of)::
+
+    python -m repro figure8 --requests 5
+    python -m repro figure7
+    python -m repro figure1
+    python -m repro ablations
+    python -m repro fault-sweep --runs 20
+    python -m repro quickstart
+
+Each sub-command runs the corresponding experiment harness and prints the
+regenerated table(s) to stdout; exit status is non-zero if the reproduced
+result does not have the paper's shape (useful in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import DeploymentConfig, EtxDeployment, Request
+from repro.experiments import fault_sweep, figure1, figure7, figure8
+from repro.experiments.ablations import asynchrony_sweep, log_cost_sweep, scaling_sweep
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    deployment = EtxDeployment(DeploymentConfig(num_app_servers=args.app_servers,
+                                                num_db_servers=args.db_servers,
+                                                seed=args.seed))
+    issued = deployment.run_request(Request("quickstart", {"n": 1}))
+    report = deployment.check_spec()
+    print(f"delivered={issued.delivered} latency={issued.latency:.1f} ms "
+          f"attempts={issued.attempts}")
+    print(report.summary())
+    return 0 if issued.delivered and report.ok else 1
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    report = figure8.run(requests_per_protocol=args.requests, seed=args.seed,
+                         num_app_servers=args.app_servers)
+    print(report.to_table())
+    print()
+    print(report.compare_with_paper())
+    shape = report.shape_holds()
+    print(f"\nshape holds (baseline < AR < 2PC, overheads near 16%/23%): {shape}")
+    return 0 if shape else 1
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    report = figure7.run(seed=args.seed)
+    print(report.to_table())
+    print()
+    print("client latencies (ms):",
+          {protocol: round(latency, 1) for protocol, latency in report.latencies.items()})
+    if args.diagrams:
+        print()
+        print(report.sequence_diagrams())
+    ok = report.expected_structure_holds()
+    print(f"\nstructure matches the paper's diagrams: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    report = figure1.run(seed=args.seed)
+    print(report.to_text())
+    ok = report.all_spec_ok()
+    print(f"\nall scenarios satisfy the e-Transaction specification: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    print("== E5: asynchrony of the replication scheme ==")
+    for point in asynchrony_sweep(seed=args.seed):
+        print(f"  {point.label:<40} claimers={point.distinct_claimers} "
+              f"aborted={point.aborted_results} safe={point.spec_ok}")
+    print("\n== E7: forced-log cost sweep (AR vs 2PC) ==")
+    for point in log_cost_sweep(seed=args.seed, requests=1):
+        winner = "AR" if point.ar_wins else "2PC"
+        print(f"  log={point.forced_write_latency:5.1f} ms   AR={point.ar_total:6.1f}   "
+              f"2PC={point.twopc_total:6.1f}   winner={winner}")
+    print("\n== E8: replication-degree scaling ==")
+    for point in scaling_sweep(seed=args.seed, requests=1):
+        print(f"  n={point.num_app_servers}   latency={point.mean_latency:6.1f} ms   "
+              f"messages={point.total_messages}")
+    return 0
+
+
+def _cmd_fault_sweep(args: argparse.Namespace) -> int:
+    result = fault_sweep.run(num_runs=args.runs, seed=args.seed,
+                             allow_client_crash=args.client_crashes)
+    print(result.summary())
+    for violation in result.violations:
+        print(" ", violation)
+    return 0 if result.all_safe else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harnesses for 'Implementing e-Transactions with "
+                    "Asynchronous Replication' (DSN 2000)")
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = sub.add_parser("quickstart", help="run one e-Transaction and check the spec")
+    quickstart.add_argument("--app-servers", type=int, default=3)
+    quickstart.add_argument("--db-servers", type=int, default=1)
+    quickstart.set_defaults(func=_cmd_quickstart)
+
+    fig8 = sub.add_parser("figure8", help="latency table (baseline / AR / 2PC)")
+    fig8.add_argument("--requests", type=int, default=5,
+                      help="closed-loop transactions per protocol")
+    fig8.add_argument("--app-servers", type=int, default=3)
+    fig8.set_defaults(func=_cmd_figure8)
+
+    fig7 = sub.add_parser("figure7", help="communication steps of the four protocols")
+    fig7.add_argument("--diagrams", action="store_true",
+                      help="also print the message-sequence listings")
+    fig7.set_defaults(func=_cmd_figure7)
+
+    fig1 = sub.add_parser("figure1", help="the four e-Transaction executions")
+    fig1.set_defaults(func=_cmd_figure1)
+
+    ablations = sub.add_parser("ablations", help="asynchrony, log-cost and scaling sweeps")
+    ablations.set_defaults(func=_cmd_ablations)
+
+    sweep = sub.add_parser("fault-sweep", help="random fault schedules, spec-checked")
+    sweep.add_argument("--runs", type=int, default=10)
+    sweep.add_argument("--client-crashes", action="store_true",
+                       help="let the client crash too (at-most-once runs)")
+    sweep.set_defaults(func=_cmd_fault_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

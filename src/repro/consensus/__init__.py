@@ -1,0 +1,12 @@
+"""Consensus among application servers (substrate for write-once registers)."""
+
+from repro.consensus.interfaces import ConsensusProtocol, InstanceId
+from repro.consensus.synod import AcceptorState, Ballot, ConsensusHost
+
+__all__ = [
+    "ConsensusProtocol",
+    "ConsensusHost",
+    "AcceptorState",
+    "Ballot",
+    "InstanceId",
+]

@@ -1,0 +1,66 @@
+"""The e-Transaction protocol: client, application servers, database servers, spec.
+
+This package is the paper's primary contribution.  Typical use::
+
+    from repro.core import DeploymentConfig, EtxDeployment, Request
+
+    deployment = EtxDeployment(DeploymentConfig(num_app_servers=3, num_db_servers=1))
+    issued = deployment.run_request(Request("payment", {"amount": 10}))
+    assert issued.delivered
+    assert deployment.check_spec().ok
+"""
+
+from repro.core.appserver import ApplicationServer, RegisterPair
+from repro.core.client import Client, IssuedRequest
+from repro.core.dataserver import DatabaseServer
+from repro.core.deployment import (
+    FD_HEARTBEAT,
+    FD_ORACLE,
+    REGISTER_CONSENSUS,
+    REGISTER_LOCAL,
+    DeploymentConfig,
+    EtxDeployment,
+    default_business_logic,
+)
+from repro.core.spec import PropertyViolation, SpecificationChecker, SpecReport
+from repro.core.timing import DatabaseTiming, ProtocolTiming
+from repro.core.types import (
+    ABORT,
+    ABORT_DECISION,
+    COMMIT,
+    VOTE_NO,
+    VOTE_YES,
+    Decision,
+    Request,
+    Result,
+    ResultKey,
+)
+
+__all__ = [
+    "ApplicationServer",
+    "RegisterPair",
+    "Client",
+    "IssuedRequest",
+    "DatabaseServer",
+    "DeploymentConfig",
+    "EtxDeployment",
+    "default_business_logic",
+    "REGISTER_CONSENSUS",
+    "REGISTER_LOCAL",
+    "FD_ORACLE",
+    "FD_HEARTBEAT",
+    "SpecificationChecker",
+    "SpecReport",
+    "PropertyViolation",
+    "DatabaseTiming",
+    "ProtocolTiming",
+    "Request",
+    "Result",
+    "Decision",
+    "ResultKey",
+    "COMMIT",
+    "ABORT",
+    "ABORT_DECISION",
+    "VOTE_YES",
+    "VOTE_NO",
+]

@@ -1,0 +1,289 @@
+"""Application-server protocol (the paper's Figures 4, 5 and 6).
+
+Each application server is stateless with respect to requests: everything it
+needs to terminate a result lives either in the back-end databases or in the
+replicated wo-registers (``regA`` -- who executes result ``j``; ``regD`` --
+the decision for result ``j``).  The server runs two protocol threads:
+
+* the **computation thread** (Figure 5): waits for client requests, claims a
+  result by writing its own identity into ``regA[j]``, computes the result by
+  driving the business logic on the databases, runs the voting phase, writes
+  the decision into ``regD[j]`` and terminates the result;
+* the **cleaning thread** (Figure 6): watches the failure detector and, for
+  every result initiated by a suspected server, forces a decision by writing
+  ``(nil, abort)`` into ``regD[j]`` -- obtaining either its own abort or the
+  decision the suspected server already wrote -- and terminates the result on
+  its behalf.
+
+Termination (Figure 4's ``terminate()``) keeps re-sending ``Decide`` until
+every database server acknowledges, tolerating database crashes and
+recoveries, and finally reports the decision to the client.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core import messages as msg
+from repro.core.timing import ProtocolTiming
+from repro.core.types import (
+    ABORT,
+    ABORT_DECISION,
+    COMMIT,
+    Decision,
+    Request,
+    Result,
+    ResultKey,
+    VOTE_YES,
+)
+from repro.failure.detectors import FailureDetector
+from repro.net.message import Message, any_of, is_type, is_type_with
+from repro.registers.base import BOTTOM, WriteOnceRegisterArray
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+from repro.sim.waits import TIMEOUT
+
+
+class RegisterPair:
+    """The two wo-register arrays one application server works with."""
+
+    def __init__(self, reg_a: WriteOnceRegisterArray, reg_d: WriteOnceRegisterArray):
+        self.reg_a = reg_a
+        self.reg_d = reg_d
+
+
+class ApplicationServer(Process):
+    """One middle-tier application server.
+
+    Parameters
+    ----------
+    sim, name:
+        Simulator and process name.
+    app_server_names / db_server_names:
+        Full membership of the middle and back-end tiers.
+    registers:
+        This server's view of the ``regA``/``regD`` wo-register arrays.
+    failure_detector:
+        The (eventually perfect) failure detector used by the cleaning thread.
+    timing:
+        Protocol-level intervals (retry, cleaning pace).
+    consensus_host:
+        Optional consensus endpoint backing the registers; when present it is
+        (re)installed on start and reset on crash.
+    """
+
+    def __init__(self, sim: Simulator, name: str, app_server_names: list[str],
+                 db_server_names: list[str], registers: RegisterPair,
+                 failure_detector: FailureDetector,
+                 timing: Optional[ProtocolTiming] = None,
+                 consensus_host: Any = None):
+        super().__init__(sim, name)
+        self.app_server_names = list(app_server_names)
+        self.db_server_names = list(db_server_names)
+        self.registers = registers
+        self.failure_detector = failure_detector
+        self.timing = timing if timing is not None else ProtocolTiming()
+        self.consensus_host = consensus_host
+        # Volatile caches (lost on crash, rebuilt from the registers if needed).
+        self._known_commits: dict[ResultKey, Decision] = {}
+        self._cleaned: set[ResultKey] = set()
+
+    # --------------------------------------------------------------- lifecycle
+
+    def on_start(self, recovery: bool) -> None:
+        if self.consensus_host is not None:
+            self.consensus_host.install()
+        self.spawn(self._computation_thread(), name="as-compute")
+        self.spawn(self._cleaning_thread(), name="as-clean")
+
+    def on_crash(self) -> None:
+        self._known_commits = {}
+        self._cleaned = set()
+        if self.consensus_host is not None:
+            self.consensus_host.on_crash()
+
+    # ------------------------------------------------------ computation thread
+
+    def _computation_thread(self):
+        """Figure 5: serve client requests."""
+        while True:
+            message = yield self.receive(is_type(msg.REQUEST))
+            client = message.sender
+            j: int = message["j"]
+            request: Request = message["request"]
+            key: ResultKey = (client, j)
+            self.trace.record("as_request", self.name, client=client, j=j,
+                              request_id=request.request_id)
+            known = self._known_commits.get(key)
+            decided = self.registers.reg_d.read(key)
+            if known is None and decided is not BOTTOM and decided.outcome == COMMIT:
+                known = decided
+            if known is not None:
+                # Figure 5, lines 3-4: the result is already committed; resend it.
+                self.send(client, msg.result_message(j, known))
+                continue
+            if decided is not BOTTOM:
+                # The result was already aborted (a retransmitted request for a
+                # terminated intermediate result): just remind the client.
+                self.send(client, msg.result_message(j, decided))
+                continue
+            phase_start = self.now
+            winner = yield self.wait_for(self.registers.reg_a.write(key, self.name))
+            self.trace.record("as_phase", self.name, phase="regA_write", j=j, client=client,
+                              duration=self.now - phase_start)
+            if winner != self.name:
+                # Another server owns this result (Figure 5, lines 6-7); if it
+                # crashes the cleaning thread will take over.
+                continue
+            self.trace.record("as_claim", self.name, client=client, j=j,
+                              request_id=request.request_id)
+            result = yield from self._compute(key, request)
+            outcome = yield from self._prepare(key, result)
+            proposed = Decision(result=result, outcome=outcome)
+            phase_start = self.now
+            decision = yield self.wait_for(self.registers.reg_d.write(key, proposed))
+            self.trace.record("as_phase", self.name, phase="regD_write", j=j, client=client,
+                              duration=self.now - phase_start)
+            yield from self._terminate(key, decision, client)
+
+    def _compute(self, key: ResultKey, request: Request):
+        """The paper's ``compute()``: transient data manipulation on every database.
+
+        Sends the business logic to each database server and collects their
+        answers (re-sending while a database is down).  The merged answer
+        forms the result value; a failed computation (e.g. lock conflict)
+        still yields a result -- the databases will then refuse to commit it,
+        which is how the paper models user-level aborts.
+        """
+        client, j = key
+        phase_start = self.now
+        values: dict[str, Any] = {}
+        pending = set(self.db_server_names)
+        while pending:
+            for db_name in pending:
+                self.send(db_name, msg.execute_message(key, request))
+            deadline_matcher = any_of(
+                is_type_with(msg.EXECUTE_RESULT, j=key),
+                is_type(msg.READY),
+            )
+            remaining = set(pending)
+            while remaining:
+                reply = yield self.receive(deadline_matcher, timeout=self.timing.execute_retry)
+                if reply is TIMEOUT:
+                    break
+                if reply.msg_type == msg.READY:
+                    # A database recovered; start its execution over.
+                    break
+                if reply.sender in remaining:
+                    values[reply.sender] = reply["value"]
+                    remaining.discard(reply.sender)
+            pending = set(self.db_server_names) - set(values)
+        merged = self._merge_values(values)
+        result = Result(value=merged, request_id=request.request_id, computed_by=self.name)
+        self.trace.record("as_compute", self.name, client=client, j=j,
+                          request_id=request.request_id, result=repr(merged))
+        self.trace.record("as_phase", self.name, phase="compute", j=j, client=client,
+                          duration=self.now - phase_start)
+        return result
+
+    def _merge_values(self, values: dict[str, Any]) -> Any:
+        """Combine the per-database business values into one result value.
+
+        With a single database (the common case) the value passes through; with
+        several, identical answers collapse to one and divergent answers are
+        kept per database so the caller can see the disagreement.
+        """
+        if len(self.db_server_names) == 1:
+            return values[self.db_server_names[0]]
+        distinct = list(values.values())
+        if all(value == distinct[0] for value in distinct[1:]):
+            return distinct[0]
+        return values
+
+    def _prepare(self, key: ResultKey, result: Result):
+        """Figure 4's ``prepare()``: collect votes from every database server."""
+        client, j = key
+        phase_start = self.now
+        votes: dict[str, str] = {}
+        pending = set(self.db_server_names)
+        while pending:
+            for db_name in pending:
+                self.send(db_name, msg.prepare_message(key))
+            matcher = any_of(is_type_with(msg.VOTE, j=key), is_type(msg.READY))
+            remaining = set(pending)
+            while remaining:
+                reply = yield self.receive(matcher, timeout=self.timing.prepare_retry)
+                if reply is TIMEOUT:
+                    break
+                if reply.sender not in remaining:
+                    continue
+                if reply.msg_type == msg.READY:
+                    # Recovery notification counts as an answer -- and forces abort
+                    # (the recovered database cannot have voted yes any more).
+                    votes[reply.sender] = "ready"
+                else:
+                    votes[reply.sender] = reply["vote"]
+                remaining.discard(reply.sender)
+            pending = set(self.db_server_names) - set(votes)
+        outcome = COMMIT if all(v == VOTE_YES for v in votes.values()) else ABORT
+        self.trace.record("as_prepare", self.name, client=client, j=j, outcome=outcome,
+                          votes=dict(votes))
+        self.trace.record("as_phase", self.name, phase="prepare", j=j, client=client,
+                          duration=self.now - phase_start)
+        return outcome
+
+    def _terminate(self, key: ResultKey, decision: Decision, client: str):
+        """Figure 4's ``terminate()``: drive the decision to every database, then
+        report the result to the client."""
+        j = key[1]
+        phase_start = self.now
+        acked: set[str] = set()
+        while acked != set(self.db_server_names):
+            for db_name in set(self.db_server_names) - acked:
+                self.send(db_name, msg.decide_message(key, decision.outcome))
+            matcher = any_of(is_type_with(msg.ACK_DECIDE, j=key), is_type(msg.READY))
+            remaining = set(self.db_server_names) - acked
+            while remaining:
+                reply = yield self.receive(matcher, timeout=self.timing.decide_retry)
+                if reply is TIMEOUT:
+                    break
+                if reply.msg_type == msg.READY:
+                    # The database lost the decision in a crash; re-send it.
+                    break
+                if reply.sender in remaining:
+                    acked.add(reply.sender)
+                    remaining.discard(reply.sender)
+        if decision.outcome == COMMIT:
+            self._known_commits[key] = decision
+        self.trace.record("as_terminate", self.name, client=client, j=j,
+                          outcome=decision.outcome)
+        self.trace.record("as_phase", self.name, phase="terminate", j=j, client=client,
+                          duration=self.now - phase_start)
+        self.send(client, msg.result_message(j, decision))
+        self.trace.record("as_result_sent", self.name, client=client, j=j,
+                          outcome=decision.outcome)
+
+    # --------------------------------------------------------- cleaning thread
+
+    def _cleaning_thread(self):
+        """Figure 6: terminate results initiated by suspected servers."""
+        while True:
+            yield self.sleep(self.timing.clean_interval)
+            for suspected in self.app_server_names:
+                if suspected == self.name:
+                    continue
+                if not self.failure_detector.suspect(self.name, suspected):
+                    continue
+                for key in self.registers.reg_a.known_indices():
+                    if key in self._cleaned:
+                        continue
+                    if self.registers.reg_a.read(key) != suspected:
+                        continue
+                    client, j = key
+                    self.trace.record("as_clean", self.name, suspected=suspected,
+                                      client=client, j=j)
+                    decision = yield self.wait_for(
+                        self.registers.reg_d.write(key, ABORT_DECISION)
+                    )
+                    yield from self._terminate(key, decision, client)
+                    self._cleaned.add(key)

@@ -1,0 +1,172 @@
+"""Client protocol (the paper's Figure 2).
+
+The client is diskless and keeps no protocol state beyond the result counter:
+``issue(request)`` sends the request to the default primary application
+server, falls back to broadcasting it to every application server after a
+back-off period, and loops through intermediate result identifiers ``j`` until
+one of them comes back *committed* -- at which point the result is delivered
+(the future returned by :meth:`Client.issue` resolves).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core import messages as msg
+from repro.core.timing import ProtocolTiming
+from repro.core.types import COMMIT, Decision, Request, Result
+from repro.net.message import is_type_with
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+from repro.sim.waits import SimFuture, TIMEOUT
+
+
+class IssuedRequest:
+    """Handle returned by :meth:`Client.issue`.
+
+    ``future`` resolves to the committed :class:`~repro.core.types.Result`;
+    ``attempts`` counts the intermediate results that were tried and
+    ``aborted_results`` lists the identifiers that ended in an abort.
+    """
+
+    def __init__(self, request: Request):
+        self.request = request
+        self.future: SimFuture = SimFuture()
+        self.attempts = 0
+        self.aborted_results: list[int] = []
+        self.issued_at: Optional[float] = None
+        self.delivered_at: Optional[float] = None
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the committed result has been delivered."""
+        return self.future.resolved
+
+    @property
+    def result(self) -> Optional[Result]:
+        """The delivered result (``None`` until delivery)."""
+        return self.future.value
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency as seen by the client, once delivered."""
+        if self.issued_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.issued_at
+
+
+class Client(Process):
+    """A front-end client of the three-tier application.
+
+    Parameters
+    ----------
+    sim, name:
+        Simulator and process name.
+    app_server_names:
+        All application servers; the first entry (or ``default_primary``) is
+        the one the request is initially sent to.
+    timing:
+        Protocol timing; only the client back-off and re-broadcast intervals
+        are used here.
+    default_primary:
+        Name of the default primary application server.
+    """
+
+    def __init__(self, sim: Simulator, name: str, app_server_names: list[str],
+                 timing: Optional[ProtocolTiming] = None,
+                 default_primary: Optional[str] = None):
+        super().__init__(sim, name)
+        if not app_server_names:
+            raise ValueError("a client needs at least one application server")
+        self.app_server_names = list(app_server_names)
+        self.timing = timing if timing is not None else ProtocolTiming()
+        self.default_primary = default_primary or self.app_server_names[0]
+        if self.default_primary not in self.app_server_names:
+            raise ValueError(f"default primary {self.default_primary!r} not in server list")
+        self._next_j = 1
+        self._queue: deque[IssuedRequest] = deque()
+        self._worker_running = False
+        self.completed: list[IssuedRequest] = []
+
+    # ------------------------------------------------------------------ issue
+
+    def issue(self, request: Request) -> IssuedRequest:
+        """Issue a request on behalf of the end user.
+
+        Requests are processed one at a time (the paper's model); issuing
+        while another request is in flight queues the new one behind it.
+        """
+        issued = IssuedRequest(request)
+        self._queue.append(issued)
+        self.trace.record("client_issue", self.name, request_id=request.request_id,
+                          operation=request.operation)
+        if self.up and not self._worker_running:
+            self._worker_running = True
+            self.spawn(self._issue_loop(), name="client-issue")
+        return issued
+
+    def pending_requests(self) -> int:
+        """Number of requests queued or in flight."""
+        return len(self._queue)
+
+    # ---------------------------------------------------------------- protocol
+
+    def on_start(self, recovery: bool) -> None:
+        # A recovered client does NOT resume in-flight requests: it is diskless,
+        # so it cannot know whether the old request was executed.  Re-issuing it
+        # under a fresh result identifier would risk executing it twice -- the
+        # paper's guarantee for a crashed client is at-most-once, nothing more.
+        self._worker_running = False
+
+    def on_crash(self) -> None:
+        # All protocol state is volatile: pending requests die with the client.
+        self._queue.clear()
+        self._worker_running = False
+
+    def _issue_loop(self):
+        while self._queue:
+            issued = self._queue[0]
+            yield from self._issue_one(issued)
+            self._queue.popleft()
+            self.completed.append(issued)
+        self._worker_running = False
+
+    def _issue_one(self, issued: IssuedRequest):
+        """Figure 2: loop over intermediate results until one commits."""
+        issued.issued_at = self.now
+        request = issued.request
+        while True:
+            j = self._next_j
+            self._next_j += 1
+            issued.attempts += 1
+            self.trace.record("client_send", self.name, j=j, request_id=request.request_id,
+                              broadcast=False)
+            self.send(self.default_primary, msg.request_message(request, j))
+            matcher = is_type_with(msg.RESULT, j=j)
+            reply = yield self.receive(matcher, timeout=self.timing.client_backoff)
+            if reply is TIMEOUT:
+                # Figure 2, lines 5-7: back-off expired, send to all servers.
+                self.trace.record("client_send", self.name, j=j,
+                                  request_id=request.request_id, broadcast=True)
+                self.multicast(self.app_server_names, msg.request_message(request, j))
+                reply = yield self.receive(matcher, timeout=self.timing.client_rebroadcast)
+                while reply is TIMEOUT:
+                    # Keep the request alive under message loss; the paper's
+                    # pseudo-code waits forever here and relies on reliable
+                    # channels -- re-broadcasting is the practical equivalent.
+                    self.multicast(self.app_server_names, msg.request_message(request, j))
+                    reply = yield self.receive(matcher, timeout=self.timing.client_rebroadcast)
+            decision: Decision = reply["decision"]
+            if decision.outcome == COMMIT and decision.result is not None:
+                issued.delivered_at = self.now
+                self.trace.record("client_deliver", self.name, j=j,
+                                  request_id=request.request_id,
+                                  result_request_id=decision.result.request_id,
+                                  computed_by=decision.result.computed_by,
+                                  value=repr(decision.result.value))
+                issued.future.resolve(decision.result)
+                return
+            issued.aborted_results.append(j)
+            self.trace.record("client_retry", self.name, j=j,
+                              request_id=request.request_id)

@@ -1,0 +1,145 @@
+"""Database-server protocol (the paper's Figure 3).
+
+A database server is a *pure server*: it reacts to ``Prepare``, ``Decide`` and
+``Execute`` messages from application servers, never initiates anything, and
+announces its recovery with a ``Ready`` notification to every application
+server (Figure 3, lines 1-2).  The actual transactional machinery lives in the
+XA resource (:mod:`repro.storage.xa`); this process adds the message handling,
+the per-phase timing, and crash/recovery behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core import messages as msg
+from repro.core.timing import DatabaseTiming
+from repro.core.types import ABORT, COMMIT, Request, VOTE_NO, VOTE_YES
+from repro.net.message import is_type
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+from repro.storage.kvstore import TransactionError, TransactionalKVStore
+from repro.storage.locks import LockConflict
+from repro.storage.stable import StableStorage
+from repro.storage.xa import XAResource
+
+BusinessLogicFactory = Callable[[Request], Callable[[Any], Any]]
+"""Maps a request to the function run inside the transaction (the SQL work)."""
+
+
+class DatabaseServer(Process):
+    """One back-end database server (an XA engine behind a message interface).
+
+    Parameters
+    ----------
+    sim, name:
+        Simulator and process name.
+    app_server_names:
+        All application servers (recipients of the ``Ready`` notification).
+    business_logic:
+        Factory turning a :class:`~repro.core.types.Request` into the function
+        executed inside the transaction (provided by the workload).
+    timing:
+        Per-phase costs; defaults reproduce the paper's baseline column.
+    initial_data:
+        Initial committed database contents.
+    """
+
+    def __init__(self, sim: Simulator, name: str, app_server_names: list[str],
+                 business_logic: BusinessLogicFactory,
+                 timing: Optional[DatabaseTiming] = None,
+                 initial_data: Optional[dict[str, Any]] = None):
+        super().__init__(sim, name)
+        self.app_server_names = list(app_server_names)
+        self.business_logic = business_logic
+        self.timing = timing if timing is not None else DatabaseTiming()
+        storage = StableStorage(f"{name}.disk", forced_write_latency=self.timing.forced_write)
+        self.store = TransactionalKVStore(name, storage=storage, initial_data=initial_data)
+        self.resource = XAResource(self.store)
+        # Cache of already-executed business-logic calls, keyed by result key.
+        # Makes Execute idempotent under retransmission (volatile: an unprepared
+        # transaction does not survive a crash anyway).
+        self._executed: dict[Any, tuple[Any, bool]] = {}
+
+    # --------------------------------------------------------------- lifecycle
+
+    def on_start(self, recovery: bool) -> None:
+        if recovery:
+            in_doubt = self.resource.recover()
+            self.trace.record("db_recover", self.name, in_doubt=[str(k) for k in in_doubt])
+            # Figure 3, line 2: tell every application server we are back.
+            self.multicast(self.app_server_names, msg.ready_message())
+        self.spawn(self._serve_execute(), name="db-execute")
+        self.spawn(self._serve_prepare(), name="db-prepare")
+        self.spawn(self._serve_decide(), name="db-decide")
+
+    def on_crash(self) -> None:
+        self.resource.crash()
+        self._executed.clear()
+
+    # ------------------------------------------------------------------ threads
+
+    def _serve_execute(self):
+        """Run the business logic inside a transaction (the paper's transient
+        database manipulation performed by ``compute()``)."""
+        while True:
+            message = yield self.receive(is_type(msg.EXECUTE))
+            key = message["j"]
+            request: Request = message["request"]
+            if key in self._executed:
+                value, ok = self._executed[key]
+                self.send(message.sender, msg.execute_result_message(key, value, ok=ok))
+                continue
+            yield self.sleep(self.timing.start + self.timing.sql)
+            ok = True
+            try:
+                value = self.resource.execute(key, self.business_logic(request))
+            except LockConflict as conflict:
+                ok = False
+                value = {"error": "lock_conflict", "key": conflict.key}
+            except TransactionError as error:
+                # A re-execution of an already-terminated transaction (e.g. a
+                # stale retransmission): report it, the vote will say no.
+                ok = False
+                value = {"error": "transaction_state", "detail": str(error)}
+            self._executed[key] = (value, ok)
+            self.trace.record("db_execute", self.name, j=key,
+                              request_id=request.request_id, ok=ok)
+            self.send(message.sender, msg.execute_result_message(key, value, ok=ok))
+
+    def _serve_prepare(self):
+        """Vote on results (Figure 3, lines 5-6)."""
+        while True:
+            message = yield self.receive(is_type(msg.PREPARE))
+            key = message["j"]
+            vote, io_cost = self.resource.vote(key)
+            cost = self.timing.prepare_cpu + io_cost if io_cost > 0 else 0.0
+            if cost > 0:
+                yield self.sleep(cost)
+            self.trace.record("db_vote", self.name, j=key, vote=vote)
+            self.send(message.sender, msg.vote_message(key, vote))
+
+    def _serve_decide(self):
+        """Apply decisions and acknowledge them (Figure 3, lines 7-9)."""
+        while True:
+            message = yield self.receive(is_type(msg.DECIDE))
+            key = message["j"]
+            outcome = message["outcome"]
+            final, io_cost = self.resource.decide(key, outcome)
+            if final == COMMIT and io_cost > 0:
+                yield self.sleep(self.timing.commit_cpu + io_cost + self.timing.end)
+            elif final == ABORT and io_cost >= 0 and outcome == ABORT:
+                yield self.sleep(self.timing.abort_cpu)
+            self.trace.record("db_decide", self.name, j=key, outcome=final,
+                              requested=outcome)
+            self.send(message.sender, msg.ack_decide_message(key))
+
+    # ------------------------------------------------------------------- query
+
+    def committed_value(self, key: str, default: Any = None) -> Any:
+        """Committed database contents (used by tests and invariant checks)."""
+        return self.store.get_committed(key, default)
+
+    def in_doubt(self) -> list[Any]:
+        """Prepared-but-undecided transactions currently holding locks."""
+        return self.resource.in_doubt()

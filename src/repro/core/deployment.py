@@ -1,0 +1,269 @@
+"""Deployment builder: assemble a complete three-tier system in one call.
+
+:class:`EtxDeployment` wires together everything a run needs -- simulator,
+network with the three-tier latency topology, failure detector, consensus
+hosts and wo-registers, application servers, database servers and clients --
+from a single :class:`DeploymentConfig`.  The experiment harnesses, examples
+and most integration tests go through this builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.consensus.synod import ConsensusHost
+from repro.core.appserver import ApplicationServer, RegisterPair
+from repro.core.client import Client, IssuedRequest
+from repro.core.dataserver import DatabaseServer
+from repro.core.spec import SpecificationChecker, SpecReport
+from repro.core.timing import DatabaseTiming, ProtocolTiming
+from repro.core.types import Request
+from repro.failure.detectors import (
+    EventuallyPerfectFailureDetector,
+    HeartbeatFailureDetector,
+)
+from repro.failure.injection import FaultSchedule
+from repro.net.latency import FixedLatency, PerLinkLatency
+from repro.net.network import Network
+from repro.net.reliable import ReliableChannelLayer
+from repro.registers.consensus_backed import ConsensusRegisterArray
+from repro.registers.local import LocalRegisterArray, LocalRegisterStore
+from repro.sim.scheduler import Simulator
+
+REGISTER_CONSENSUS = "consensus"
+REGISTER_LOCAL = "local"
+
+FD_ORACLE = "oracle"
+FD_HEARTBEAT = "heartbeat"
+
+
+def default_business_logic(request: Request) -> Callable[[Any], Any]:
+    """Fallback business logic: store the request parameters under one key.
+
+    Real experiments use the workloads in :mod:`repro.workload`; this default
+    keeps the deployment usable out of the box for protocol-level tests.
+    """
+
+    def logic(view: Any) -> Any:
+        previous = view.read(request.operation, 0)
+        view.write(request.operation, {"count": (previous["count"] + 1)
+                                       if isinstance(previous, dict) else 1,
+                                       "params": dict(request.params)})
+        return {"operation": request.operation, "applied": True}
+
+    return logic
+
+
+@dataclass
+class DeploymentConfig:
+    """Knobs of a three-tier deployment."""
+
+    num_app_servers: int = 3
+    num_db_servers: int = 1
+    num_clients: int = 1
+    register_mode: str = REGISTER_CONSENSUS
+    seed: int = 0
+    loss_probability: float = 0.0
+    use_reliable_channels: bool = False
+    detection_delay: float = 5.0
+    failure_detector: str = FD_ORACLE
+    heartbeat_interval: float = 5.0
+    heartbeat_timeout: float = 20.0
+    client_app_latency: float = 2.5
+    app_app_latency: float = 2.25
+    app_db_latency: float = 0.5
+    db_timing: DatabaseTiming = field(default_factory=DatabaseTiming)
+    protocol_timing: ProtocolTiming = field(default_factory=ProtocolTiming)
+    initial_data: dict[str, Any] = field(default_factory=dict)
+    business_logic: Callable[[Request], Callable[[Any], Any]] = default_business_logic
+
+    def __post_init__(self) -> None:
+        if self.num_app_servers < 1 or self.num_db_servers < 1 or self.num_clients < 1:
+            raise ValueError("a deployment needs at least one process per tier")
+        if self.register_mode not in (REGISTER_CONSENSUS, REGISTER_LOCAL):
+            raise ValueError(f"unknown register mode {self.register_mode!r}")
+        if self.failure_detector not in (FD_ORACLE, FD_HEARTBEAT):
+            raise ValueError(f"unknown failure detector mode {self.failure_detector!r}")
+
+    @property
+    def client_names(self) -> list[str]:
+        return [f"c{i + 1}" for i in range(self.num_clients)]
+
+    @property
+    def app_server_names(self) -> list[str]:
+        return [f"a{i + 1}" for i in range(self.num_app_servers)]
+
+    @property
+    def db_server_names(self) -> list[str]:
+        return [f"d{i + 1}" for i in range(self.num_db_servers)]
+
+
+class EtxDeployment:
+    """A fully wired three-tier system running the e-Transaction protocol."""
+
+    def __init__(self, config: Optional[DeploymentConfig] = None, **overrides: Any):
+        if config is None:
+            config = DeploymentConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.network = Network(self.sim, latency=self._build_latency(),
+                               loss_probability=config.loss_probability)
+        self.clients: dict[str, Client] = {}
+        self.app_servers: dict[str, ApplicationServer] = {}
+        self.db_servers: dict[str, DatabaseServer] = {}
+        self._local_stores: dict[str, LocalRegisterStore] = {}
+        self._build_processes()
+        # The oracle (eventually perfect) detector always exists: it is what the
+        # fault-injection schedules use to inject false suspicions.
+        self.failure_detector = EventuallyPerfectFailureDetector(
+            self.network, detection_delay=config.detection_delay)
+        self.heartbeat_detector: Optional[HeartbeatFailureDetector] = None
+        if config.failure_detector == FD_HEARTBEAT:
+            # A genuinely message-based detector: heartbeats between the
+            # application servers, adaptive time-outs on missed ones.
+            self.heartbeat_detector = HeartbeatFailureDetector(
+                self.network, config.app_server_names,
+                heartbeat_interval=config.heartbeat_interval,
+                initial_timeout=config.heartbeat_timeout)
+        self._attach_failure_detector()
+        if config.use_reliable_channels:
+            self.reliable_channels: Optional[ReliableChannelLayer] = ReliableChannelLayer(
+                self.network)
+        else:
+            self.reliable_channels = None
+        self._start_all()
+
+    # ------------------------------------------------------------------- build
+
+    def _build_latency(self) -> PerLinkLatency:
+        config = self.config
+        latency = PerLinkLatency(FixedLatency(config.app_app_latency))
+        for client in config.client_names:
+            for app in config.app_server_names:
+                latency.set_link(client, app, FixedLatency(config.client_app_latency))
+                latency.set_link(app, client, FixedLatency(config.client_app_latency))
+        for app in config.app_server_names:
+            for db in config.db_server_names:
+                latency.set_link(app, db, FixedLatency(config.app_db_latency))
+                latency.set_link(db, app, FixedLatency(config.app_db_latency))
+        return latency
+
+    def _build_processes(self) -> None:
+        config = self.config
+        app_names = config.app_server_names
+        db_names = config.db_server_names
+        default_primary = app_names[0]
+        if config.register_mode == REGISTER_LOCAL:
+            self._local_stores = {
+                "regA": LocalRegisterStore(self.sim, "regA",
+                                           operation_latency=config.protocol_timing.fast_write_latency),
+                "regD": LocalRegisterStore(self.sim, "regD",
+                                           operation_latency=config.protocol_timing.fast_write_latency),
+            }
+        for name in db_names:
+            server = DatabaseServer(self.sim, name, app_names,
+                                    business_logic=config.business_logic,
+                                    timing=config.db_timing,
+                                    initial_data=dict(config.initial_data))
+            self.network.register(server)
+            self.db_servers[name] = server
+        for name in app_names:
+            consensus_host = None
+            if config.register_mode == REGISTER_CONSENSUS:
+                process = ApplicationServer(
+                    self.sim, name, app_names, db_names,
+                    registers=RegisterPair(None, None),  # type: ignore[arg-type]
+                    failure_detector=None,  # type: ignore[arg-type]
+                    timing=config.protocol_timing)
+                self.network.register(process)
+                consensus_host = ConsensusHost(process, app_names,
+                                               fast_path_owner=default_primary)
+                process.consensus_host = consensus_host
+                process.registers = RegisterPair(
+                    ConsensusRegisterArray(consensus_host, "regA"),
+                    ConsensusRegisterArray(consensus_host, "regD"),
+                )
+            else:
+                process = ApplicationServer(
+                    self.sim, name, app_names, db_names,
+                    registers=RegisterPair(
+                        LocalRegisterArray(self._local_stores["regA"], owner=name),
+                        LocalRegisterArray(self._local_stores["regD"], owner=name),
+                    ),
+                    failure_detector=None,  # type: ignore[arg-type]
+                    timing=config.protocol_timing)
+                self.network.register(process)
+            self.app_servers[name] = process
+        for name in config.client_names:
+            client = Client(self.sim, name, app_names, timing=config.protocol_timing,
+                            default_primary=default_primary)
+            self.network.register(client)
+            self.clients[name] = client
+
+    def _attach_failure_detector(self) -> None:
+        detector = self.heartbeat_detector if self.heartbeat_detector is not None \
+            else self.failure_detector
+        for server in self.app_servers.values():
+            server.failure_detector = detector
+
+    def _start_all(self) -> None:
+        for group in (self.db_servers, self.app_servers, self.clients):
+            for process in group.values():
+                process.start()
+
+    # --------------------------------------------------------------- shortcuts
+
+    @property
+    def client(self) -> Client:
+        """The first (often only) client."""
+        return self.clients[self.config.client_names[0]]
+
+    @property
+    def default_primary(self) -> ApplicationServer:
+        """The default primary application server (``a1``)."""
+        return self.app_servers[self.config.app_server_names[0]]
+
+    @property
+    def trace(self):
+        """The shared trace recorder of this run."""
+        return self.sim.trace
+
+    def apply_faults(self, schedule: FaultSchedule) -> None:
+        """Schedule a fault-injection plan against this deployment."""
+        schedule.apply(self.sim, self.network, self.failure_detector)
+
+    # --------------------------------------------------------------- execution
+
+    def issue(self, request: Request, client: Optional[str] = None) -> IssuedRequest:
+        """Issue a request from the named (or first) client."""
+        target = self.clients[client] if client is not None else self.client
+        return target.issue(request)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation (until the event queue drains or ``until``)."""
+        return self.sim.run(until=until)
+
+    def run_until_delivered(self, issued: IssuedRequest, horizon: float = 1_000_000.0) -> bool:
+        """Run until ``issued`` delivers its committed result (or the horizon)."""
+        return self.sim.run_until(lambda: issued.delivered, until=horizon)
+
+    def run_request(self, request: Request, client: Optional[str] = None,
+                    horizon: float = 1_000_000.0) -> IssuedRequest:
+        """Issue ``request`` and run until its result is delivered."""
+        issued = self.issue(request, client)
+        self.run_until_delivered(issued, horizon=horizon)
+        return issued
+
+    # -------------------------------------------------------------------- spec
+
+    def spec_checker(self) -> SpecificationChecker:
+        """A specification checker bound to this run's trace."""
+        return SpecificationChecker(self.trace, self.config.db_server_names,
+                                    self.config.client_names)
+
+    def check_spec(self, check_termination: bool = True) -> SpecReport:
+        """Check the e-Transaction properties over the current trace."""
+        return self.spec_checker().check(check_termination=check_termination)

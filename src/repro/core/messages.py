@@ -1,0 +1,70 @@
+"""Message vocabulary of the e-Transaction protocol.
+
+These are exactly the message types of the paper's pseudo-code (Figures 2-6):
+``Request``, ``Result``, ``Prepare``, ``Vote``, ``Decide``, ``AckDecide`` and
+``Ready``, plus the ``Execute``/``ExecuteResult`` pair that carries the
+transient data manipulation the paper abstracts behind ``compute()`` (in the
+paper's prototype this is the SQL traffic on the database connection).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.types import Decision, Request
+from repro.net.message import Message
+
+REQUEST = "Request"
+RESULT = "Result"
+PREPARE = "Prepare"
+VOTE = "Vote"
+DECIDE = "Decide"
+ACK_DECIDE = "AckDecide"
+READY = "Ready"
+EXECUTE = "Execute"
+EXECUTE_RESULT = "ExecuteResult"
+
+
+def request_message(request: Request, j: int) -> Message:
+    """``[Request, request, j]`` from the client to an application server."""
+    return Message(REQUEST, payload={"request": request, "j": j})
+
+
+def result_message(j: int, decision: Decision) -> Message:
+    """``[Result, j, decision]`` from an application server to the client."""
+    return Message(RESULT, payload={"j": j, "decision": decision})
+
+
+def prepare_message(key: Any) -> Message:
+    """``[Prepare, j]`` from an application server to a database server."""
+    return Message(PREPARE, payload={"j": key})
+
+
+def vote_message(key: Any, vote: str) -> Message:
+    """``[Vote, j, vote]`` from a database server back to the application server."""
+    return Message(VOTE, payload={"j": key, "vote": vote})
+
+
+def decide_message(key: Any, outcome: str) -> Message:
+    """``[Decide, j, outcome]`` from an application server to a database server."""
+    return Message(DECIDE, payload={"j": key, "outcome": outcome})
+
+
+def ack_decide_message(key: Any) -> Message:
+    """``[AckDecide, j]`` from a database server back to the application server."""
+    return Message(ACK_DECIDE, payload={"j": key})
+
+
+def ready_message() -> Message:
+    """``[Ready]`` recovery notification from a database server to all app servers."""
+    return Message(READY)
+
+
+def execute_message(key: Any, request: Request) -> Message:
+    """Transient data manipulation request (the SQL work inside ``compute()``)."""
+    return Message(EXECUTE, payload={"j": key, "request": request})
+
+
+def execute_result_message(key: Any, value: Any, ok: bool = True) -> Message:
+    """Reply to :func:`execute_message` carrying the computed business value."""
+    return Message(EXECUTE_RESULT, payload={"j": key, "value": value, "ok": ok})

@@ -1,0 +1,248 @@
+"""Executable specification of the e-Transaction problem (Section 3).
+
+The checker consumes the structured trace of a run and verifies each property:
+
+* **T.1** -- if the client issues a request then, unless it crashes, it
+  eventually delivers a result.
+* **T.2** -- if any database server votes for a result, it eventually commits
+  or aborts that result.
+* **A.1** -- no result is delivered by the client unless it is committed by
+  all database servers.
+* **A.2** -- no database server commits two different results (for the same
+  request).
+* **A.3** -- no two database servers decide differently on the same result.
+* **V.1** -- a delivered result was computed by an application server with,
+  as a parameter, a request issued by the client.
+* **V.2** -- no database server commits a result unless all database servers
+  have voted yes for that result.
+
+Termination properties are only meaningful if the run was given enough time
+and the correctness assumptions held (majority of application servers up,
+databases eventually up); the caller states this with ``check_termination``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.types import ABORT, COMMIT, VOTE_YES
+from repro.sim.tracing import TraceRecorder
+
+
+@dataclass
+class PropertyViolation:
+    """One violated property instance."""
+
+    property_name: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"[{self.property_name}] {self.description}"
+
+
+@dataclass
+class SpecReport:
+    """Outcome of checking a run against the e-Transaction specification."""
+
+    violations: list[PropertyViolation] = field(default_factory=list)
+    checked_properties: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every checked property holds."""
+        return not self.violations
+
+    def violated(self, property_name: str) -> list[PropertyViolation]:
+        """Violations of one property."""
+        return [v for v in self.violations if v.property_name == property_name]
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        if self.ok:
+            return f"all properties hold ({', '.join(self.checked_properties)})"
+        lines = [f"{len(self.violations)} violation(s):"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+class SpecificationChecker:
+    """Checks the e-Transaction properties over a recorded trace."""
+
+    def __init__(self, trace: TraceRecorder, db_server_names: list[str],
+                 client_names: list[str]):
+        self.trace = trace
+        self.db_server_names = list(db_server_names)
+        self.client_names = list(client_names)
+
+    # ------------------------------------------------------------------- check
+
+    def check(self, check_termination: bool = True) -> SpecReport:
+        """Run every property check and return the report."""
+        report = SpecReport()
+        checks = [
+            ("A.1", self._check_a1),
+            ("A.2", self._check_a2),
+            ("A.3", self._check_a3),
+            ("V.1", self._check_v1),
+            ("V.2", self._check_v2),
+        ]
+        if check_termination:
+            checks = [("T.1", self._check_t1), ("T.2", self._check_t2)] + checks
+        for name, check in checks:
+            report.checked_properties.append(name)
+            report.violations.extend(check())
+        return report
+
+    # ------------------------------------------------------------ trace access
+
+    def _crashed_forever(self, process: str) -> bool:
+        """Whether ``process`` crashed and never recovered afterwards."""
+        crashes = self.trace.select("crash", process)
+        if not crashes:
+            return False
+        recoveries = self.trace.select("recover", process)
+        last_crash = crashes[-1].time
+        return not any(r.time >= last_crash for r in recoveries)
+
+    def _delivered_request_ids(self, client: str) -> set[str]:
+        return {e.get("request_id") for e in self.trace.select("client_deliver", client)}
+
+    def _commits_by_db(self, db: str) -> list:
+        return self.trace.select("db_decide", db, outcome=COMMIT)
+
+    def _result_request(self, key) -> Optional[str]:
+        """Map a result key ``(client, j)`` to the request it was computed for."""
+        for event in self.trace.select("as_compute"):
+            if (event.get("client"), event.get("j")) == tuple(key):
+                return event.get("request_id")
+        return None
+
+    # ------------------------------------------------------------- termination
+
+    def _check_t1(self) -> list[PropertyViolation]:
+        violations = []
+        for client in self.client_names:
+            if self._crashed_forever(client):
+                continue  # "unless it crashes"
+            issued = {e.get("request_id") for e in self.trace.select("client_issue", client)}
+            delivered = self._delivered_request_ids(client)
+            for request_id in issued - delivered:
+                violations.append(PropertyViolation(
+                    "T.1", f"client {client} issued {request_id} but never delivered a result"))
+        return violations
+
+    def _check_t2(self) -> list[PropertyViolation]:
+        violations = []
+        for db in self.db_server_names:
+            voted = {self._key_of(e) for e in self.trace.select("db_vote", db, vote=VOTE_YES)}
+            decided = {self._key_of(e) for e in self.trace.select("db_decide", db)}
+            for key in voted - decided:
+                violations.append(PropertyViolation(
+                    "T.2", f"database {db} voted yes for result {key} but never decided it"))
+        return violations
+
+    # --------------------------------------------------------------- agreement
+
+    def _check_a1(self) -> list[PropertyViolation]:
+        violations = []
+        for client in self.client_names:
+            for delivery in self.trace.select("client_deliver", client):
+                key = (client, delivery.get("j"))
+                for db in self.db_server_names:
+                    committed = [e for e in self._commits_by_db(db)
+                                 if self._key_of(e) == key]
+                    if not committed:
+                        violations.append(PropertyViolation(
+                            "A.1",
+                            f"client {client} delivered result {key} but database {db} "
+                            f"did not commit it"))
+        return violations
+
+    def _check_a2(self) -> list[PropertyViolation]:
+        violations = []
+        for db in self.db_server_names:
+            committed_by_request: dict[str, set] = {}
+            for event in self._commits_by_db(db):
+                key = self._key_of(event)
+                request_id = self._result_request(key)
+                if request_id is None:
+                    continue
+                committed_by_request.setdefault(request_id, set()).add(key)
+            for request_id, keys in committed_by_request.items():
+                if len(keys) > 1:
+                    violations.append(PropertyViolation(
+                        "A.2",
+                        f"database {db} committed {len(keys)} different results "
+                        f"{sorted(keys)} for request {request_id}"))
+        return violations
+
+    def _check_a3(self) -> list[PropertyViolation]:
+        violations = []
+        outcomes: dict[tuple, dict[str, set]] = {}
+        for db in self.db_server_names:
+            for event in self.trace.select("db_decide", db):
+                key = self._key_of(event)
+                outcomes.setdefault(key, {}).setdefault(db, set()).add(event.get("outcome"))
+        for key, per_db in outcomes.items():
+            final_outcomes = set()
+            for db, values in per_db.items():
+                # A database may first refuse a commit (abort) and later apply a
+                # commit only if it voted yes; what matters is that no two
+                # databases *finally* disagree: a commit anywhere must not
+                # coexist with an abort-only database that voted yes.
+                final_outcomes.add(COMMIT if COMMIT in values else ABORT)
+            if final_outcomes == {COMMIT, ABORT}:
+                committed_dbs = [db for db, v in per_db.items() if COMMIT in v]
+                aborted_only = [db for db, v in per_db.items() if COMMIT not in v]
+                yes_aborted = [db for db in aborted_only
+                               if self.trace.count("db_vote", db, j=key, vote=VOTE_YES) > 0]
+                if yes_aborted:
+                    violations.append(PropertyViolation(
+                        "A.3",
+                        f"result {key}: committed at {committed_dbs} but aborted at "
+                        f"{yes_aborted} which had voted yes"))
+        return violations
+
+    # ----------------------------------------------------------------- validity
+
+    def _check_v1(self) -> list[PropertyViolation]:
+        violations = []
+        for client in self.client_names:
+            issued = {e.get("request_id") for e in self.trace.select("client_issue", client)}
+            computed = {e.get("request_id") for e in self.trace.select("as_compute")}
+            for delivery in self.trace.select("client_deliver", client):
+                result_request = delivery.get("result_request_id")
+                if result_request not in computed:
+                    violations.append(PropertyViolation(
+                        "V.1",
+                        f"client {client} delivered a result for {result_request} that no "
+                        f"application server computed"))
+                if result_request not in issued:
+                    violations.append(PropertyViolation(
+                        "V.1",
+                        f"client {client} delivered a result for {result_request} that it "
+                        f"never issued"))
+        return violations
+
+    def _check_v2(self) -> list[PropertyViolation]:
+        violations = []
+        for db in self.db_server_names:
+            for event in self._commits_by_db(db):
+                key = self._key_of(event)
+                for other in self.db_server_names:
+                    yes_votes = [e for e in self.trace.select("db_vote", other, vote=VOTE_YES)
+                                 if self._key_of(e) == key]
+                    if not yes_votes:
+                        violations.append(PropertyViolation(
+                            "V.2",
+                            f"database {db} committed result {key} but database {other} "
+                            f"never voted yes for it"))
+        return violations
+
+    # ----------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _key_of(event) -> tuple:
+        key = event.get("j")
+        return tuple(key) if isinstance(key, (list, tuple)) else (None, key)

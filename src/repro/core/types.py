@@ -1,0 +1,83 @@
+"""Domain types of the e-Transaction protocol.
+
+The paper's model (Section 2) uses a ``Request`` domain (what the client
+issues), a ``Result`` domain (what the business logic computes and the client
+eventually delivers), ``Vote = {yes, no}`` and ``Outcome = {commit, abort}``,
+plus the pair ``Decision = (result, outcome)`` stored in the ``regD``
+wo-registers.  Result identifiers ``j`` number the (possibly aborted)
+intermediate results of one client; we scope them by client name so several
+clients can share a deployment (the paper's single-client presentation is the
+special case of one client).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+COMMIT = "commit"
+ABORT = "abort"
+
+VOTE_YES = "yes"
+VOTE_NO = "no"
+
+_request_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request (e.g. one travel booking or one account payment).
+
+    ``operation`` and ``params`` are interpreted by the workload's business
+    logic; the protocol never looks inside them.
+    """
+
+    operation: str
+    params: dict[str, Any] = field(default_factory=dict)
+    request_id: str = field(default_factory=lambda: f"req-{next(_request_counter)}")
+
+    def describe(self) -> str:
+        """Short human-readable form used in traces and reports."""
+        return f"{self.operation}({self.request_id})"
+
+
+@dataclass(frozen=True)
+class Result:
+    """A result computed by an application server for one request.
+
+    ``value`` is the business payload (reservation number, new balance, ...);
+    user-level aborts are regular values here, as in the paper's model.
+    """
+
+    value: Any
+    request_id: str
+    computed_by: str
+
+    def __repr__(self) -> str:
+        return f"Result({self.value!r}, request={self.request_id}, by={self.computed_by})"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The pair (result, outcome) stored in ``regD`` and returned to the client."""
+
+    result: Optional[Result]
+    outcome: str
+
+    def __post_init__(self) -> None:
+        if self.outcome not in (COMMIT, ABORT):
+            raise ValueError(f"invalid outcome {self.outcome!r}")
+
+    @property
+    def committed(self) -> bool:
+        """Whether this decision commits its result."""
+        return self.outcome == COMMIT
+
+
+ABORT_DECISION = Decision(result=None, outcome=ABORT)
+"""The decision written by the cleaning thread (the paper's ``(nil, abort)``)."""
+
+
+ResultKey = tuple[str, int]
+"""Identifier of one intermediate result: ``(client name, j)``."""

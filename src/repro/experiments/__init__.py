@@ -1,0 +1,25 @@
+"""Reproduction harnesses: one module per paper figure/table plus ablations.
+
+* :mod:`repro.experiments.figure8` -- E1/E4: the latency table and the
+  "cost of reliability" row.
+* :mod:`repro.experiments.figure7` -- E2: communication steps of the four
+  protocols in failure-free runs.
+* :mod:`repro.experiments.figure1` -- E3: the four executions of the
+  e-Transaction protocol (commit, abort, fail-over with commit/abort).
+* :mod:`repro.experiments.ablations` -- E5/E7/E8: asynchrony of the
+  replication scheme, forced-log cost sweep, replication-degree scaling.
+* :mod:`repro.experiments.fault_sweep` -- E6: correctness under random faults.
+* :mod:`repro.experiments.calibration` -- the paper's measured numbers and the
+  calibrated deployment builders shared by all of the above.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    calibration,
+    fault_sweep,
+    figure1,
+    figure7,
+    figure8,
+)
+
+__all__ = ["calibration", "figure1", "figure7", "figure8", "ablations", "fault_sweep"]

@@ -1,0 +1,115 @@
+"""Calibration data: the paper's measured numbers and our standard configurations.
+
+``PAPER_FIGURE8`` is the table of Appendix 3 (Figure 8) verbatim, in
+milliseconds.  The deployment helpers below build the three protocol stacks
+with identical database timing and network topology so that the *only*
+differences between the measured columns are the protocols themselves --
+exactly the paper's methodology (same SQL work, same machines, same network).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.baselines.baseline import BaselineDeployment
+from repro.baselines.common import BaselineConfig
+from repro.baselines.primary_backup import PrimaryBackupDeployment
+from repro.baselines.twopc import TwoPCDeployment
+from repro.core.deployment import DeploymentConfig, EtxDeployment
+from repro.core.timing import DatabaseTiming, ProtocolTiming
+from repro.core.types import Request
+from repro.workload.bank import BankWorkload
+
+PAPER_FIGURE8: dict[str, dict[str, float]] = {
+    "baseline": {"start": 3.4, "end": 3.4, "commit": 18.6, "prepare": 0.0, "SQL": 187.0,
+                 "log-start": 0.0, "log-outcome": 0.0, "other": 5.0, "total": 217.4},
+    "AR": {"start": 3.5, "end": 3.5, "commit": 18.8, "prepare": 19.0, "SQL": 193.2,
+           "log-start": 4.5, "log-outcome": 4.7, "other": 5.1, "total": 252.3},
+    "2PC": {"start": 3.5, "end": 3.4, "commit": 17.5, "prepare": 21.2, "SQL": 190.6,
+            "log-start": 12.5, "log-outcome": 12.7, "other": 5.1, "total": 266.5},
+}
+"""Figure 8 of the paper, milliseconds, HP C180 + Orbix 2.3 + Oracle 8.0.3."""
+
+PAPER_OVERHEAD = {"baseline": 0.0, "AR": 0.16, "2PC": 0.23}
+"""The paper's headline 'cost of reliability' percentages."""
+
+
+def paper_database_timing() -> DatabaseTiming:
+    """Database timing calibrated to the paper's baseline column."""
+    return DatabaseTiming(start=3.4, sql=187.0, end=3.4, prepare_cpu=6.5,
+                          commit_cpu=6.1, abort_cpu=1.0, forced_write=12.5)
+
+
+def default_workload() -> BankWorkload:
+    """The measured workload: update a bank account on a single database."""
+    return BankWorkload(num_accounts=4, initial_balance=100_000)
+
+
+def standard_request(workload: Optional[BankWorkload] = None) -> Request:
+    """The repeated transaction of the measurement: a small debit."""
+    workload = workload or default_workload()
+    return workload.debit(0, 10)
+
+
+def build_ar_deployment(seed: int = 0, num_app_servers: int = 3, num_db_servers: int = 1,
+                        workload: Optional[BankWorkload] = None,
+                        db_timing: Optional[DatabaseTiming] = None,
+                        register_mode: str = "consensus",
+                        protocol_timing: Optional[ProtocolTiming] = None) -> EtxDeployment:
+    """The asynchronous-replication (e-Transaction) stack, paper-calibrated."""
+    workload = workload or default_workload()
+    config = DeploymentConfig(
+        num_app_servers=num_app_servers,
+        num_db_servers=num_db_servers,
+        register_mode=register_mode,
+        seed=seed,
+        db_timing=db_timing or paper_database_timing(),
+        protocol_timing=protocol_timing or ProtocolTiming(),
+        business_logic=workload.business_logic,
+        initial_data=workload.initial_data(),
+    )
+    return EtxDeployment(config)
+
+
+def _baseline_config(seed: int, num_app_servers: int, num_db_servers: int,
+                     workload: BankWorkload, db_timing: Optional[DatabaseTiming],
+                     coordinator_log_latency: float = 12.5) -> BaselineConfig:
+    return BaselineConfig(
+        num_app_servers=num_app_servers,
+        num_db_servers=num_db_servers,
+        seed=seed,
+        db_timing=db_timing or paper_database_timing(),
+        coordinator_log_latency=coordinator_log_latency,
+        business_logic=workload.business_logic,
+        initial_data=workload.initial_data(),
+    )
+
+
+def build_baseline_deployment(seed: int = 0, num_db_servers: int = 1,
+                              workload: Optional[BankWorkload] = None,
+                              db_timing: Optional[DatabaseTiming] = None) -> BaselineDeployment:
+    """The unreliable baseline stack (Figure 7a)."""
+    workload = workload or default_workload()
+    return BaselineDeployment(_baseline_config(seed, 1, num_db_servers, workload, db_timing))
+
+
+def build_twopc_deployment(seed: int = 0, num_db_servers: int = 1,
+                           workload: Optional[BankWorkload] = None,
+                           db_timing: Optional[DatabaseTiming] = None,
+                           log_latency: float = 12.5) -> TwoPCDeployment:
+    """The presumed-nothing 2PC stack (Figure 7b)."""
+    workload = workload or default_workload()
+    return TwoPCDeployment(_baseline_config(seed, 1, num_db_servers, workload, db_timing,
+                                            coordinator_log_latency=log_latency))
+
+
+def build_primary_backup_deployment(seed: int = 0, num_db_servers: int = 1,
+                                    workload: Optional[BankWorkload] = None,
+                                    db_timing: Optional[DatabaseTiming] = None,
+                                    failure_detector_override: Any = None
+                                    ) -> PrimaryBackupDeployment:
+    """The primary-backup stack (Figure 7c)."""
+    workload = workload or default_workload()
+    config = _baseline_config(seed, 2, num_db_servers, workload, db_timing)
+    return PrimaryBackupDeployment(config,
+                                   failure_detector_override=failure_detector_override)

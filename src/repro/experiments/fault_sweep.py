@@ -1,0 +1,85 @@
+"""Experiment E6 -- correctness under randomised failures.
+
+Section 5 argues that the termination-related assumptions are only needed for
+liveness: violating them can block the protocol but never violates agreement
+or validity.  The fault sweep quantifies that claim operationally: it runs
+many randomly generated fault schedules (respecting the stated assumptions)
+and reports how many runs delivered, how many aborted intermediate results
+were needed, and whether any run violated any property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.deployment import DeploymentConfig, EtxDeployment
+from repro.experiments import calibration
+from repro.failure.injection import RandomFaultPlan
+
+
+@dataclass
+class FaultSweepResult:
+    """Aggregate outcome of the random fault sweep."""
+
+    runs: int = 0
+    delivered: int = 0
+    total_aborted_results: int = 0
+    violations: list[str] = field(default_factory=list)
+    client_crash_runs: int = 0
+
+    @property
+    def all_safe(self) -> bool:
+        """No property violations anywhere in the sweep."""
+        return not self.violations
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of runs (with a live client) that delivered a result."""
+        live_runs = self.runs - self.client_crash_runs
+        return self.delivered / live_runs if live_runs else 1.0
+
+    def summary(self) -> str:
+        """One-paragraph summary."""
+        return (f"{self.runs} runs, {self.delivered} delivered, "
+                f"{self.total_aborted_results} aborted intermediate results, "
+                f"{len(self.violations)} property violations")
+
+
+def run(num_runs: int = 20, seed: int = 0, num_db_servers: int = 1,
+        allow_client_crash: bool = False, horizon: float = 300_000.0) -> FaultSweepResult:
+    """Run ``num_runs`` randomly faulted executions and check every property."""
+    workload = calibration.default_workload()
+    result = FaultSweepResult()
+    for index in range(num_runs):
+        run_seed = seed * 10_000 + index
+        config = DeploymentConfig(
+            num_app_servers=3,
+            num_db_servers=num_db_servers,
+            seed=run_seed,
+            detection_delay=10.0,
+            db_timing=calibration.paper_database_timing(),
+            business_logic=workload.business_logic,
+            initial_data=workload.initial_data(),
+        )
+        deployment = EtxDeployment(config)
+        plan = RandomFaultPlan(
+            app_servers=config.app_server_names,
+            db_servers=config.db_server_names,
+            client="c1" if allow_client_crash else None,
+            horizon=1_500.0,
+            client_crash_probability=0.4 if allow_client_crash else 0.0,
+        )
+        deployment.apply_faults(plan.generate(run_seed))
+        issued = deployment.issue(workload.debit(0, 10))
+        deployment.sim.run_until(lambda: issued.delivered, until=horizon)
+        deployment.run(until=deployment.sim.now + 20_000.0)
+        client_crashed = deployment.trace.count("crash", "c1") > 0
+        report = deployment.check_spec(check_termination=not client_crashed)
+        result.runs += 1
+        result.client_crash_runs += int(client_crashed)
+        result.delivered += int(issued.delivered)
+        result.total_aborted_results += len(issued.aborted_results)
+        if not report.ok:
+            result.violations.extend(
+                f"seed={run_seed}: {violation}" for violation in report.violations)
+    return result

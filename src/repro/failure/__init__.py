@@ -1,0 +1,35 @@
+"""Failure detection and fault injection."""
+
+from repro.failure.detectors import (
+    EventuallyPerfectFailureDetector,
+    FailureDetector,
+    HeartbeatFailureDetector,
+    PerfectFailureDetector,
+)
+from repro.failure.injection import (
+    CRASH,
+    CRASH_FOR,
+    FALSE_SUSPICION,
+    HEAL,
+    PARTITION,
+    RECOVER,
+    FaultAction,
+    FaultSchedule,
+    RandomFaultPlan,
+)
+
+__all__ = [
+    "FailureDetector",
+    "PerfectFailureDetector",
+    "EventuallyPerfectFailureDetector",
+    "HeartbeatFailureDetector",
+    "FaultAction",
+    "FaultSchedule",
+    "RandomFaultPlan",
+    "CRASH",
+    "RECOVER",
+    "CRASH_FOR",
+    "PARTITION",
+    "HEAL",
+    "FALSE_SUSPICION",
+]

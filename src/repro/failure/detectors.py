@@ -1,0 +1,223 @@
+"""Failure detectors.
+
+The paper uses three distinct failure-detection schemes (Section 5):
+
+1. Among application servers, an *eventually perfect* failure detector in the
+   sense of Chandra and Toueg: completeness (a crashed server is eventually
+   suspected by every server) and eventual accuracy (there is a time after
+   which no correct server is suspected).  Suspicions may be wrong for a
+   while without breaking safety.
+2. Application servers learn about database crashes/recoveries through broken
+   connections and the ``Ready`` notification the database sends when it comes
+   back up -- this is part of the database protocol itself, not of this module.
+3. Clients use plain time-outs to decide when to re-send a request to all
+   application servers -- implemented inside the client protocol.
+
+This module provides scheme (1) in two flavours:
+
+* :class:`EventuallyPerfectFailureDetector` -- an *oracle* detector that reads
+  the ground-truth ``up`` flag of processes.  It suspects a crashed process
+  only after a configurable detection delay and can be told to emit transient
+  *false suspicions*, which is how the experiments exercise the "unreliable
+  failure detection" behaviour of the protocol.
+* :class:`HeartbeatFailureDetector` -- a genuine message-based implementation:
+  monitored processes periodically send heartbeats; an observer suspects a
+  peer whose heartbeat is overdue and increases that peer's time-out whenever
+  a suspicion turns out to be false (the classic adaptive ◇P construction).
+
+:class:`PerfectFailureDetector` (immediate, never wrong) is used by the
+primary-backup baseline, which -- as the paper notes -- *requires* perfect
+failure detection for correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.net.message import Message, is_type
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class FailureDetector:
+    """Interface: ``suspect(observer, target)`` as in the paper's predicate."""
+
+    def suspect(self, observer: str, target: str) -> bool:
+        """Whether ``observer`` currently suspects ``target`` to have crashed."""
+        raise NotImplementedError
+
+    def suspected_by(self, observer: str, candidates: Iterable[str]) -> list[str]:
+        """Subset of ``candidates`` currently suspected by ``observer``."""
+        return [name for name in candidates if self.suspect(observer, name)]
+
+
+class PerfectFailureDetector(FailureDetector):
+    """Oracle detector: suspects exactly the processes that are down right now."""
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def suspect(self, observer: str, target: str) -> bool:
+        process = self.network.processes.get(target)
+        return process is None or not process.up
+
+
+class EventuallyPerfectFailureDetector(FailureDetector):
+    """Oracle-based eventually-perfect (◇P) detector with injectable mistakes.
+
+    Completeness: a crashed process is suspected ``detection_delay`` after the
+    crash.  Accuracy: an up process is only suspected during explicitly
+    injected false-suspicion windows, which are finite, so there is a time
+    after which no correct process is suspected.
+    """
+
+    def __init__(self, network: Network, detection_delay: float = 5.0):
+        if detection_delay < 0:
+            raise ValueError("detection_delay must be non-negative")
+        self.network = network
+        self.sim = network.sim
+        self.detection_delay = detection_delay
+        self._crash_times: dict[str, float] = {}
+        self._recover_times: dict[str, float] = {}
+        # (observer, target) -> list of (start, end) false-suspicion windows
+        self._false_windows: dict[tuple[str, str], list[tuple[str, float, float]]] = {}
+        self._hook_processes()
+
+    def _hook_processes(self) -> None:
+        for process in self.network.processes.values():
+            self._instrument(process)
+
+    def _instrument(self, process: Process) -> None:
+        detector = self
+        original_crash = process.crash
+        original_recover = process.recover
+
+        def crash_hook() -> None:
+            was_up = process.up
+            original_crash()
+            if was_up:
+                detector._crash_times[process.name] = detector.sim.now
+
+        def recover_hook() -> None:
+            was_down = not process.up
+            original_recover()
+            if was_down:
+                detector._recover_times[process.name] = detector.sim.now
+
+        process.crash = crash_hook  # type: ignore[method-assign]
+        process.recover = recover_hook  # type: ignore[method-assign]
+
+    def register_process(self, process: Process) -> None:
+        """Instrument a process registered after the detector was created."""
+        self._instrument(process)
+
+    def inject_false_suspicion(self, observer: str, target: str, start: float,
+                               duration: float) -> None:
+        """Make ``observer`` wrongly suspect ``target`` during ``[start, start+duration)``."""
+        key = (observer, target)
+        self._false_windows.setdefault(key, []).append((target, start, start + duration))
+
+    def suspect(self, observer: str, target: str) -> bool:
+        now = self.sim.now
+        process = self.network.processes.get(target)
+        if process is None:
+            return True
+        if not process.up:
+            crash_time = self._crash_times.get(target, 0.0)
+            return now >= crash_time + self.detection_delay
+        for _, start, end in self._false_windows.get((observer, target), []):
+            if start <= now < end:
+                return True
+        return False
+
+
+class HeartbeatFailureDetector(FailureDetector):
+    """Message-based adaptive ◇P detector.
+
+    Every monitored process runs a heartbeat thread broadcasting ``Heartbeat``
+    messages every ``heartbeat_interval``; every observer runs a monitor thread
+    that suspects a peer whose last heartbeat is older than that peer's current
+    time-out and raises the time-out by ``timeout_increment`` when a suspicion
+    is contradicted by a later heartbeat (eventual accuracy under bounded but
+    unknown message delay).
+    """
+
+    HEARTBEAT = "Heartbeat"
+
+    def __init__(self, network: Network, members: Iterable[str],
+                 heartbeat_interval: float = 5.0, initial_timeout: float = 15.0,
+                 timeout_increment: float = 5.0, check_interval: Optional[float] = None):
+        if heartbeat_interval <= 0 or initial_timeout <= 0:
+            raise ValueError("intervals must be positive")
+        self.network = network
+        self.sim = network.sim
+        self.members = list(members)
+        self.heartbeat_interval = heartbeat_interval
+        self.initial_timeout = initial_timeout
+        self.timeout_increment = timeout_increment
+        self.check_interval = check_interval if check_interval is not None else heartbeat_interval
+        # observer -> target -> last heartbeat time
+        self._last_heard: dict[str, dict[str, float]] = {}
+        # observer -> target -> current timeout
+        self._timeouts: dict[str, dict[str, float]] = {}
+        # observer -> set of currently suspected targets
+        self._suspected: dict[str, set[str]] = {}
+        for name in self.members:
+            self._last_heard[name] = {peer: 0.0 for peer in self.members if peer != name}
+            self._timeouts[name] = {peer: initial_timeout for peer in self.members if peer != name}
+            self._suspected[name] = set()
+        self._install_threads()
+
+    # ------------------------------------------------------------------ setup
+
+    def _install_threads(self) -> None:
+        for name in self.members:
+            process = self.network.processes[name]
+            process.spawn(self._heartbeat_thread(process), name="fd-heartbeat")
+            process.spawn(self._monitor_thread(process), name="fd-monitor")
+            process.spawn(self._listen_thread(process), name="fd-listen")
+
+    def reinstall(self, name: str) -> None:
+        """Re-spawn detector threads after ``name`` recovers from a crash."""
+        process = self.network.processes[name]
+        process.spawn(self._heartbeat_thread(process), name="fd-heartbeat")
+        process.spawn(self._monitor_thread(process), name="fd-monitor")
+        process.spawn(self._listen_thread(process), name="fd-listen")
+
+    # ---------------------------------------------------------------- threads
+
+    def _heartbeat_thread(self, process: Process):
+        peers = [peer for peer in self.members if peer != process.name]
+        while True:
+            for peer in peers:
+                process.send(peer, Message(self.HEARTBEAT, payload={"origin": process.name}))
+            yield process.sleep(self.heartbeat_interval)
+
+    def _listen_thread(self, process: Process):
+        while True:
+            message = yield process.receive(is_type(self.HEARTBEAT))
+            origin = message.payload["origin"]
+            self._last_heard[process.name][origin] = self.sim.now
+            if origin in self._suspected[process.name]:
+                # False suspicion detected: trust again and adapt the timeout.
+                self._suspected[process.name].discard(origin)
+                self._timeouts[process.name][origin] += self.timeout_increment
+                self.sim.trace.record("fd_trust", process.name, target=origin,
+                                      new_timeout=self._timeouts[process.name][origin])
+
+    def _monitor_thread(self, process: Process):
+        while True:
+            yield process.sleep(self.check_interval)
+            observer = process.name
+            for peer, last in self._last_heard[observer].items():
+                timeout = self._timeouts[observer][peer]
+                overdue = self.sim.now - last > timeout
+                if overdue and peer not in self._suspected[observer]:
+                    self._suspected[observer].add(peer)
+                    self.sim.trace.record("fd_suspect", observer, target=peer)
+
+    # ------------------------------------------------------------------ query
+
+    def suspect(self, observer: str, target: str) -> bool:
+        return target in self._suspected.get(observer, set())

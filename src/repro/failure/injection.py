@@ -1,0 +1,204 @@
+"""Fault injection: declarative schedules and randomised generators.
+
+A :class:`FaultSchedule` is a list of timed :class:`FaultAction` objects
+(crash, recover, crash-for-a-while, partition, heal, false suspicion) that is
+applied to a deployment before a run.  The experiment harnesses use explicit
+schedules to reproduce the four executions of the paper's Figure 1, and the
+property-based tests use :class:`RandomFaultPlan` to generate schedules that
+respect the paper's correctness assumptions (a majority of application servers
+stay up, database servers always recover).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.failure.detectors import EventuallyPerfectFailureDetector
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+
+CRASH = "crash"
+RECOVER = "recover"
+CRASH_FOR = "crash_for"
+PARTITION = "partition"
+HEAL = "heal"
+FALSE_SUSPICION = "false_suspicion"
+
+_VALID_KINDS = {CRASH, RECOVER, CRASH_FOR, PARTITION, HEAL, FALSE_SUSPICION}
+
+
+@dataclass
+class FaultAction:
+    """One scheduled fault.
+
+    ``kind`` is one of the module-level constants.  ``target`` is the process
+    name (or, for partitions, unused).  ``params`` carries kind-specific data:
+    ``downtime`` for :data:`CRASH_FOR`, ``groups`` for :data:`PARTITION`,
+    ``observer``/``duration`` for :data:`FALSE_SUSPICION`.
+    """
+
+    time: float
+    kind: str
+    target: str = ""
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+
+
+class FaultSchedule:
+    """An ordered collection of :class:`FaultAction` applied to a run."""
+
+    def __init__(self, actions: Optional[Sequence[FaultAction]] = None):
+        self.actions: list[FaultAction] = list(actions or [])
+
+    # ------------------------------------------------------------ construction
+
+    def crash(self, time: float, target: str) -> "FaultSchedule":
+        """Crash ``target`` at ``time`` (no automatic recovery)."""
+        self.actions.append(FaultAction(time, CRASH, target))
+        return self
+
+    def recover(self, time: float, target: str) -> "FaultSchedule":
+        """Recover ``target`` at ``time``."""
+        self.actions.append(FaultAction(time, RECOVER, target))
+        return self
+
+    def crash_for(self, time: float, target: str, downtime: float) -> "FaultSchedule":
+        """Crash ``target`` at ``time`` and recover it ``downtime`` later."""
+        self.actions.append(FaultAction(time, CRASH_FOR, target, {"downtime": downtime}))
+        return self
+
+    def partition(self, time: float, *groups: Sequence[str]) -> "FaultSchedule":
+        """Partition the network into ``groups`` at ``time``."""
+        self.actions.append(FaultAction(time, PARTITION, params={"groups": [list(g) for g in groups]}))
+        return self
+
+    def heal(self, time: float) -> "FaultSchedule":
+        """Heal any partition at ``time``."""
+        self.actions.append(FaultAction(time, HEAL))
+        return self
+
+    def false_suspicion(self, time: float, observer: str, target: str,
+                        duration: float) -> "FaultSchedule":
+        """Make ``observer`` falsely suspect ``target`` for ``duration`` starting at ``time``."""
+        self.actions.append(FaultAction(time, FALSE_SUSPICION, target,
+                                        {"observer": observer, "duration": duration}))
+        return self
+
+    def extend(self, other: "FaultSchedule") -> "FaultSchedule":
+        """Append all actions of ``other``."""
+        self.actions.extend(other.actions)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self):
+        return iter(sorted(self.actions, key=lambda a: a.time))
+
+    # ----------------------------------------------------------------- apply
+
+    def apply(self, sim: Simulator, network: Network,
+              failure_detector: Optional[EventuallyPerfectFailureDetector] = None) -> None:
+        """Schedule every action on ``sim`` against ``network``'s processes."""
+        for action in self:
+            self._apply_one(action, sim, network, failure_detector)
+
+    def _apply_one(self, action: FaultAction, sim: Simulator, network: Network,
+                   fd: Optional[EventuallyPerfectFailureDetector]) -> None:
+        if action.kind == CRASH:
+            target = network.processes[action.target]
+            sim.schedule_at(action.time, target.crash, name=f"fault:crash:{action.target}")
+        elif action.kind == RECOVER:
+            target = network.processes[action.target]
+            sim.schedule_at(action.time, target.recover, name=f"fault:recover:{action.target}")
+        elif action.kind == CRASH_FOR:
+            target = network.processes[action.target]
+            downtime = action.params["downtime"]
+            sim.schedule_at(action.time, lambda t=target, d=downtime: t.crash_for(d),
+                            name=f"fault:crash_for:{action.target}")
+        elif action.kind == PARTITION:
+            groups = action.params["groups"]
+            sim.schedule_at(action.time, lambda g=groups: network.partition(*g),
+                            name="fault:partition")
+        elif action.kind == HEAL:
+            sim.schedule_at(action.time, network.heal_partition, name="fault:heal")
+        elif action.kind == FALSE_SUSPICION:
+            if fd is None:
+                raise ValueError("false_suspicion requires an EventuallyPerfectFailureDetector")
+            fd.inject_false_suspicion(action.params["observer"], action.target,
+                                      action.time, action.params["duration"])
+
+    def describe(self) -> list[str]:
+        """Human-readable description of the schedule (for reports)."""
+        lines = []
+        for action in self:
+            if action.kind == CRASH_FOR:
+                lines.append(f"t={action.time:g}: crash {action.target} "
+                             f"for {action.params['downtime']:g}")
+            elif action.kind == FALSE_SUSPICION:
+                lines.append(f"t={action.time:g}: {action.params['observer']} falsely suspects "
+                             f"{action.target} for {action.params['duration']:g}")
+            elif action.kind == PARTITION:
+                lines.append(f"t={action.time:g}: partition {action.params['groups']}")
+            else:
+                lines.append(f"t={action.time:g}: {action.kind} {action.target}".rstrip())
+        return lines
+
+
+@dataclass
+class RandomFaultPlan:
+    """Parameters for generating random, assumption-respecting fault schedules.
+
+    The generated schedules keep the paper's correctness assumptions:
+
+    * at most a minority of application servers is ever crashed (and crashed
+      application servers stay down -- the paper's crash-stop model for the
+      middle tier),
+    * database servers may crash at any time but always recover within
+      ``db_downtime_max`` ("all database servers are good"),
+    * the client may optionally crash (the spec then only requires at-most-once).
+    """
+
+    app_servers: Sequence[str]
+    db_servers: Sequence[str]
+    client: Optional[str] = None
+    horizon: float = 2_000.0
+    max_app_crashes: Optional[int] = None
+    db_crash_probability: float = 0.5
+    db_downtime_min: float = 20.0
+    db_downtime_max: float = 150.0
+    client_crash_probability: float = 0.0
+    false_suspicion_probability: float = 0.3
+    false_suspicion_duration: float = 40.0
+
+    def generate(self, seed: int) -> FaultSchedule:
+        """Build a deterministic random schedule for ``seed``."""
+        rng = random.Random(seed)
+        schedule = FaultSchedule()
+        majority_bound = (len(self.app_servers) - 1) // 2
+        budget = self.max_app_crashes if self.max_app_crashes is not None else majority_bound
+        budget = min(budget, majority_bound)
+        crashable = list(self.app_servers)
+        rng.shuffle(crashable)
+        for name in crashable[:budget]:
+            if rng.random() < 0.7:
+                schedule.crash(rng.uniform(0.0, self.horizon * 0.6), name)
+        for name in self.db_servers:
+            if rng.random() < self.db_crash_probability:
+                start = rng.uniform(0.0, self.horizon * 0.5)
+                downtime = rng.uniform(self.db_downtime_min, self.db_downtime_max)
+                schedule.crash_for(start, name, downtime)
+        if self.client is not None and rng.random() < self.client_crash_probability:
+            schedule.crash(rng.uniform(0.0, self.horizon * 0.5), self.client)
+        if len(self.app_servers) >= 2 and rng.random() < self.false_suspicion_probability:
+            observer, target = rng.sample(list(self.app_servers), 2)
+            schedule.false_suspicion(rng.uniform(0.0, self.horizon * 0.4), observer, target,
+                                     self.false_suspicion_duration)
+        return schedule

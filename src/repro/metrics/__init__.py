@@ -1,0 +1,27 @@
+"""Measurement: latency-component accounting and communication-step profiles."""
+
+from repro.metrics.latency import (
+    COMPONENT_ORDER,
+    LatencyBreakdown,
+    LatencyTable,
+    breakdown_from_run,
+)
+from repro.metrics.steps import (
+    PROTOCOL_MESSAGE_TYPES,
+    CommunicationProfile,
+    Step,
+    StepComparison,
+    profile_from_trace,
+)
+
+__all__ = [
+    "LatencyBreakdown",
+    "LatencyTable",
+    "breakdown_from_run",
+    "COMPONENT_ORDER",
+    "CommunicationProfile",
+    "Step",
+    "StepComparison",
+    "profile_from_trace",
+    "PROTOCOL_MESSAGE_TYPES",
+]

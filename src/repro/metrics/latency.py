@@ -1,0 +1,154 @@
+"""Latency-component accounting (the rows of the paper's Figure 8).
+
+The paper attributes the client-observed response time to the components
+``start``, ``end``, ``commit``, ``prepare``, ``SQL``, ``log-start``,
+``log-outcome`` and ``other``.  We do the same:
+
+* the database-phase components come from the run's
+  :class:`~repro.core.timing.DatabaseTiming` (they are what the database
+  actually slept for),
+* ``log-start``/``log-outcome`` come from the trace -- the measured duration
+  of the ``regA``/``regD`` register writes for the asynchronous-replication
+  protocol, the measured forced log writes for the 2PC coordinator, and zero
+  for the unreliable baseline,
+* ``other`` is whatever part of the measured client latency the named
+  components do not explain (client/server communication, scheduling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.timing import DatabaseTiming
+from repro.sim.tracing import TraceRecorder
+
+COMPONENT_ORDER = [
+    "start", "end", "commit", "prepare", "SQL", "log-start", "log-outcome", "other",
+]
+
+
+@dataclass
+class LatencyBreakdown:
+    """One protocol's latency split into the paper's components (milliseconds)."""
+
+    protocol: str
+    components: dict[str, float] = field(default_factory=dict)
+    total: float = 0.0
+    samples: int = 0
+
+    def component(self, name: str) -> float:
+        """Value of one component (0 if absent)."""
+        return self.components.get(name, 0.0)
+
+    def overhead_versus(self, baseline: "LatencyBreakdown") -> float:
+        """Relative latency overhead versus ``baseline`` (e.g. 0.16 for +16 %)."""
+        if baseline.total <= 0:
+            return 0.0
+        return (self.total - baseline.total) / baseline.total
+
+    def as_row(self) -> dict[str, float]:
+        """All components plus the total, in Figure 8 order."""
+        row = {name: round(self.component(name), 1) for name in COMPONENT_ORDER}
+        row["total"] = round(self.total, 1)
+        return row
+
+
+def breakdown_from_run(protocol: str, trace: TraceRecorder, timing: DatabaseTiming,
+                       mean_latency: float, samples: int,
+                       committed_requests: Optional[int] = None) -> LatencyBreakdown:
+    """Build a :class:`LatencyBreakdown` for one protocol run.
+
+    Parameters
+    ----------
+    protocol:
+        Label: ``"baseline"``, ``"AR"``, ``"2PC"`` or ``"PB"``.
+    trace:
+        The run's trace (used for the replication/log components).
+    timing:
+        The database timing configuration used by the run.
+    mean_latency:
+        Mean client-observed latency over the run's committed requests.
+    samples:
+        Number of committed requests measured.
+    committed_requests:
+        Denominator for per-request averaging of trace durations; defaults to
+        ``samples``.
+    """
+    denominator = committed_requests if committed_requests else max(samples, 1)
+    components = {
+        "start": timing.start,
+        "end": timing.end,
+        "commit": timing.commit_cpu + timing.forced_write,
+        "SQL": timing.sql,
+    }
+    prepare_events = trace.select("as_prepare")
+    components["prepare"] = (timing.prepare_cpu + timing.forced_write) if prepare_events else 0.0
+
+    reg_a = _mean_duration(trace, "as_phase", phase="regA_write")
+    reg_d = _mean_duration(trace, "as_phase", phase="regD_write")
+    log_start = _mean_duration(trace, "tm_log", which="start")
+    log_outcome = _mean_duration(trace, "tm_log", which="outcome")
+    components["log-start"] = reg_a if reg_a > 0 else log_start
+    components["log-outcome"] = reg_d if reg_d > 0 else log_outcome
+
+    named = sum(components.values())
+    components["other"] = max(mean_latency - named, 0.0)
+    return LatencyBreakdown(protocol=protocol, components=components,
+                            total=mean_latency, samples=denominator)
+
+
+def _mean_duration(trace: TraceRecorder, category: str, **filters) -> float:
+    events = trace.select(category, **filters)
+    durations = [e.get("duration", 0.0) for e in events]
+    return sum(durations) / len(durations) if durations else 0.0
+
+
+@dataclass
+class LatencyTable:
+    """A Figure 8 style table: one column per protocol."""
+
+    columns: list[LatencyBreakdown] = field(default_factory=list)
+    baseline_name: str = "baseline"
+
+    def add(self, breakdown: LatencyBreakdown) -> None:
+        """Add one protocol column."""
+        self.columns.append(breakdown)
+
+    def column(self, protocol: str) -> Optional[LatencyBreakdown]:
+        """Look up a column by protocol name."""
+        for breakdown in self.columns:
+            if breakdown.protocol == protocol:
+                return breakdown
+        return None
+
+    def overheads(self) -> dict[str, float]:
+        """Relative overhead of every column versus the baseline column."""
+        baseline = self.column(self.baseline_name)
+        if baseline is None:
+            return {}
+        return {b.protocol: b.overhead_versus(baseline) for b in self.columns}
+
+    def to_table(self) -> str:
+        """Fixed-width text rendering in the layout of the paper's Figure 8."""
+        protocols = [b.protocol for b in self.columns]
+        width = max(12, *(len(p) + 2 for p in protocols))
+        header = "protocol".ljust(14) + "".join(p.rjust(width) for p in protocols)
+        lines = [header]
+        for name in COMPONENT_ORDER:
+            row = name.ljust(14)
+            for breakdown in self.columns:
+                row += f"{breakdown.component(name):.1f}".rjust(width)
+            lines.append(row)
+        total_row = "total".ljust(14)
+        for breakdown in self.columns:
+            total_row += f"{breakdown.total:.1f}".rjust(width)
+        lines.append(total_row)
+        overhead_row = "cost of rel.".ljust(14)
+        overheads = self.overheads()
+        for breakdown in self.columns:
+            overhead = overheads.get(breakdown.protocol, 0.0)
+            overhead_row += f"+{overhead * 100:.0f}%".rjust(width) if overhead > 0 \
+                else "0%".rjust(width)
+        lines.append(overhead_row)
+        return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Message-passing network: latency models, loss, partitions, reliable channels."""
+
+from repro.net.latency import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    PerLinkLatency,
+    UniformLatency,
+)
+from repro.net.message import Message, any_of, from_senders, is_type, is_type_with
+from repro.net.network import Network, NetworkStats
+from repro.net.reliable import ReliableChannelLayer
+
+__all__ = [
+    "Message",
+    "is_type",
+    "is_type_with",
+    "any_of",
+    "from_senders",
+    "Network",
+    "NetworkStats",
+    "ReliableChannelLayer",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "PerLinkLatency",
+]

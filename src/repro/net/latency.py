@@ -1,0 +1,111 @@
+"""Link-latency models.
+
+The paper's testbed is a lightly-loaded 10 Mbit/s Ethernet where an Orbix RPC
+round trip takes 3-5 ms.  We model one-way link latency with pluggable
+distributions so experiments can use either the deterministic calibrated value
+(for exact reproduction of the latency table) or a randomised one (for fault
+and timing sweeps).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class LatencyModel:
+    """Base class: returns a one-way latency sample per message."""
+
+    def sample(self, rng: random.Random, source: str, destination: str) -> float:
+        """Latency (virtual-time units, milliseconds by convention) for one message."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected latency; used by analytic step-count estimates."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``value`` time units."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError("latency must be non-negative")
+        self.value = value
+
+    def sample(self, rng: random.Random, source: str, destination: str) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.value})"
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if low < 0 or high < low:
+            raise ValueError(f"invalid latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, source: str, destination: str) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Latency of ``base + Exp(mean=tail_mean)``; models occasional slow links."""
+
+    def __init__(self, base: float, tail_mean: float):
+        if base < 0 or tail_mean < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.base = base
+        self.tail_mean = tail_mean
+
+    def sample(self, rng: random.Random, source: str, destination: str) -> float:
+        tail = rng.expovariate(1.0 / self.tail_mean) if self.tail_mean > 0 else 0.0
+        return self.base + tail
+
+    def mean(self) -> float:
+        return self.base + self.tail_mean
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency(base={self.base}, tail_mean={self.tail_mean})"
+
+
+class PerLinkLatency(LatencyModel):
+    """Different latency models per (source, destination) pair with a default.
+
+    Used to model the three-tier topology where the client-to-server hop
+    crosses the Internet while server-to-server and server-to-database hops
+    stay inside the cluster.
+    """
+
+    def __init__(self, default: LatencyModel, overrides: Optional[dict[tuple[str, str], LatencyModel]] = None):
+        self.default = default
+        self.overrides: dict[tuple[str, str], LatencyModel] = dict(overrides or {})
+
+    def set_link(self, source: str, destination: str, model: LatencyModel) -> None:
+        """Override the latency model for one directed link."""
+        self.overrides[(source, destination)] = model
+
+    def _resolve(self, source: str, destination: str) -> LatencyModel:
+        return self.overrides.get((source, destination), self.default)
+
+    def sample(self, rng: random.Random, source: str, destination: str) -> float:
+        return self._resolve(source, destination).sample(rng, source, destination)
+
+    def mean(self) -> float:
+        return self.default.mean()
+
+    def __repr__(self) -> str:
+        return f"PerLinkLatency(default={self.default!r}, overrides={len(self.overrides)})"

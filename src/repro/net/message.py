@@ -1,0 +1,112 @@
+"""Message representation and matching helpers.
+
+All protocol traffic is carried by :class:`Message` objects.  A message has a
+``msg_type`` (the tag in the paper's pseudo-code, e.g. ``"Request"``,
+``"Prepare"``, ``"Vote"``, ``"Decide"``, ``"AckDecide"``, ``"Ready"``,
+``"Result"``), a ``sender``/``destination`` pair and a free-form payload
+dictionary.  Every message carries a globally unique ``msg_id`` so that
+duplicate suppression (the paper's channel *integrity* property) is possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A single protocol message.
+
+    Attributes
+    ----------
+    msg_type:
+        The message tag (``"Request"``, ``"Prepare"``, ...).
+    sender / destination:
+        Process names.
+    payload:
+        Message contents; keys are protocol specific (``request``, ``j``,
+        ``vote``, ``outcome``, ``decision``...).
+    msg_id:
+        Unique identifier assigned at construction time.
+    send_time:
+        Virtual time at which the network accepted the message (filled by the
+        network).
+    """
+
+    msg_type: str
+    sender: str = ""
+    destination: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    send_time: float = 0.0
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Shorthand for ``message.payload.get(key, default)``."""
+        return self.payload.get(key, default)
+
+    def copy(self) -> "Message":
+        """A fresh message (new ``msg_id``) with the same type and payload.
+
+        Used by multicast so each recipient gets its own message instance, as
+        the network mutates routing fields in place.
+        """
+        return Message(self.msg_type, payload=dict(self.payload))
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.msg_type!r}, {self.sender!r}->{self.destination!r}, "
+            f"{self.payload!r})"
+        )
+
+
+def is_type(*msg_types: str) -> Callable[[Any], bool]:
+    """Matcher accepting any message whose ``msg_type`` is in ``msg_types``."""
+    allowed = set(msg_types)
+
+    def matcher(message: Any) -> bool:
+        return isinstance(message, Message) and message.msg_type in allowed
+
+    return matcher
+
+
+def is_type_with(msg_type: str, **expected: Any) -> Callable[[Any], bool]:
+    """Matcher for a message type with specific payload values.
+
+    Example: ``is_type_with("Vote", j=3)`` matches vote messages for result 3.
+    """
+
+    def matcher(message: Any) -> bool:
+        if not isinstance(message, Message) or message.msg_type != msg_type:
+            return False
+        return all(message.payload.get(key) == value for key, value in expected.items())
+
+    return matcher
+
+
+def any_of(*matchers: Callable[[Any], bool]) -> Callable[[Any], bool]:
+    """Matcher accepting a message accepted by any of ``matchers``."""
+
+    def matcher(message: Any) -> bool:
+        return any(m(message) for m in matchers)
+
+    return matcher
+
+
+def from_senders(senders: Iterable[str],
+                 inner: Optional[Callable[[Any], bool]] = None) -> Callable[[Any], bool]:
+    """Matcher restricting ``inner`` (or any message) to a set of senders."""
+    allowed = set(senders)
+
+    def matcher(message: Any) -> bool:
+        if not isinstance(message, Message) or message.sender not in allowed:
+            return False
+        return True if inner is None else inner(message)
+
+    return matcher

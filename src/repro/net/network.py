@@ -1,0 +1,173 @@
+"""The message-passing fabric connecting all processes.
+
+The :class:`Network` registers processes, samples per-message latency from a
+:class:`~repro.net.latency.LatencyModel`, optionally drops messages (loss
+probability and partitions), and delivers messages by calling
+``Process.deliver``.  Every send, drop and delivery is recorded in the trace,
+which is what the communication-step metrics (Figures 1 and 7) consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import Message
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class NetworkStats:
+    """Aggregate traffic counters maintained by the network."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_partition = 0
+        self.dropped_dest_down = 0
+        self.by_type_sent: dict[str, int] = {}
+        self.by_type_delivered: dict[str, int] = {}
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict view of the counters (for reports and tests)."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_loss": self.dropped_loss,
+            "dropped_partition": self.dropped_partition,
+            "dropped_dest_down": self.dropped_dest_down,
+        }
+
+
+class Network:
+    """Point-to-point message network with latency, loss and partitions.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing virtual time and the trace recorder.
+    latency:
+        One-way latency model (defaults to a fixed 1.75 ms hop, half of the
+        paper's observed 3.5 ms RPC round trip).
+    loss_probability:
+        Independent probability of silently dropping each message.
+    """
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
+                 loss_probability: float = 0.0):
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        self.sim = sim
+        self.latency = latency if latency is not None else FixedLatency(1.75)
+        self.loss_probability = loss_probability
+        self.stats = NetworkStats()
+        self.processes: dict[str, Process] = {}
+        self._partition_groups: list[set[str]] = []
+        self._rng = sim.rng("network")
+        self.trace_messages = True
+
+    # ----------------------------------------------------------- registration
+
+    def register(self, process: Process) -> Process:
+        """Register ``process`` and attach this network as its transport."""
+        if process.name in self.processes:
+            raise ValueError(f"duplicate process name {process.name!r}")
+        self.processes[process.name] = process
+        process.attach_transport(self)
+        return process
+
+    def process(self, name: str) -> Process:
+        """Look up a registered process by name."""
+        return self.processes[name]
+
+    def names(self) -> list[str]:
+        """Names of all registered processes."""
+        return list(self.processes)
+
+    # -------------------------------------------------------------- partitions
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network into the given groups; cross-group messages drop.
+
+        Processes not named in any group form an implicit extra group.
+        """
+        named = [set(g) for g in groups]
+        rest = set(self.processes) - set().union(*named) if named else set()
+        if rest:
+            named.append(rest)
+        self._partition_groups = named
+        self.sim.trace.record("partition", "", groups=[sorted(g) for g in named])
+
+    def heal_partition(self) -> None:
+        """Remove any partition; all links work again."""
+        self._partition_groups = []
+        self.sim.trace.record("partition_heal", "")
+
+    def _partitioned(self, source: str, destination: str) -> bool:
+        if not self._partition_groups:
+            return False
+        for group in self._partition_groups:
+            if source in group:
+                return destination not in group
+        return False
+
+    # ---------------------------------------------------------------- sending
+
+    def send(self, source: str, destination: str, message: Message) -> None:
+        """Accept a message for delivery (called via ``Process.send``)."""
+        if destination not in self.processes:
+            raise KeyError(f"unknown destination process {destination!r}")
+        message.sender = source
+        message.destination = destination
+        message.send_time = self.sim.now
+        self.stats.sent += 1
+        self.stats.by_type_sent[message.msg_type] = (
+            self.stats.by_type_sent.get(message.msg_type, 0) + 1
+        )
+        if self.trace_messages:
+            self.sim.trace.record(
+                "msg_send", source,
+                msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
+                payload_keys=sorted(message.payload),
+            )
+        if self._partitioned(source, destination):
+            self.stats.dropped_partition += 1
+            if self.trace_messages:
+                self.sim.trace.record(
+                    "msg_drop", source, reason="partition",
+                    msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
+                )
+            return
+        if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+            self.stats.dropped_loss += 1
+            if self.trace_messages:
+                self.sim.trace.record(
+                    "msg_drop", source, reason="loss",
+                    msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
+                )
+            return
+        delay = self.latency.sample(self._rng, source, destination)
+        self.sim.schedule(delay, lambda: self._deliver(message, destination),
+                          name=f"deliver:{message.msg_type}->{destination}")
+
+    def _deliver(self, message: Message, destination_name: str) -> None:
+        destination = self.processes.get(destination_name)
+        if destination is None or not destination.up:
+            self.stats.dropped_dest_down += 1
+            if self.trace_messages:
+                self.sim.trace.record(
+                    "msg_drop", destination_name, reason="destination_down",
+                    msg_type=message.msg_type, msg_id=message.msg_id, sender=message.sender,
+                )
+            return
+        self.stats.delivered += 1
+        self.stats.by_type_delivered[message.msg_type] = (
+            self.stats.by_type_delivered.get(message.msg_type, 0) + 1
+        )
+        if self.trace_messages:
+            self.sim.trace.record(
+                "msg_deliver", destination_name,
+                msg_type=message.msg_type, sender=message.sender, msg_id=message.msg_id,
+            )
+        destination.deliver(message)

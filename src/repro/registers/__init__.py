@@ -1,0 +1,13 @@
+"""Write-once registers (consensus-backed and local reference implementations)."""
+
+from repro.registers.base import BOTTOM, WriteOnceRegisterArray
+from repro.registers.consensus_backed import ConsensusRegisterArray
+from repro.registers.local import LocalRegisterArray, LocalRegisterStore
+
+__all__ = [
+    "BOTTOM",
+    "WriteOnceRegisterArray",
+    "ConsensusRegisterArray",
+    "LocalRegisterArray",
+    "LocalRegisterStore",
+]

@@ -1,0 +1,47 @@
+"""Consensus-backed wo-register arrays (the paper's construction).
+
+Every application server holds a :class:`ConsensusRegisterArray` per logical
+register array (``regA``, ``regD``).  Writing cell ``j`` proposes the value in
+consensus instance ``(array_name, j)`` among the application servers; the
+decided value is the register's content.  Reading returns the locally learned
+decision or ⊥ -- with the guarantee (inherited from the ``decide`` broadcast
+and the optional :meth:`refresh` query) that once a value is written, repeated
+reads at a correct server eventually return it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.synod import ConsensusHost
+from repro.registers.base import BOTTOM, WriteOnceRegisterArray
+from repro.sim.waits import SimFuture
+
+
+class ConsensusRegisterArray(WriteOnceRegisterArray):
+    """A named array of wo-registers backed by a :class:`ConsensusHost`."""
+
+    def __init__(self, host: ConsensusHost, array_name: str):
+        self.host = host
+        self.array_name = array_name
+
+    def _instance(self, index: int):
+        return (self.array_name, index)
+
+    def write(self, index: int, value: Any) -> SimFuture:
+        return self.host.propose(self._instance(index), value)
+
+    def read(self, index: int) -> Any:
+        decision = self.host.decision(self._instance(index))
+        return BOTTOM if decision is None else decision
+
+    def refresh(self, index: int) -> None:
+        """Ask peers for a possibly missed decision (helps recovered servers)."""
+        self.host.request_decision(self._instance(index))
+
+    def known_indices(self) -> list[int]:
+        indices = []
+        for instance in self.host.decided_instances():
+            if isinstance(instance, tuple) and len(instance) == 2 and instance[0] == self.array_name:
+                indices.append(instance[1])
+        return sorted(indices)

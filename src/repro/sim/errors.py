@@ -1,0 +1,24 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SimulationLimitExceeded(SimulationError):
+    """The simulation ran past its event or time budget without finishing."""
+
+
+class ProcessNotRunning(SimulationError):
+    """An operation requiring an *up* process was attempted on a crashed one."""
+
+
+class InvalidScheduling(SimulationError):
+    """An event was scheduled with an invalid delay or after the simulator stopped."""
+
+
+class ThreadError(SimulationError):
+    """A protocol thread raised an unhandled exception.
+
+    The original exception is available as ``__cause__``.
+    """

@@ -1,0 +1,336 @@
+"""Process and thread model.
+
+A :class:`Process` models one node of the three-tier system (a client, an
+application server or a database server).  Processes
+
+* host any number of generator-coroutine *threads* (the paper's ``cobegin``
+  branches, e.g. the application server's computation and cleaning threads),
+* exchange messages through a transport installed by ``repro.net``,
+* crash (losing all volatile state: mailbox, threads, local variables) and
+  recover (restarting their entry point with ``recovery=True``), exactly as in
+  the paper's crash/recovery model -- stable storage is modelled separately in
+  ``repro.storage`` and survives crashes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.errors import ProcessNotRunning, ThreadError
+from repro.sim.scheduler import ScheduledEvent, Simulator
+from repro.sim.waits import TIMEOUT, Receive, SimFuture, Sleep, Wait, WaitFuture
+
+ProtocolGenerator = Generator[Wait, Any, Any]
+
+
+class Thread:
+    """A single coroutine of protocol logic hosted on a process.
+
+    The coroutine yields :class:`~repro.sim.waits.Wait` objects and is resumed
+    with the wait's result (a message, :data:`TIMEOUT`, a future value, or
+    ``None`` after a sleep).
+    """
+
+    _ids = 0
+
+    def __init__(self, process: "Process", generator: ProtocolGenerator, name: str):
+        Thread._ids += 1
+        self.id = Thread._ids
+        self.process = process
+        self.generator = generator
+        self.name = name
+        self.alive = True
+        self.finished = False
+        self._pending_timer: Optional[ScheduledEvent] = None
+        self._pending_receive: Optional[Receive] = None
+        self._pending_future: Optional[SimFuture] = None
+        self._pending_future_callback: Optional[Callable[[Any], None]] = None
+        self._wait_token = 0
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def waiting_on_receive(self) -> Optional[Receive]:
+        """The receive wait this thread is currently blocked on, if any."""
+        return self._pending_receive
+
+    def kill(self) -> None:
+        """Terminate the thread, cancelling any pending timer or wait."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._cancel_pending()
+        self.generator.close()
+
+    def _cancel_pending(self) -> None:
+        self._wait_token += 1
+        if self._pending_timer is not None:
+            self._pending_timer.cancel()
+            self._pending_timer = None
+        self._pending_receive = None
+        if self._pending_future is not None and self._pending_future_callback is not None:
+            self._pending_future.discard_callback(self._pending_future_callback)
+        self._pending_future = None
+        self._pending_future_callback = None
+
+    # ------------------------------------------------------------- stepping
+
+    def start(self) -> None:
+        """Begin executing the coroutine (runs until its first wait)."""
+        self._advance(None)
+
+    def resume(self, value: Any) -> None:
+        """Resume the coroutine with ``value`` as the result of its last wait."""
+        self._cancel_pending()
+        self._advance(value)
+
+    def _advance(self, value: Any) -> None:
+        if not self.alive or self.finished:
+            return
+        try:
+            wait = self.generator.send(value)
+        except StopIteration:
+            self.finished = True
+            self.alive = False
+            return
+        except Exception as exc:  # surface protocol bugs loudly
+            self.finished = True
+            self.alive = False
+            self.process.trace.record(
+                "thread_error", self.process.name, thread=self.name, error=repr(exc)
+            )
+            raise ThreadError(f"thread {self.name!r} on {self.process.name!r} failed") from exc
+        self._handle_wait(wait)
+
+    def _handle_wait(self, wait: Wait) -> None:
+        if isinstance(wait, Sleep):
+            self._arm_timer(wait.delay, result=None)
+        elif isinstance(wait, Receive):
+            self._handle_receive(wait)
+        elif isinstance(wait, WaitFuture):
+            self._handle_future(wait)
+        else:
+            raise ThreadError(
+                f"thread {self.name!r} yielded unsupported wait object {wait!r}"
+            )
+
+    def _arm_timer(self, delay: float, result: Any) -> None:
+        token = self._wait_token
+
+        def fire() -> None:
+            if self.alive and token == self._wait_token:
+                self.resume(result)
+
+        self._pending_timer = self.process.sim.schedule(
+            delay, fire, name=f"{self.process.name}/{self.name}:timer"
+        )
+
+    def _handle_receive(self, wait: Receive) -> None:
+        message = self.process._take_from_mailbox(wait)
+        if message is not None:
+            # Resume via the scheduler to keep same-time ordering deterministic
+            # and to avoid unbounded recursion through long message chains.
+            token = self._wait_token
+
+            def deliver() -> None:
+                if self.alive and token == self._wait_token:
+                    self.resume(message)
+
+            self._pending_timer = self.process.sim.call_soon(
+                deliver, name=f"{self.process.name}/{self.name}:mailbox"
+            )
+            return
+        self._pending_receive = wait
+        if wait.timeout is not None:
+            self._arm_timer(wait.timeout, result=TIMEOUT)
+
+    def _handle_future(self, wait: WaitFuture) -> None:
+        token = self._wait_token
+
+        def on_resolve(value: Any) -> None:
+            if self.alive and token == self._wait_token:
+                self.resume(value)
+
+        if wait.future.resolved:
+            self._pending_timer = self.process.sim.call_soon(
+                lambda: on_resolve(wait.future.value),
+                name=f"{self.process.name}/{self.name}:future",
+            )
+            return
+        self._pending_future = wait.future
+        self._pending_future_callback = on_resolve
+        wait.future.on_resolve(on_resolve)
+        if wait.timeout is not None:
+            self._arm_timer(wait.timeout, result=TIMEOUT)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else ("finished" if self.finished else "dead")
+        return f"<Thread {self.process.name}/{self.name} ({state})>"
+
+
+class Process:
+    """A simulated node that can crash and recover.
+
+    Subclasses override :meth:`on_start` to spawn their protocol threads, and
+    may override :meth:`on_crash` to drop additional volatile state.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.up = True
+        self.crash_count = 0
+        self._mailbox: deque[Any] = deque()
+        self._threads: list[Thread] = []
+        self._transport: Optional[Any] = None  # installed by repro.net.Network
+        self._started = False
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def trace(self):
+        """The shared trace recorder."""
+        return self.sim.trace
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.sim.now
+
+    @property
+    def threads(self) -> list[Thread]:
+        """Live and finished threads spawned since the last crash."""
+        return list(self._threads)
+
+    @property
+    def mailbox_size(self) -> int:
+        """Number of buffered, not-yet-consumed messages."""
+        return len(self._mailbox)
+
+    def rng(self, stream: Optional[str] = None):
+        """Deterministic random stream scoped to this process."""
+        return self.sim.rng(stream if stream is not None else self.name)
+
+    # --------------------------------------------------------------- startup
+
+    def start(self) -> None:
+        """Start the process for the first time (calls :meth:`on_start`)."""
+        self._started = True
+        self.on_start(recovery=False)
+
+    def on_start(self, recovery: bool) -> None:
+        """Spawn protocol threads.  Subclasses override."""
+
+    def on_crash(self) -> None:
+        """Hook for subclasses to drop extra volatile state on crash."""
+
+    # ------------------------------------------------------------ coroutines
+
+    def spawn(self, generator: ProtocolGenerator, name: str = "thread") -> Thread:
+        """Spawn a coroutine thread on this process and start it immediately."""
+        if not self.up:
+            raise ProcessNotRunning(f"cannot spawn thread on crashed process {self.name!r}")
+        thread = Thread(self, generator, name)
+        self._threads.append(thread)
+        thread.start()
+        return thread
+
+    # Wait-constructor helpers so protocol code reads naturally -------------
+
+    def sleep(self, delay: float) -> Sleep:
+        """``yield self.sleep(d)`` suspends the calling thread for ``d``."""
+        return Sleep(delay)
+
+    def receive(self, matcher: Optional[Callable[[Any], bool]] = None,
+                timeout: Optional[float] = None) -> Receive:
+        """``yield self.receive(...)`` waits for a matching message."""
+        return Receive(matcher, timeout)
+
+    def wait_for(self, future: SimFuture, timeout: Optional[float] = None) -> WaitFuture:
+        """``yield self.wait_for(f)`` waits for ``f`` to resolve."""
+        return WaitFuture(future, timeout)
+
+    # ------------------------------------------------------------- messaging
+
+    def attach_transport(self, transport: Any) -> None:
+        """Install the network transport (called by ``repro.net.Network``)."""
+        self._transport = transport
+
+    def send(self, destination: str, message: Any) -> None:
+        """Send ``message`` to the process named ``destination``.
+
+        Sends from a crashed process are silently dropped, matching the model
+        in which a down process performs no actions.
+        """
+        if not self.up:
+            return
+        if self._transport is None:
+            raise ProcessNotRunning(f"process {self.name!r} has no transport attached")
+        self._transport.send(self.name, destination, message)
+
+    def multicast(self, destinations: Iterable[str], message: Any) -> None:
+        """Send a copy of ``message`` to every process in ``destinations``.
+
+        There is no atomicity guarantee (matching the paper's model); each copy
+        is an independent message with its own identifier.
+        """
+        for destination in destinations:
+            payload = message.copy() if hasattr(message, "copy") and callable(message.copy) else message
+            self.send(destination, payload)
+
+    def deliver(self, message: Any) -> None:
+        """Deliver a message to this process (called by the network).
+
+        Messages arriving at a crashed process are dropped; otherwise the
+        message either resumes a thread blocked on a matching receive or is
+        buffered in the mailbox.
+        """
+        if not self.up:
+            return
+        for thread in self._threads:
+            wait = thread.waiting_on_receive
+            if thread.alive and wait is not None and wait.matches(message):
+                thread.resume(message)
+                return
+        self._mailbox.append(message)
+
+    def _take_from_mailbox(self, wait: Receive) -> Optional[Any]:
+        """Remove and return the first buffered message matching ``wait``."""
+        for index, message in enumerate(self._mailbox):
+            if wait.matches(message):
+                del self._mailbox[index]
+                return message
+        return None
+
+    # ------------------------------------------------------- crash / recover
+
+    def crash(self) -> None:
+        """Crash the process: kill all threads and lose all volatile state."""
+        if not self.up:
+            return
+        self.up = False
+        self.crash_count += 1
+        for thread in self._threads:
+            thread.kill()
+        self._threads.clear()
+        self._mailbox.clear()
+        self.on_crash()
+        self.trace.record("crash", self.name)
+
+    def recover(self) -> None:
+        """Bring the process back up and restart its entry point."""
+        if self.up:
+            return
+        self.up = True
+        self.trace.record("recover", self.name)
+        self.on_start(recovery=True)
+
+    def crash_for(self, downtime: float) -> None:
+        """Crash now and automatically recover after ``downtime`` virtual time."""
+        self.crash()
+        self.sim.schedule(downtime, self.recover, name=f"{self.name}:recover")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"<Process {self.name} ({state})>"

@@ -1,0 +1,194 @@
+"""Discrete-event simulator: virtual clock and event queue.
+
+The simulator is the root object of every run.  It owns:
+
+* the virtual clock (``now``),
+* a priority queue of scheduled callbacks,
+* the trace recorder shared by all components,
+* a deterministic random-number source partitioned into named streams.
+
+Events scheduled at the same timestamp fire in FIFO order of scheduling, which
+makes every run fully deterministic for a given seed and fault schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, Optional
+
+from repro.sim.errors import InvalidScheduling, SimulationLimitExceeded
+from repro.sim.tracing import TraceRecorder
+
+
+class ScheduledEvent:
+    """Handle to a scheduled callback; supports cancellation.
+
+    Instances are returned by :meth:`Simulator.schedule` and compare by
+    ``(time, sequence)`` so the event queue is a stable priority queue.
+    """
+
+    __slots__ = ("time", "seq", "callback", "name", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], name: str):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent {self.name!r} at {self.time:.3f} ({state})>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with virtual time.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the deterministic random source.  Every component obtains its
+        own :class:`random.Random` stream via :meth:`rng`, so adding a new
+        component does not perturb the draws seen by existing ones.
+    trace:
+        Optional externally-created :class:`TraceRecorder`; a fresh one is
+        created when omitted.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None):
+        self.now: float = 0.0
+        self.seed = seed
+        self.trace = trace if trace is not None else TraceRecorder(clock=lambda: self.now)
+        self.trace.bind_clock(lambda: self.now)
+        self._queue: list[ScheduledEvent] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._stopped = False
+        self._rng_streams: dict[str, random.Random] = {}
+
+    # ------------------------------------------------------------------ RNG
+
+    def rng(self, stream: str) -> random.Random:
+        """Return the named deterministic random stream, creating it on first use."""
+        if stream not in self._rng_streams:
+            # Derive a per-stream seed from the global seed and the stream name
+            # so streams are independent and stable across runs.
+            derived = hash((self.seed, stream)) & 0xFFFFFFFF
+            self._rng_streams[stream] = random.Random(derived)
+        return self._rng_streams[stream]
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(self, delay: float, callback: Callable[[], None], name: str = "event") -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns a :class:`ScheduledEvent` handle that can be cancelled.
+        """
+        if delay < 0:
+            raise InvalidScheduling(f"negative delay {delay!r} for event {name!r}")
+        event = ScheduledEvent(self.now + delay, self._seq, callback, name)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None], name: str = "event") -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``time`` (>= now)."""
+        if time < self.now:
+            raise InvalidScheduling(f"cannot schedule {name!r} in the past ({time} < {self.now})")
+        return self.schedule(time - self.now, callback, name)
+
+    def call_soon(self, callback: Callable[[], None], name: str = "soon") -> ScheduledEvent:
+        """Schedule ``callback`` at the current timestamp (after pending same-time events)."""
+        return self.schedule(0.0, callback, name)
+
+    # --------------------------------------------------------------- running
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    def step(self) -> bool:
+        """Run the next scheduled event.  Returns ``False`` if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> float:
+        """Run events until the queue drains or virtual time reaches ``until``.
+
+        Returns the virtual time at which the run stopped.  Raises
+        :class:`SimulationLimitExceeded` if more than ``max_events`` callbacks
+        fire, which almost always indicates a livelock in a protocol under test.
+        """
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = event.time
+            self._events_processed += 1
+            processed += 1
+            if processed > max_events:
+                raise SimulationLimitExceeded(
+                    f"simulation exceeded {max_events} events (possible livelock)"
+                )
+            event.callback()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until(self, predicate: Callable[[], bool], *, until: Optional[float] = None,
+                  max_events: int = 5_000_000) -> bool:
+        """Run until ``predicate()`` becomes true.
+
+        Returns ``True`` if the predicate was satisfied, ``False`` if the event
+        queue drained or the time horizon was reached first.
+        """
+        processed = 0
+        if predicate():
+            return True
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self.now = until
+                return predicate()
+            heapq.heappop(self._queue)
+            self.now = event.time
+            self._events_processed += 1
+            processed += 1
+            if processed > max_events:
+                raise SimulationLimitExceeded(
+                    f"simulation exceeded {max_events} events (possible livelock)"
+                )
+            event.callback()
+            if predicate():
+                return True
+        return predicate()

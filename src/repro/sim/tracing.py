@@ -1,0 +1,134 @@
+"""Structured event tracing.
+
+Every significant action in a run -- message send/delivery, crash, recovery,
+vote, decision, result delivery, disk write -- is recorded as a
+:class:`TraceEvent`.  The trace is the single source of truth used by
+
+* the specification checker (``repro.core.spec``) to verify the e-Transaction
+  properties on a concrete execution,
+* the metrics package to count communication steps (Figures 1 and 7) and to
+  attribute latency to protocol components (Figure 8),
+* tests, which assert on the presence/absence/ordering of events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event occurred.
+    category:
+        Machine-readable event kind, e.g. ``"msg_send"``, ``"crash"``,
+        ``"db_commit"``, ``"client_deliver"``.
+    process:
+        Name of the process the event is attributed to ("" for global events).
+    data:
+        Free-form payload describing the event.
+    """
+
+    time: float
+    category: str
+    process: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Shorthand for ``event.data.get(key, default)``."""
+        return self.data.get(key, default)
+
+
+class TraceRecorder:
+    """Append-only recorder of :class:`TraceEvent` objects with query helpers."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._events: list[TraceEvent] = []
+        self.enabled = True
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach (or re-attach) the virtual-clock accessor used for timestamps."""
+        self._clock = clock
+
+    # --------------------------------------------------------------- record
+
+    def record(self, category: str, process: str = "", **data: Any) -> Optional[TraceEvent]:
+        """Record an event at the current virtual time and return it."""
+        if not self.enabled:
+            return None
+        event = TraceEvent(time=self._clock(), category=category, process=process, data=data)
+        self._events.append(event)
+        return event
+
+    # ---------------------------------------------------------------- query
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The full event list (do not mutate)."""
+        return self._events
+
+    def select(self, category: Optional[str] = None, process: Optional[str] = None,
+               **data_filters: Any) -> list[TraceEvent]:
+        """Return events matching the given category/process/data filters."""
+        out = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if process is not None and event.process != process:
+                continue
+            if any(event.data.get(k) != v for k, v in data_filters.items()):
+                continue
+            out.append(event)
+        return out
+
+    def count(self, category: Optional[str] = None, process: Optional[str] = None,
+              **data_filters: Any) -> int:
+        """Number of events matching the filters."""
+        return len(self.select(category, process, **data_filters))
+
+    def first(self, category: Optional[str] = None, process: Optional[str] = None,
+              **data_filters: Any) -> Optional[TraceEvent]:
+        """First matching event, or ``None``."""
+        matches = self.select(category, process, **data_filters)
+        return matches[0] if matches else None
+
+    def last(self, category: Optional[str] = None, process: Optional[str] = None,
+             **data_filters: Any) -> Optional[TraceEvent]:
+        """Last matching event, or ``None``."""
+        matches = self.select(category, process, **data_filters)
+        return matches[-1] if matches else None
+
+    def categories(self) -> set[str]:
+        """The set of distinct categories recorded so far."""
+        return {e.category for e in self._events}
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        """Events with ``start <= time <= end``."""
+        return [e for e in self._events if start <= e.time <= end]
+
+    def summary(self) -> dict[str, int]:
+        """Histogram of event counts per category."""
+        hist: dict[str, int] = {}
+        for event in self._events:
+            hist[event.category] = hist.get(event.category, 0) + 1
+        return hist
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        """Append pre-built events (used by tests and replay tooling)."""
+        self._events.extend(events)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()

@@ -1,0 +1,228 @@
+"""Transactional key-value store -- the database engine behind each database server.
+
+The engine provides exactly the surface the paper's model needs from a
+third-party database:
+
+* transient data manipulation on behalf of the business logic
+  (:meth:`TransactionalKVStore.read` / :meth:`write` inside a transaction),
+* the XA-style commitment surface: :meth:`prepare` (the paper's ``vote()``)
+  and :meth:`commit` / :meth:`abort` (the paper's ``decide()``),
+* crash/recovery with a write-ahead log: committed data survives, in-doubt
+  (prepared) transactions are restored *with their locks*, and active
+  (unprepared) transactions evaporate.
+
+Durability and I/O cost live in :class:`~repro.storage.wal.WriteAheadLog` /
+:class:`~repro.storage.stable.StableStorage`; every mutating call returns the
+I/O cost it incurred so the hosting database-server process can charge that
+time to the simulation clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Optional
+
+from repro.storage.locks import LockConflict, LockManager
+from repro.storage.stable import StableStorage
+from repro.storage.wal import WriteAheadLog
+
+TransactionId = Hashable
+
+ACTIVE = "active"
+PREPARED = "prepared"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class TransactionError(Exception):
+    """An operation was applied to a transaction in an incompatible state."""
+
+
+@dataclass
+class Transaction:
+    """In-memory descriptor of one transaction."""
+
+    transaction_id: TransactionId
+    status: str = ACTIVE
+    writes: dict[str, Any] = field(default_factory=dict)
+    reads: set[str] = field(default_factory=set)
+
+
+class TransactionalKVStore:
+    """A crash-recoverable key-value store with two-phase commitment."""
+
+    def __init__(self, name: str, storage: Optional[StableStorage] = None,
+                 initial_data: Optional[dict[str, Any]] = None):
+        self.name = name
+        self.storage = storage if storage is not None else StableStorage(f"{name}.disk")
+        self.wal = WriteAheadLog(self.storage)
+        self.locks = LockManager()
+        self._committed: dict[str, Any] = dict(initial_data or {})
+        self._transactions: dict[TransactionId, Transaction] = {}
+        if initial_data:
+            # Persist the initial data so recovery can rebuild it.
+            self.storage.put("__initial__", dict(initial_data), forced=False)
+
+    # --------------------------------------------------------------- lifecycle
+
+    def begin(self, transaction_id: TransactionId) -> Transaction:
+        """Start a transaction; re-beginning an active one is idempotent."""
+        existing = self._transactions.get(transaction_id)
+        if existing is not None:
+            if existing.status in (ACTIVE, PREPARED):
+                return existing
+            raise TransactionError(
+                f"transaction {transaction_id!r} already terminated ({existing.status})"
+            )
+        transaction = Transaction(transaction_id)
+        self._transactions[transaction_id] = transaction
+        return transaction
+
+    def transaction(self, transaction_id: TransactionId) -> Optional[Transaction]:
+        """The descriptor for ``transaction_id``, or ``None``."""
+        return self._transactions.get(transaction_id)
+
+    def status(self, transaction_id: TransactionId) -> Optional[str]:
+        """Status string of the transaction, or ``None`` if unknown."""
+        transaction = self._transactions.get(transaction_id)
+        return None if transaction is None else transaction.status
+
+    # -------------------------------------------------------- data manipulation
+
+    def read(self, transaction_id: TransactionId, key: str, default: Any = None) -> Any:
+        """Read ``key`` within the transaction (sees the transaction's own writes)."""
+        transaction = self._require(transaction_id, ACTIVE, PREPARED)
+        transaction.reads.add(key)
+        if key in transaction.writes:
+            return transaction.writes[key]
+        return self._committed.get(key, default)
+
+    def write(self, transaction_id: TransactionId, key: str, value: Any) -> None:
+        """Write ``key`` within the transaction; acquires the exclusive lock."""
+        transaction = self._require(transaction_id, ACTIVE)
+        if not self.locks.acquire(transaction_id, key):
+            raise LockConflict(key, self.locks.holder(key), transaction_id)
+        transaction.writes[key] = value
+
+    def get_committed(self, key: str, default: Any = None) -> Any:
+        """Read the committed (durable) value of ``key`` outside any transaction."""
+        return self._committed.get(key, default)
+
+    def committed_snapshot(self) -> dict[str, Any]:
+        """Copy of the whole committed state (tests and invariant checks)."""
+        return dict(self._committed)
+
+    # ------------------------------------------------------------- commitment
+
+    def prepare(self, transaction_id: TransactionId) -> tuple[str, float]:
+        """Vote on the transaction: returns ``("yes"|"no", io_cost)``.
+
+        A *yes* vote forces the transaction's write set to the log and keeps
+        its locks; the transaction becomes in-doubt until a decision arrives.
+        An unknown or already-aborted transaction votes *no*.
+        """
+        transaction = self._transactions.get(transaction_id)
+        if transaction is None or transaction.status == ABORTED:
+            return "no", 0.0
+        if transaction.status == PREPARED:
+            return "yes", 0.0
+        if transaction.status == COMMITTED:
+            raise TransactionError(f"cannot prepare committed transaction {transaction_id!r}")
+        cost = self.wal.append_prepare(transaction_id, transaction.writes, forced=True)
+        transaction.status = PREPARED
+        return "yes", cost
+
+    def commit(self, transaction_id: TransactionId, allow_one_phase: bool = False) -> float:
+        """Apply the transaction's writes durably; returns the I/O cost.
+
+        ``allow_one_phase`` permits committing straight from the active state
+        (used by the unreliable baseline protocol, which skips the vote).
+        """
+        transaction = self._transactions.get(transaction_id)
+        if transaction is None:
+            raise TransactionError(f"cannot commit unknown transaction {transaction_id!r}")
+        if transaction.status == COMMITTED:
+            return 0.0
+        if transaction.status == ABORTED:
+            raise TransactionError(f"cannot commit aborted transaction {transaction_id!r}")
+        if transaction.status == ACTIVE and not allow_one_phase:
+            raise TransactionError(
+                f"transaction {transaction_id!r} must be prepared before commit"
+            )
+        writes = transaction.writes if transaction.status == ACTIVE else None
+        cost = self.wal.append_commit(transaction_id, writes, forced=True)
+        self._committed.update(transaction.writes)
+        transaction.status = COMMITTED
+        self.locks.release_all(transaction_id)
+        return cost
+
+    def abort(self, transaction_id: TransactionId) -> float:
+        """Discard the transaction's writes and release its locks.
+
+        Aborting an unknown transaction installs an *aborted tombstone*
+        (presumed abort): a later attempt to begin or execute work under the
+        same identifier is refused, which prevents a slow business-logic call
+        from resurrecting a transaction that a recovery path already aborted.
+        """
+        transaction = self._transactions.get(transaction_id)
+        if transaction is None:
+            self._transactions[transaction_id] = Transaction(transaction_id, status=ABORTED)
+            return 0.0
+        if transaction.status == COMMITTED:
+            raise TransactionError(f"cannot abort committed transaction {transaction_id!r}")
+        if transaction.status == ABORTED:
+            return 0.0
+        cost = self.wal.append_abort(transaction_id, forced=False)
+        transaction.status = ABORTED
+        transaction.writes.clear()
+        self.locks.release_all(transaction_id)
+        return cost
+
+    # ----------------------------------------------------------- crash recovery
+
+    def crash(self) -> None:
+        """Lose all volatile state (active transactions, lock table, caches)."""
+        self._transactions.clear()
+        self.locks.clear()
+        self._committed.clear()
+
+    def recover(self) -> list[TransactionId]:
+        """Rebuild state from the write-ahead log.
+
+        Returns the list of in-doubt transaction identifiers (prepared but not
+        yet committed or aborted); their locks are re-installed so the data
+        they touched stays inaccessible until a decision arrives -- the
+        situation property T.2 is about.
+        """
+        self._committed = dict(self.storage.get("__initial__", {}))
+        replay = self.wal.replay()
+        self._committed.update(replay.committed_state)
+        self._transactions = {}
+        self.locks.clear()
+        for transaction_id in replay.committed_transactions:
+            self._transactions[transaction_id] = Transaction(transaction_id, status=COMMITTED)
+        for transaction_id in replay.aborted_transactions:
+            self._transactions[transaction_id] = Transaction(transaction_id, status=ABORTED)
+        in_doubt = []
+        for transaction_id, writes in replay.in_doubt.items():
+            transaction = Transaction(transaction_id, status=PREPARED, writes=dict(writes))
+            self._transactions[transaction_id] = transaction
+            self.locks.reinstall(transaction_id, writes.keys())
+            in_doubt.append(transaction_id)
+        return in_doubt
+
+    # ----------------------------------------------------------------- helpers
+
+    def in_doubt(self) -> list[TransactionId]:
+        """Transactions currently prepared but undecided."""
+        return [t.transaction_id for t in self._transactions.values() if t.status == PREPARED]
+
+    def _require(self, transaction_id: TransactionId, *statuses: str) -> Transaction:
+        transaction = self._transactions.get(transaction_id)
+        if transaction is None:
+            raise TransactionError(f"unknown transaction {transaction_id!r}")
+        if transaction.status not in statuses:
+            raise TransactionError(
+                f"transaction {transaction_id!r} is {transaction.status}, expected {statuses}"
+            )
+        return transaction

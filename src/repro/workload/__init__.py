@@ -1,0 +1,13 @@
+"""Workloads: the bank-account update measured in the paper and the travel example."""
+
+from repro.workload.bank import BankWorkload
+from repro.workload.generator import ClosedLoopDriver, RequestStream, RunStatistics
+from repro.workload.travel import TravelWorkload
+
+__all__ = [
+    "BankWorkload",
+    "TravelWorkload",
+    "RequestStream",
+    "RunStatistics",
+    "ClosedLoopDriver",
+]

@@ -1,0 +1,137 @@
+"""Bank-account workload (the workload measured in the paper's Appendix 3).
+
+"The application server executes some SQL statements to update a bank account
+on a single database, and ends the transaction."  We model a small bank: a set
+of accounts with balances, and requests that debit, credit or transfer between
+accounts.  The business logic runs inside the database transaction via the
+:class:`~repro.storage.xa.TransactionView` handle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.core.types import Request
+
+DEBIT = "bank_debit"
+CREDIT = "bank_credit"
+TRANSFER = "bank_transfer"
+
+
+class BankWorkload:
+    """Accounts, request generation and business logic for the bank scenario.
+
+    Parameters
+    ----------
+    num_accounts:
+        Number of accounts (``account:0`` ... ``account:N-1``).
+    initial_balance:
+        Starting balance of every account.
+    allow_overdraft:
+        When ``False``, a debit that would make the balance negative returns an
+        ``insufficient_funds`` result instead of applying the update -- a
+        user-level abort in the paper's sense (a regular result value).
+    """
+
+    def __init__(self, num_accounts: int = 10, initial_balance: int = 1_000,
+                 allow_overdraft: bool = False):
+        if num_accounts < 1:
+            raise ValueError("need at least one account")
+        self.num_accounts = num_accounts
+        self.initial_balance = initial_balance
+        self.allow_overdraft = allow_overdraft
+
+    # ------------------------------------------------------------------- data
+
+    def account_key(self, index: int) -> str:
+        """Storage key of account ``index``."""
+        return f"account:{index}"
+
+    def initial_data(self) -> dict[str, Any]:
+        """Initial committed database contents."""
+        return {self.account_key(i): self.initial_balance for i in range(self.num_accounts)}
+
+    # --------------------------------------------------------------- requests
+
+    def debit(self, account: int, amount: int) -> Request:
+        """A request debiting ``amount`` from ``account``."""
+        return Request(DEBIT, {"account": account, "amount": amount})
+
+    def credit(self, account: int, amount: int) -> Request:
+        """A request crediting ``amount`` to ``account``."""
+        return Request(CREDIT, {"account": account, "amount": amount})
+
+    def transfer(self, source: int, destination: int, amount: int) -> Request:
+        """A request transferring ``amount`` between two accounts."""
+        return Request(TRANSFER, {"source": source, "destination": destination,
+                                  "amount": amount})
+
+    def random_request(self, rng: random.Random) -> Request:
+        """A random debit/credit/transfer with small amounts."""
+        kind = rng.choice([DEBIT, CREDIT, TRANSFER])
+        amount = rng.randint(1, 50)
+        if kind == TRANSFER and self.num_accounts >= 2:
+            source, destination = rng.sample(range(self.num_accounts), 2)
+            return self.transfer(source, destination, amount)
+        account = rng.randrange(self.num_accounts)
+        return self.debit(account, amount) if kind == DEBIT else self.credit(account, amount)
+
+    # --------------------------------------------------------- business logic
+
+    def business_logic(self, request: Request) -> Callable[[Any], Any]:
+        """The function executed inside the database transaction."""
+        if request.operation == DEBIT:
+            return self._debit_logic(request)
+        if request.operation == CREDIT:
+            return self._credit_logic(request)
+        if request.operation == TRANSFER:
+            return self._transfer_logic(request)
+        raise ValueError(f"unknown bank operation {request.operation!r}")
+
+    def _debit_logic(self, request: Request) -> Callable[[Any], Any]:
+        key = self.account_key(request.params["account"])
+        amount = request.params["amount"]
+
+        def logic(view: Any) -> Any:
+            balance = view.read(key, 0)
+            if not self.allow_overdraft and balance < amount:
+                return {"status": "insufficient_funds", "balance": balance}
+            view.write(key, balance - amount)
+            return {"status": "ok", "account": key, "balance": balance - amount}
+
+        return logic
+
+    def _credit_logic(self, request: Request) -> Callable[[Any], Any]:
+        key = self.account_key(request.params["account"])
+        amount = request.params["amount"]
+
+        def logic(view: Any) -> Any:
+            balance = view.read(key, 0)
+            view.write(key, balance + amount)
+            return {"status": "ok", "account": key, "balance": balance + amount}
+
+        return logic
+
+    def _transfer_logic(self, request: Request) -> Callable[[Any], Any]:
+        source = self.account_key(request.params["source"])
+        destination = self.account_key(request.params["destination"])
+        amount = request.params["amount"]
+
+        def logic(view: Any) -> Any:
+            source_balance = view.read(source, 0)
+            if not self.allow_overdraft and source_balance < amount:
+                return {"status": "insufficient_funds", "balance": source_balance}
+            destination_balance = view.read(destination, 0)
+            view.write(source, source_balance - amount)
+            view.write(destination, destination_balance + amount)
+            return {"status": "ok", "from": source, "to": destination,
+                    "amounts": (source_balance - amount, destination_balance + amount)}
+
+        return logic
+
+    # ------------------------------------------------------------- invariants
+
+    def total_money(self, committed: dict[str, Any]) -> int:
+        """Sum of all balances in a committed snapshot (conservation check)."""
+        return sum(committed.get(self.account_key(i), 0) for i in range(self.num_accounts))

@@ -1,0 +1,98 @@
+"""Request generators and a closed-loop driver.
+
+The paper measures a closed loop: one client issuing identical transactions
+back to back and recording the response time of each.  :class:`ClosedLoopDriver`
+reproduces that pattern against any deployment exposing ``issue``/``sim``; the
+request stream comes from a workload's ``random_request`` or from an explicit
+list.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.core.types import Request
+
+
+@dataclass
+class RequestStream:
+    """A reproducible stream of requests drawn from a workload."""
+
+    factory: Callable[[random.Random], Request]
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def take(self, count: int) -> list[Request]:
+        """The next ``count`` requests of the stream."""
+        return [self.factory(self._rng) for _ in range(count)]
+
+    def __iter__(self):
+        while True:
+            yield self.factory(self._rng)
+
+
+@dataclass
+class RunStatistics:
+    """Latency statistics of a closed-loop run."""
+
+    latencies: list[float] = field(default_factory=list)
+    attempts: list[int] = field(default_factory=list)
+    undelivered: int = 0
+
+    @property
+    def count(self) -> int:
+        """Number of delivered requests."""
+        return len(self.latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean client-observed latency."""
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def max_latency(self) -> float:
+        """Worst client-observed latency."""
+        return max(self.latencies) if self.latencies else 0.0
+
+    @property
+    def mean_attempts(self) -> float:
+        """Mean number of intermediate results per request."""
+        return sum(self.attempts) / len(self.attempts) if self.attempts else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Latency percentile (``fraction`` in [0, 1])."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+
+class ClosedLoopDriver:
+    """Issue requests one at a time through a deployment and collect statistics."""
+
+    def __init__(self, deployment: Any, horizon_per_request: float = 1_000_000.0):
+        self.deployment = deployment
+        self.horizon_per_request = horizon_per_request
+
+    def run(self, requests: Sequence[Request], client: Optional[str] = None) -> RunStatistics:
+        """Issue ``requests`` sequentially, waiting for each to deliver."""
+        stats = RunStatistics()
+        for request in requests:
+            issued = self.deployment.issue(request, client) if client is not None \
+                else self.deployment.issue(request)
+            delivered = self.deployment.sim.run_until(
+                lambda: issued.delivered,
+                until=self.deployment.sim.now + self.horizon_per_request,
+            )
+            if delivered and issued.latency is not None:
+                stats.latencies.append(issued.latency)
+                stats.attempts.append(issued.attempts)
+            else:
+                stats.undelivered += 1
+        return stats

@@ -1,0 +1,110 @@
+"""Travel-booking workload (the paper's motivating example).
+
+"In the case of a travel application for instance, the request typically
+indicates a travel destination, the travel dates, together with some
+information about hotel category, the size of a car to rent, etc.  A
+corresponding result typically contains information about a flight
+reservation, a hotel name and address, the name of a car company."
+
+The workload keeps seat/room/car inventories in the database and books one of
+each per request.  When some leg is sold out, the business logic returns a
+``sold_out`` result -- the paper's user-level abort, which is a *regular*
+result value (the user is told about the problem) rather than a protocol
+failure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.core.types import Request
+
+BOOK_TRIP = "book_trip"
+
+
+class TravelWorkload:
+    """Flights, hotels and rental cars with finite inventory."""
+
+    def __init__(self, destinations: tuple[str, ...] = ("PAR", "NYC", "TYO"),
+                 seats_per_flight: int = 5, rooms_per_hotel: int = 5,
+                 cars_per_city: int = 5):
+        if not destinations:
+            raise ValueError("need at least one destination")
+        self.destinations = tuple(destinations)
+        self.seats_per_flight = seats_per_flight
+        self.rooms_per_hotel = rooms_per_hotel
+        self.cars_per_city = cars_per_city
+
+    # ------------------------------------------------------------------- data
+
+    def initial_data(self) -> dict[str, Any]:
+        """Initial inventory: seats, rooms and cars per destination."""
+        data: dict[str, Any] = {}
+        for city in self.destinations:
+            data[f"flight:{city}:seats"] = self.seats_per_flight
+            data[f"hotel:{city}:rooms"] = self.rooms_per_hotel
+            data[f"car:{city}:available"] = self.cars_per_city
+            data["bookings:count"] = 0
+        return data
+
+    # --------------------------------------------------------------- requests
+
+    def book(self, destination: str, traveller: str = "guest",
+             need_car: bool = True) -> Request:
+        """A request booking flight + hotel (+ optional car) to ``destination``."""
+        if destination not in self.destinations:
+            raise ValueError(f"unknown destination {destination!r}")
+        return Request(BOOK_TRIP, {"destination": destination, "traveller": traveller,
+                                   "need_car": need_car})
+
+    def random_request(self, rng: random.Random) -> Request:
+        """A booking to a random destination for a random traveller."""
+        destination = rng.choice(self.destinations)
+        traveller = f"traveller-{rng.randint(1, 999)}"
+        return self.book(destination, traveller, need_car=rng.random() < 0.7)
+
+    # --------------------------------------------------------- business logic
+
+    def business_logic(self, request: Request) -> Callable[[Any], Any]:
+        """Reserve one seat, one room and (optionally) one car atomically."""
+        if request.operation != BOOK_TRIP:
+            raise ValueError(f"unknown travel operation {request.operation!r}")
+        destination = request.params["destination"]
+        traveller = request.params["traveller"]
+        need_car = request.params.get("need_car", False)
+
+        def logic(view: Any) -> Any:
+            seats = view.read(f"flight:{destination}:seats", 0)
+            rooms = view.read(f"hotel:{destination}:rooms", 0)
+            cars = view.read(f"car:{destination}:available", 0)
+            if seats <= 0 or rooms <= 0 or (need_car and cars <= 0):
+                # User-level abort: a regular result value (the paper's model).
+                return {"status": "sold_out", "destination": destination,
+                        "seats": seats, "rooms": rooms, "cars": cars}
+            view.write(f"flight:{destination}:seats", seats - 1)
+            view.write(f"hotel:{destination}:rooms", rooms - 1)
+            if need_car:
+                view.write(f"car:{destination}:available", cars - 1)
+            booking_number = view.read("bookings:count", 0) + 1
+            view.write("bookings:count", booking_number)
+            return {
+                "status": "confirmed",
+                "booking_number": booking_number,
+                "traveller": traveller,
+                "flight": f"FL-{destination}-{booking_number:04d}",
+                "hotel": f"Hotel {destination} Central",
+                "car": f"Car-{destination}-{booking_number:04d}" if need_car else None,
+            }
+
+        return logic
+
+    # ------------------------------------------------------------- invariants
+
+    def bookings_made(self, committed: dict[str, Any]) -> int:
+        """Number of confirmed bookings in a committed snapshot."""
+        return committed.get("bookings:count", 0)
+
+    def seats_left(self, committed: dict[str, Any], destination: str) -> int:
+        """Remaining seats to ``destination``."""
+        return committed.get(f"flight:{destination}:seats", 0)

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures and helpers for the reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.sim.scheduler import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A lossless network bound to the ``sim`` fixture."""
+    return Network(sim)

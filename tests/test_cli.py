@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_quickstart_command_runs_and_reports(capsys):
+    status = main(["quickstart"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "delivered=True" in captured
+    assert "all properties hold" in captured
+
+
+def test_figure8_command_prints_table_and_shape(capsys):
+    status = main(["figure8", "--requests", "1"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "cost of rel." in captured
+    assert "shape holds" in captured and "True" in captured
+
+
+def test_figure7_command(capsys):
+    status = main(["figure7"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "baseline" in captured and "AR" in captured
+    assert "structure matches" in captured
+
+
+def test_figure7_command_with_diagrams(capsys):
+    status = main(["figure7", "--diagrams"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "->" in captured  # sequence arrows rendered
+
+
+def test_figure1_command(capsys):
+    status = main(["figure1"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    for scenario in ("a:", "b:", "c:", "d:"):
+        assert scenario in captured
+
+
+def test_fault_sweep_command(capsys):
+    status = main(["fault-sweep", "--runs", "3"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "3 runs" in captured
+
+
+def test_seed_flag_is_accepted(capsys):
+    status = main(["--seed", "7", "quickstart"])
+    assert status == 0

@@ -1,0 +1,157 @@
+"""Tests for the client protocol (Figure 2) against a scripted application server."""
+
+import pytest
+
+from repro.core import messages as msg
+from repro.core.client import Client
+from repro.core.timing import ProtocolTiming
+from repro.core.types import ABORT, COMMIT, Decision, Request, Result
+from repro.net.message import is_type
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+class ScriptedAppServer(Process):
+    """Replies to client requests according to a scripted list of outcomes."""
+
+    def __init__(self, sim, name, script):
+        super().__init__(sim, name)
+        self.script = list(script)  # outcome per incoming request ("commit"/"abort"/"ignore")
+        self.seen = []
+
+    def on_start(self, recovery):
+        self.spawn(self._serve(), name="scripted")
+
+    def _serve(self):
+        while True:
+            message = yield self.receive(is_type(msg.REQUEST))
+            j = message["j"]
+            request = message["request"]
+            self.seen.append((message.sender, j))
+            action = self.script.pop(0) if self.script else "commit"
+            if action == "ignore":
+                continue
+            if action == "commit":
+                decision = Decision(Result({"ok": True}, request.request_id, self.name), COMMIT)
+            else:
+                decision = Decision(None, ABORT)
+            self.send(message.sender, msg.result_message(j, decision))
+
+
+def build(script, timing=None, servers=("a1", "a2", "a3")):
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    app_servers = []
+    for name in servers:
+        server = ScriptedAppServer(sim, name, script if name == "a1" else ["commit"] * 10)
+        network.register(server)
+        server.start()
+        app_servers.append(server)
+    client = Client(sim, "c1", list(servers), timing=timing or ProtocolTiming())
+    network.register(client)
+    client.start()
+    return sim, network, client, app_servers
+
+
+def test_commit_on_first_try_delivers_result():
+    sim, network, client, servers = build(script=["commit"])
+    issued = client.issue(Request("pay", {"amount": 1}))
+    sim.run_until(lambda: issued.delivered, until=100_000.0)
+    assert issued.delivered
+    assert issued.attempts == 1
+    assert issued.aborted_results == []
+    assert issued.result.value == {"ok": True}
+    assert issued.latency is not None and issued.latency > 0
+
+
+def test_aborted_result_triggers_retry_with_next_j():
+    sim, network, client, servers = build(script=["abort", "abort", "commit"])
+    issued = client.issue(Request("pay", {}))
+    sim.run_until(lambda: issued.delivered, until=100_000.0)
+    assert issued.delivered
+    assert issued.attempts == 3
+    assert issued.aborted_results == [1, 2]
+    js = [j for _, j in servers[0].seen]
+    assert js == [1, 2, 3]  # a fresh result identifier per attempt
+
+
+def test_backoff_broadcasts_to_all_servers():
+    timing = ProtocolTiming(client_backoff=50.0, client_rebroadcast=50.0)
+    sim, network, client, servers = build(script=["ignore", "commit"], timing=timing)
+    issued = client.issue(Request("pay", {}))
+    sim.run_until(lambda: issued.delivered, until=100_000.0)
+    assert issued.delivered
+    broadcast_events = sim.trace.select("client_send", "c1", broadcast=True)
+    assert len(broadcast_events) >= 1
+    # The other servers saw the broadcast for the same j.
+    assert any(j == 1 for _, j in servers[1].seen)
+
+
+def test_client_delivers_exactly_once_even_with_duplicate_results():
+    class DuplicatingServer(ScriptedAppServer):
+        def _serve(self):
+            while True:
+                message = yield self.receive(is_type(msg.REQUEST))
+                j = message["j"]
+                request = message["request"]
+                decision = Decision(Result({"ok": 1}, request.request_id, self.name), COMMIT)
+                for _ in range(3):
+                    self.send(message.sender, msg.result_message(j, decision))
+
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    server = DuplicatingServer(sim, "a1", [])
+    network.register(server)
+    server.start()
+    client = Client(sim, "c1", ["a1"])
+    network.register(client)
+    client.start()
+    issued = client.issue(Request("pay", {}))
+    sim.run_until(lambda: issued.delivered, until=100_000.0)
+    sim.run(until=sim.now + 1_000.0)
+    assert issued.delivered
+    assert sim.trace.count("client_deliver", "c1") == 1
+
+
+def test_requests_are_processed_one_at_a_time_in_order():
+    sim, network, client, servers = build(script=["commit"] * 5)
+    first = client.issue(Request("op-1", {}))
+    second = client.issue(Request("op-2", {}))
+    assert client.pending_requests() == 2
+    sim.run_until(lambda: second.delivered, until=200_000.0)
+    assert first.delivered and second.delivered
+    assert first.delivered_at <= second.delivered_at
+    assert client.pending_requests() == 0
+    assert [issued.request.operation for issued in client.completed] == ["op-1", "op-2"]
+
+
+def test_result_identifiers_are_never_reused_across_requests():
+    sim, network, client, servers = build(script=["abort", "commit", "commit"])
+    first = client.issue(Request("op-1", {}))
+    second = client.issue(Request("op-2", {}))
+    sim.run_until(lambda: second.delivered, until=200_000.0)
+    js = [j for _, j in servers[0].seen]
+    assert js == sorted(js)
+    assert len(js) == len(set(js))
+
+
+def test_crashed_client_stops_and_does_not_deliver():
+    timing = ProtocolTiming(client_backoff=100.0, client_rebroadcast=100.0)
+    sim, network, client, servers = build(script=["ignore", "ignore", "ignore", "ignore"],
+                                          timing=timing)
+    issued = client.issue(Request("pay", {}))
+    sim.schedule(30.0, client.crash)
+    sim.run(until=5_000.0)
+    assert not issued.delivered
+    # A crashed client sends nothing further.
+    sends_after_crash = [e for e in sim.trace.select("client_send", "c1") if e.time > 30.0]
+    assert sends_after_crash == []
+
+
+def test_client_requires_servers_and_valid_primary():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Client(sim, "c1", [])
+    with pytest.raises(ValueError):
+        Client(sim, "c1", ["a1"], default_primary="a9")

@@ -1,0 +1,66 @@
+"""End-to-end tests with the message-based (heartbeat) failure detector.
+
+The protocol-level tests mostly use the oracle eventually-perfect detector for
+speed and precise fault timing; these tests run the real heartbeat-based
+detector to show the protocol does not depend on oracle knowledge of crashes.
+"""
+
+import pytest
+
+from repro.core import DeploymentConfig, EtxDeployment, FD_HEARTBEAT, Request
+from repro.failure.injection import FaultSchedule
+from repro.workload.bank import BankWorkload
+
+BANK = BankWorkload(num_accounts=1, initial_balance=100)
+
+
+def make_deployment(**overrides):
+    defaults = dict(
+        num_app_servers=3,
+        num_db_servers=1,
+        failure_detector=FD_HEARTBEAT,
+        heartbeat_interval=5.0,
+        heartbeat_timeout=20.0,
+        business_logic=BANK.business_logic,
+        initial_data=BANK.initial_data(),
+    )
+    defaults.update(overrides)
+    return EtxDeployment(DeploymentConfig(**defaults))
+
+
+def test_heartbeat_mode_failure_free_commit():
+    deployment = make_deployment()
+    issued = deployment.run_request(BANK.debit(0, 10))
+    assert issued.delivered
+    assert issued.attempts == 1
+    assert deployment.db_servers["d1"].committed_value("account:0") == 90
+    assert deployment.check_spec().ok
+    # Heartbeats actually flowed.
+    assert deployment.trace.count("msg_send", msg_type="Heartbeat") > 0
+
+
+def test_heartbeat_mode_failover_after_primary_crash():
+    deployment = make_deployment()
+    deployment.apply_faults(FaultSchedule().crash(50.0, "a1"))
+    issued = deployment.run_request(BANK.debit(0, 10), horizon=2_000_000.0)
+    assert issued.delivered
+    # The crash was detected through missed heartbeats, not an oracle.
+    assert deployment.trace.count("fd_suspect", target="a1") >= 1
+    assert deployment.db_servers["d1"].committed_value("account:0") == 90
+    report = deployment.check_spec()
+    assert report.ok, report.summary()
+
+
+def test_heartbeat_mode_latency_unchanged_in_failure_free_runs():
+    oracle = EtxDeployment(DeploymentConfig(
+        business_logic=BANK.business_logic, initial_data=BANK.initial_data()))
+    heartbeat = make_deployment()
+    oracle_latency = oracle.run_request(BANK.debit(0, 10)).latency
+    heartbeat_latency = heartbeat.run_request(BANK.debit(0, 10)).latency
+    # The detector is off the request's critical path.
+    assert heartbeat_latency == pytest.approx(oracle_latency, abs=1.0)
+
+
+def test_invalid_failure_detector_mode_rejected():
+    with pytest.raises(ValueError):
+        DeploymentConfig(failure_detector="telepathy")

@@ -1,0 +1,141 @@
+"""Tests for the failure detectors (perfect, eventually perfect, heartbeat)."""
+
+import pytest
+
+from repro.failure.detectors import (
+    EventuallyPerfectFailureDetector,
+    HeartbeatFailureDetector,
+    PerfectFailureDetector,
+)
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+def build(names, seed=0):
+    sim = Simulator(seed=seed)
+    network = Network(sim)
+    procs = {name: network.register(Process(sim, name)) for name in names}
+    return sim, network, procs
+
+
+# --------------------------------------------------------------- perfect FD
+
+
+def test_perfect_fd_tracks_ground_truth():
+    sim, network, procs = build(["a", "b"])
+    fd = PerfectFailureDetector(network)
+    assert not fd.suspect("a", "b")
+    procs["b"].crash()
+    assert fd.suspect("a", "b")
+    procs["b"].recover()
+    assert not fd.suspect("a", "b")
+
+
+def test_perfect_fd_suspects_unknown_process():
+    sim, network, procs = build(["a"])
+    fd = PerfectFailureDetector(network)
+    assert fd.suspect("a", "ghost")
+
+
+# ----------------------------------------------------- eventually perfect FD
+
+
+def test_ep_fd_completeness_after_detection_delay():
+    sim, network, procs = build(["a", "b"])
+    fd = EventuallyPerfectFailureDetector(network, detection_delay=10.0)
+    sim.schedule(5.0, procs["b"].crash)
+    sim.run(until=7.0)
+    assert not fd.suspect("a", "b")  # crash not yet detectable
+    sim.run(until=20.0)
+    assert fd.suspect("a", "b")
+
+
+def test_ep_fd_accuracy_for_up_processes():
+    sim, network, procs = build(["a", "b"])
+    fd = EventuallyPerfectFailureDetector(network, detection_delay=0.0)
+    sim.run(until=100.0)
+    assert not fd.suspect("a", "b")
+    assert not fd.suspect("b", "a")
+
+
+def test_ep_fd_false_suspicion_window_is_transient():
+    sim, network, procs = build(["a", "b"])
+    fd = EventuallyPerfectFailureDetector(network, detection_delay=5.0)
+    fd.inject_false_suspicion("a", "b", start=10.0, duration=20.0)
+    sim.run(until=15.0)
+    assert fd.suspect("a", "b")
+    assert not fd.suspect("b", "a")  # only the named observer is fooled
+    sim.run(until=40.0)
+    assert not fd.suspect("a", "b")  # eventual accuracy
+
+
+def test_ep_fd_recovery_clears_suspicion():
+    sim, network, procs = build(["a", "b"])
+    fd = EventuallyPerfectFailureDetector(network, detection_delay=1.0)
+    sim.schedule(5.0, procs["b"].crash)
+    sim.schedule(50.0, procs["b"].recover)
+    sim.run(until=30.0)
+    assert fd.suspect("a", "b")
+    sim.run(until=60.0)
+    assert not fd.suspect("a", "b")
+
+
+def test_ep_fd_suspected_by_helper():
+    sim, network, procs = build(["a", "b", "c"])
+    fd = EventuallyPerfectFailureDetector(network, detection_delay=0.0)
+    procs["c"].crash()
+    assert fd.suspected_by("a", ["b", "c"]) == ["c"]
+
+
+def test_ep_fd_negative_delay_rejected():
+    sim, network, procs = build(["a"])
+    with pytest.raises(ValueError):
+        EventuallyPerfectFailureDetector(network, detection_delay=-1.0)
+
+
+# ------------------------------------------------------------- heartbeat FD
+
+
+def test_heartbeat_fd_no_suspicions_without_failures():
+    sim, network, procs = build(["a", "b", "c"])
+    fd = HeartbeatFailureDetector(network, ["a", "b", "c"],
+                                  heartbeat_interval=5.0, initial_timeout=15.0)
+    sim.run(until=200.0)
+    for observer in ("a", "b", "c"):
+        for target in ("a", "b", "c"):
+            if observer != target:
+                assert not fd.suspect(observer, target)
+
+
+def test_heartbeat_fd_detects_crash():
+    sim, network, procs = build(["a", "b", "c"])
+    fd = HeartbeatFailureDetector(network, ["a", "b", "c"],
+                                  heartbeat_interval=5.0, initial_timeout=15.0)
+    sim.schedule(50.0, procs["c"].crash)
+    sim.run(until=200.0)
+    assert fd.suspect("a", "c")
+    assert fd.suspect("b", "c")
+    assert not fd.suspect("a", "b")
+
+
+def test_heartbeat_fd_trusts_again_after_recovery_and_adapts_timeout():
+    sim, network, procs = build(["a", "b"])
+    fd = HeartbeatFailureDetector(network, ["a", "b"],
+                                  heartbeat_interval=5.0, initial_timeout=12.0)
+    sim.schedule(30.0, procs["b"].crash)
+    sim.schedule(80.0, procs["b"].recover)
+    sim.schedule(80.1, lambda: fd.reinstall("b"))
+    sim.run(until=70.0)
+    assert fd.suspect("a", "b")
+    sim.run(until=200.0)
+    assert not fd.suspect("a", "b")
+    # The contradicted suspicion raised the timeout for b.
+    assert fd._timeouts["a"]["b"] > 12.0
+    assert sim.trace.count("fd_trust", "a", target="b") >= 1
+
+
+def test_heartbeat_fd_invalid_parameters_rejected():
+    sim, network, procs = build(["a", "b"])
+    with pytest.raises(ValueError):
+        HeartbeatFailureDetector(network, ["a", "b"], heartbeat_interval=0.0)

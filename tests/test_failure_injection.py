@@ -1,0 +1,124 @@
+"""Tests for fault schedules and the random fault plan generator."""
+
+import pytest
+
+from repro.failure.detectors import EventuallyPerfectFailureDetector
+from repro.failure.injection import FaultAction, FaultSchedule, RandomFaultPlan
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+def build(names):
+    sim = Simulator()
+    network = Network(sim)
+    procs = {name: network.register(Process(sim, name)) for name in names}
+    return sim, network, procs
+
+
+def test_crash_and_recover_actions_apply():
+    sim, network, procs = build(["a"])
+    schedule = FaultSchedule().crash(10.0, "a").recover(20.0, "a")
+    schedule.apply(sim, network)
+    sim.run(until=15.0)
+    assert not procs["a"].up
+    sim.run(until=25.0)
+    assert procs["a"].up
+
+
+def test_crash_for_action_applies():
+    sim, network, procs = build(["a"])
+    FaultSchedule().crash_for(5.0, "a", downtime=10.0).apply(sim, network)
+    sim.run(until=7.0)
+    assert not procs["a"].up
+    sim.run(until=20.0)
+    assert procs["a"].up
+
+
+def test_partition_and_heal_actions_apply():
+    sim, network, procs = build(["a", "b"])
+    schedule = FaultSchedule().partition(5.0, ["a"], ["b"]).heal(15.0)
+    schedule.apply(sim, network)
+    sim.run(until=10.0)
+    assert network._partitioned("a", "b")
+    sim.run(until=20.0)
+    assert not network._partitioned("a", "b")
+
+
+def test_false_suspicion_requires_detector():
+    sim, network, procs = build(["a", "b"])
+    schedule = FaultSchedule().false_suspicion(5.0, "a", "b", duration=10.0)
+    with pytest.raises(ValueError):
+        schedule.apply(sim, network, failure_detector=None)
+
+
+def test_false_suspicion_applies_through_detector():
+    sim, network, procs = build(["a", "b"])
+    fd = EventuallyPerfectFailureDetector(network)
+    FaultSchedule().false_suspicion(5.0, "a", "b", duration=10.0).apply(sim, network, fd)
+    sim.run(until=8.0)
+    assert fd.suspect("a", "b")
+    sim.run(until=20.0)
+    assert not fd.suspect("a", "b")
+
+
+def test_invalid_fault_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultAction(1.0, "explode", "a")
+
+
+def test_negative_fault_time_rejected():
+    with pytest.raises(ValueError):
+        FaultAction(-1.0, "crash", "a")
+
+
+def test_schedule_iterates_in_time_order():
+    schedule = FaultSchedule().crash(30.0, "b").crash(10.0, "a").recover(20.0, "a")
+    times = [action.time for action in schedule]
+    assert times == sorted(times)
+
+
+def test_describe_is_human_readable():
+    schedule = (FaultSchedule()
+                .crash(1.0, "a")
+                .crash_for(2.0, "d", downtime=5.0)
+                .partition(3.0, ["a"], ["b"])
+                .false_suspicion(4.0, "x", "y", duration=2.0))
+    lines = schedule.describe()
+    assert len(lines) == 4
+    assert any("crash a" in line for line in lines)
+    assert any("falsely suspects" in line for line in lines)
+
+
+def test_random_plan_is_deterministic_per_seed():
+    plan = RandomFaultPlan(app_servers=["a1", "a2", "a3"], db_servers=["d1", "d2"])
+    first = plan.generate(seed=7).describe()
+    second = plan.generate(seed=7).describe()
+    third = plan.generate(seed=8).describe()
+    assert first == second
+    assert first != third or len(first) == 0
+
+
+def test_random_plan_respects_app_server_majority():
+    plan = RandomFaultPlan(app_servers=["a1", "a2", "a3"], db_servers=[],
+                           db_crash_probability=0.0, false_suspicion_probability=0.0)
+    for seed in range(30):
+        schedule = plan.generate(seed)
+        app_crashes = [a for a in schedule.actions if a.kind == "crash" and a.target.startswith("a")]
+        assert len(app_crashes) <= 1  # minority of 3
+
+
+def test_random_plan_db_crashes_always_recover():
+    plan = RandomFaultPlan(app_servers=["a1", "a2", "a3"], db_servers=["d1", "d2"],
+                           db_crash_probability=1.0)
+    schedule = plan.generate(seed=3)
+    db_actions = [a for a in schedule.actions if a.target.startswith("d")]
+    assert db_actions, "expected database faults with probability 1"
+    assert all(a.kind == "crash_for" for a in db_actions)
+
+
+def test_extend_merges_schedules():
+    first = FaultSchedule().crash(1.0, "a")
+    second = FaultSchedule().crash(2.0, "b")
+    first.extend(second)
+    assert len(first) == 2

@@ -1,0 +1,184 @@
+"""Unit tests for the network fabric: latency, loss, partitions, stats."""
+
+import pytest
+
+from repro.net.latency import ExponentialLatency, FixedLatency, PerLinkLatency, UniformLatency
+from repro.net.message import Message, any_of, from_senders, is_type, is_type_with
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+def build(sim, names, **kwargs):
+    network = Network(sim, **kwargs)
+    procs = {name: network.register(Process(sim, name)) for name in names}
+    return network, procs
+
+
+def test_message_delivered_with_fixed_latency():
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b"], latency=FixedLatency(4.0))
+    procs["a"].send("b", Message("Ping"))
+    sim.run()
+    assert procs["b"].mailbox_size == 1
+    assert sim.now == pytest.approx(4.0)
+
+
+def test_duplicate_registration_rejected():
+    sim = Simulator()
+    network = Network(sim)
+    network.register(Process(sim, "a"))
+    with pytest.raises(ValueError):
+        network.register(Process(sim, "a"))
+
+
+def test_unknown_destination_rejected():
+    sim = Simulator()
+    network, procs = build(sim, ["a"])
+    with pytest.raises(KeyError):
+        procs["a"].send("ghost", Message("Ping"))
+
+
+def test_loss_probability_drops_messages():
+    sim = Simulator(seed=3)
+    network, procs = build(sim, ["a", "b"], loss_probability=0.5)
+    for _ in range(200):
+        procs["a"].send("b", Message("Ping"))
+    sim.run()
+    assert network.stats.dropped_loss > 0
+    assert network.stats.delivered > 0
+    assert network.stats.dropped_loss + network.stats.delivered == 200
+
+
+def test_invalid_loss_probability_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, loss_probability=1.5)
+
+
+def test_partition_blocks_cross_group_traffic_and_heals():
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b", "c"])
+    network.partition(["a"], ["b", "c"])
+    procs["a"].send("b", Message("Ping"))
+    procs["b"].send("c", Message("Ping"))
+    sim.run()
+    assert network.stats.dropped_partition == 1
+    assert network.stats.delivered == 1
+    network.heal_partition()
+    procs["a"].send("b", Message("Ping"))
+    sim.run()
+    assert network.stats.delivered == 2
+
+
+def test_partition_with_unlisted_processes_forms_implicit_group():
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b", "c"])
+    network.partition(["a"])
+    procs["b"].send("c", Message("Ping"))
+    procs["c"].send("a", Message("Ping"))
+    sim.run()
+    assert network.stats.delivered == 1
+    assert network.stats.dropped_partition == 1
+
+
+def test_stats_by_type():
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b"])
+    procs["a"].send("b", Message("Prepare"))
+    procs["a"].send("b", Message("Prepare"))
+    procs["a"].send("b", Message("Decide"))
+    sim.run()
+    assert network.stats.by_type_sent == {"Prepare": 2, "Decide": 1}
+    assert network.stats.by_type_delivered == {"Prepare": 2, "Decide": 1}
+
+
+def test_trace_records_send_and_deliver():
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b"])
+    procs["a"].send("b", Message("Ping"))
+    sim.run()
+    assert sim.trace.count("msg_send", msg_type="Ping") == 1
+    assert sim.trace.count("msg_deliver", msg_type="Ping") == 1
+
+
+def test_messages_have_unique_ids():
+    first = Message("A")
+    second = Message("A")
+    assert first.msg_id != second.msg_id
+
+
+# ---------------------------------------------------------------- latency models
+
+
+def test_uniform_latency_within_bounds():
+    sim = Simulator(seed=1)
+    model = UniformLatency(2.0, 6.0)
+    rng = sim.rng("x")
+    samples = [model.sample(rng, "a", "b") for _ in range(100)]
+    assert all(2.0 <= s <= 6.0 for s in samples)
+    assert model.mean() == pytest.approx(4.0)
+
+
+def test_exponential_latency_has_base_floor():
+    sim = Simulator(seed=1)
+    model = ExponentialLatency(base=3.0, tail_mean=1.0)
+    rng = sim.rng("x")
+    samples = [model.sample(rng, "a", "b") for _ in range(100)]
+    assert all(s >= 3.0 for s in samples)
+    assert model.mean() == pytest.approx(4.0)
+
+
+def test_per_link_latency_overrides():
+    model = PerLinkLatency(FixedLatency(1.0))
+    model.set_link("client", "app", FixedLatency(10.0))
+    rng = Simulator().rng("x")
+    assert model.sample(rng, "client", "app") == 10.0
+    assert model.sample(rng, "app", "db") == 1.0
+
+
+def test_invalid_latency_parameters_rejected():
+    with pytest.raises(ValueError):
+        FixedLatency(-1.0)
+    with pytest.raises(ValueError):
+        UniformLatency(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ExponentialLatency(-1.0, 1.0)
+
+
+# ---------------------------------------------------------------- matchers
+
+
+def test_is_type_matcher():
+    matcher = is_type("Vote", "Decide")
+    assert matcher(Message("Vote"))
+    assert matcher(Message("Decide"))
+    assert not matcher(Message("Prepare"))
+    assert not matcher("not a message")
+
+
+def test_is_type_with_matcher():
+    matcher = is_type_with("Vote", j=3)
+    assert matcher(Message("Vote", payload={"j": 3}))
+    assert not matcher(Message("Vote", payload={"j": 4}))
+    assert not matcher(Message("Decide", payload={"j": 3}))
+
+
+def test_any_of_and_from_senders_matchers():
+    matcher = any_of(is_type("A"), is_type("B"))
+    assert matcher(Message("A")) and matcher(Message("B"))
+    assert not matcher(Message("C"))
+    sender_matcher = from_senders(["s1"], is_type("A"))
+    good = Message("A")
+    good.sender = "s1"
+    bad = Message("A")
+    bad.sender = "s2"
+    assert sender_matcher(good)
+    assert not sender_matcher(bad)
+
+
+def test_message_payload_access():
+    message = Message("Vote", payload={"j": 1, "vote": "yes"})
+    assert message["j"] == 1
+    assert message.get("vote") == "yes"
+    assert message.get("missing", "default") == "default"

@@ -1,0 +1,117 @@
+"""Tests for the reliable-channel layer (retransmission + duplicate suppression)."""
+
+import pytest
+
+from repro.net.message import Message, is_type
+from repro.net.network import Network
+from repro.net.reliable import ReliableChannelLayer
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+
+
+def build(seed=0, loss=0.0, retransmit_interval=5.0, max_attempts=None):
+    sim = Simulator(seed=seed)
+    network = Network(sim, loss_probability=loss)
+    a = network.register(Process(sim, "a"))
+    b = network.register(Process(sim, "b"))
+    layer = ReliableChannelLayer(network, retransmit_interval=retransmit_interval,
+                                 max_attempts=max_attempts)
+    return sim, network, layer, a, b
+
+
+def collect(process, msg_type, sink):
+    def body():
+        while True:
+            message = yield process.receive(is_type(msg_type))
+            sink.append(message)
+
+    return body()
+
+
+def test_message_delivered_over_lossless_network():
+    sim, network, layer, a, b = build()
+    received = []
+    b.spawn(collect(b, "Ping", received))
+    a.send("b", Message("Ping", payload={"n": 1}))
+    sim.run(until=100.0)
+    assert len(received) == 1
+    assert received[0].payload == {"n": 1}
+    assert received[0].sender == "a"
+
+
+def test_message_eventually_delivered_over_lossy_network():
+    sim, network, layer, a, b = build(seed=11, loss=0.6)
+    received = []
+    b.spawn(collect(b, "Data", received))
+    for n in range(10):
+        a.send("b", Message("Data", payload={"n": n}))
+    sim.run(until=2_000.0)
+    assert sorted(m.payload["n"] for m in received) == list(range(10))
+
+
+def test_duplicates_suppressed_at_receiver():
+    # With heavy loss the ack may be lost, causing retransmission of an
+    # already-delivered message; the receiver must deliver it exactly once.
+    sim, network, layer, a, b = build(seed=5, loss=0.5)
+    received = []
+    b.spawn(collect(b, "Data", received))
+    a.send("b", Message("Data", payload={"n": 42}))
+    sim.run(until=2_000.0)
+    assert len(received) == 1
+    # The layer records any suppressed duplicates.
+    duplicates = sim.trace.count("rc_duplicate_suppressed")
+    assert duplicates >= 0  # may be zero on lucky runs; present when acks were lost
+
+
+def test_retransmission_stops_after_ack():
+    sim, network, layer, a, b = build(retransmit_interval=5.0)
+    received = []
+    b.spawn(collect(b, "Ping", received))
+    a.send("b", Message("Ping"))
+    sim.run(until=500.0)
+    assert layer.unacknowledged("a") == 0
+    # Only the original data message should have been transmitted (plus its ack).
+    assert network.stats.by_type_sent.get("_rc_data", 0) == 1
+
+
+def test_crashed_sender_stops_retransmitting():
+    sim, network, layer, a, b = build(loss=1.0)  # nothing ever gets through
+    a.send("b", Message("Ping"))
+    sim.run(until=20.0)
+    a.crash()
+    sent_before = network.stats.sent
+    sim.run(until=200.0)
+    # After the crash the sender performs no further retransmissions.
+    assert network.stats.sent == sent_before
+
+
+def test_max_attempts_bounds_retransmissions():
+    sim, network, layer, a, b = build(loss=1.0, retransmit_interval=2.0, max_attempts=3)
+    a.send("b", Message("Ping"))
+    sim.run(until=100.0)
+    assert network.stats.by_type_sent.get("_rc_data", 0) == 3
+    assert layer.unacknowledged("a") == 0
+
+
+def test_per_destination_sequence_numbers_are_independent():
+    sim = Simulator()
+    network = Network(sim)
+    a = network.register(Process(sim, "a"))
+    b = network.register(Process(sim, "b"))
+    c = network.register(Process(sim, "c"))
+    layer = ReliableChannelLayer(network)
+    received_b, received_c = [], []
+    b.spawn(collect(b, "Data", received_b))
+    c.spawn(collect(c, "Data", received_c))
+    a.send("b", Message("Data", payload={"n": 1}))
+    a.send("c", Message("Data", payload={"n": 2}))
+    sim.run(until=100.0)
+    assert [m.payload["n"] for m in received_b] == [1]
+    assert [m.payload["n"] for m in received_c] == [2]
+
+
+def test_invalid_retransmit_interval_rejected():
+    sim = Simulator()
+    network = Network(sim)
+    with pytest.raises(ValueError):
+        ReliableChannelLayer(network, retransmit_interval=0.0)

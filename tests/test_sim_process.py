@@ -1,0 +1,278 @@
+"""Unit tests for the process / coroutine-thread model."""
+
+import pytest
+
+from repro.net.message import Message, is_type
+from repro.net.network import Network
+from repro.sim.errors import ProcessNotRunning, ThreadError
+from repro.sim.process import Process
+from repro.sim.scheduler import Simulator
+from repro.sim.waits import TIMEOUT, SimFuture
+
+
+def make_pair(sim):
+    network = Network(sim)
+    a = network.register(Process(sim, "a"))
+    b = network.register(Process(sim, "b"))
+    return network, a, b
+
+
+def test_sleep_resumes_after_delay(sim):
+    process = Process(sim, "p")
+    times = []
+
+    def body():
+        yield process.sleep(10.0)
+        times.append(sim.now)
+        yield process.sleep(2.5)
+        times.append(sim.now)
+
+    process.spawn(body())
+    sim.run()
+    assert times == [pytest.approx(10.0), pytest.approx(12.5)]
+
+
+def test_receive_delivers_matching_message(sim):
+    network, a, b = make_pair(sim)
+    got = []
+
+    def receiver():
+        message = yield b.receive(is_type("Ping"))
+        got.append((message.msg_type, message.sender, sim.now))
+
+    b.spawn(receiver())
+    a.send("b", Message("Ping"))
+    sim.run()
+    assert len(got) == 1
+    msg_type, sender, time = got[0]
+    assert msg_type == "Ping" and sender == "a"
+    assert time > 0.0  # network latency elapsed
+
+
+def test_receive_buffers_unmatched_messages(sim):
+    network, a, b = make_pair(sim)
+    got = []
+
+    def receiver():
+        message = yield b.receive(is_type("Wanted"))
+        got.append(message.msg_type)
+
+    b.spawn(receiver())
+    a.send("b", Message("Unwanted"))
+    a.send("b", Message("Wanted"))
+    sim.run()
+    assert got == ["Wanted"]
+    assert b.mailbox_size == 1  # the unwanted message stays buffered
+
+
+def test_receive_consumes_from_mailbox_first(sim):
+    network, a, b = make_pair(sim)
+    got = []
+    a.send("b", Message("Early"))
+    sim.run()
+    assert b.mailbox_size == 1
+
+    def receiver():
+        message = yield b.receive(is_type("Early"))
+        got.append(message.msg_type)
+
+    b.spawn(receiver())
+    sim.run()
+    assert got == ["Early"]
+    assert b.mailbox_size == 0
+
+
+def test_receive_timeout_returns_sentinel(sim):
+    process = Process(sim, "p")
+    results = []
+
+    def body():
+        result = yield process.receive(timeout=5.0)
+        results.append(result)
+
+    process.spawn(body())
+    sim.run()
+    assert results == [TIMEOUT]
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_timeout_cancelled_when_message_arrives_first(sim):
+    network, a, b = make_pair(sim)
+    results = []
+
+    def receiver():
+        result = yield b.receive(is_type("Ping"), timeout=100.0)
+        results.append(result)
+
+    b.spawn(receiver())
+    a.send("b", Message("Ping"))
+    sim.run()
+    assert len(results) == 1
+    assert results[0] is not TIMEOUT
+    assert sim.now < 100.0
+
+
+def test_two_threads_with_different_matchers_get_their_own_messages(sim):
+    network, a, b = make_pair(sim)
+    got = {"x": None, "y": None}
+
+    def wants(msg_type, key):
+        message = yield b.receive(is_type(msg_type))
+        got[key] = message.msg_type
+
+    b.spawn(wants("X", "x"))
+    b.spawn(wants("Y", "y"))
+    a.send("b", Message("Y"))
+    a.send("b", Message("X"))
+    sim.run()
+    assert got == {"x": "X", "y": "Y"}
+
+
+def test_crash_kills_threads_and_clears_mailbox(sim):
+    network, a, b = make_pair(sim)
+    resumed = []
+
+    def body():
+        yield b.sleep(50.0)
+        resumed.append(True)
+
+    b.spawn(body())
+    a.send("b", Message("Ping"))
+    sim.run(until=10.0)
+    b.crash()
+    assert not b.up
+    assert b.mailbox_size == 0
+    assert b.threads == []
+    sim.run()
+    assert resumed == []
+
+
+def test_messages_to_crashed_process_are_dropped(sim):
+    network, a, b = make_pair(sim)
+    b.crash()
+    a.send("b", Message("Ping"))
+    sim.run()
+    assert network.stats.dropped_dest_down == 1
+    assert network.stats.delivered == 0
+
+
+def test_crashed_process_sends_are_ignored(sim):
+    network, a, b = make_pair(sim)
+    a.crash()
+    a.send("b", Message("Ping"))
+    sim.run()
+    assert network.stats.sent == 0
+
+
+def test_recovery_calls_on_start_with_recovery_flag(sim):
+    class Recoverable(Process):
+        def __init__(self, sim, name):
+            super().__init__(sim, name)
+            self.starts = []
+
+        def on_start(self, recovery):
+            self.starts.append(recovery)
+
+    network = Network(sim)
+    p = network.register(Recoverable(sim, "p"))
+    p.start()
+    p.crash()
+    p.recover()
+    assert p.starts == [False, True]
+    assert p.up
+
+
+def test_crash_for_schedules_recovery(sim):
+    network, a, b = make_pair(sim)
+    b.crash_for(25.0)
+    assert not b.up
+    sim.run()
+    assert b.up
+    assert sim.now >= 25.0
+
+
+def test_spawn_on_crashed_process_raises(sim):
+    process = Process(sim, "p")
+    process.crash()
+    with pytest.raises(ProcessNotRunning):
+        process.spawn(iter(()), name="t")
+
+
+def test_thread_exception_is_wrapped_and_traced(sim):
+    process = Process(sim, "p")
+
+    def body():
+        yield process.sleep(1.0)
+        raise RuntimeError("boom")
+
+    process.spawn(body())
+    with pytest.raises(ThreadError):
+        sim.run()
+    assert sim.trace.count("thread_error", "p") == 1
+
+
+def test_wait_for_future_resolution(sim):
+    process = Process(sim, "p")
+    future = SimFuture()
+    got = []
+
+    def body():
+        value = yield process.wait_for(future)
+        got.append(value)
+
+    process.spawn(body())
+    sim.schedule(7.0, lambda: future.resolve("decided"))
+    sim.run()
+    assert got == ["decided"]
+
+
+def test_wait_for_already_resolved_future(sim):
+    process = Process(sim, "p")
+    future = SimFuture()
+    future.resolve(99)
+    got = []
+
+    def body():
+        value = yield process.wait_for(future)
+        got.append(value)
+
+    process.spawn(body())
+    sim.run()
+    assert got == [99]
+
+
+def test_future_is_write_once(sim):
+    future = SimFuture()
+    future.resolve(1)
+    future.resolve(2)
+    assert future.value == 1
+
+
+def test_wait_for_future_timeout(sim):
+    process = Process(sim, "p")
+    future = SimFuture()
+    got = []
+
+    def body():
+        value = yield process.wait_for(future, timeout=3.0)
+        got.append(value)
+
+    process.spawn(body())
+    sim.run()
+    assert got == [TIMEOUT]
+
+
+def test_multicast_sends_to_every_destination(sim):
+    network = Network(sim)
+    a = network.register(Process(sim, "a"))
+    targets = [network.register(Process(sim, f"t{i}")) for i in range(3)]
+    a.multicast([t.name for t in targets], Message("Hello"))
+    sim.run()
+    assert network.stats.delivered == 3
+    assert all(t.mailbox_size == 1 for t in targets)
+
+
+def test_send_without_transport_raises(sim):
+    process = Process(sim, "orphan")
+    with pytest.raises(ProcessNotRunning):
+        process.send("nowhere", Message("Ping"))

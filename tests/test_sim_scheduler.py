@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.errors import InvalidScheduling, SimulationLimitExceeded
+from repro.sim.scheduler import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("b"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(9.0, lambda: fired.append("c"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == pytest.approx(9.0)
+
+
+def test_same_time_events_fire_in_fifo_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(3.0, lambda label=label: fired.append(label))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(InvalidScheduling):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(InvalidScheduling):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_time_horizon_stops_clock_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("early"))
+    sim.schedule(50.0, lambda: fired.append("late"))
+    sim.run(until=10.0)
+    assert fired == ["early"]
+    assert sim.now == pytest.approx(10.0)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_predicate():
+    sim = Simulator()
+    counter = {"n": 0}
+
+    def tick():
+        counter["n"] += 1
+        sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    satisfied = sim.run_until(lambda: counter["n"] >= 5, until=100.0)
+    assert satisfied
+    assert counter["n"] == 5
+
+
+def test_run_until_predicate_not_satisfied_within_horizon():
+    sim = Simulator()
+    satisfied = sim.run_until(lambda: False, until=10.0)
+    assert not satisfied
+
+
+def test_event_callbacks_can_schedule_more_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == pytest.approx(2.0)
+
+
+def test_max_events_guard_detects_livelock():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationLimitExceeded):
+        sim.run(max_events=1000)
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    sim_a = Simulator(seed=7)
+    sim_b = Simulator(seed=7)
+    draws_a = [sim_a.rng("net").random() for _ in range(5)]
+    draws_b = [sim_b.rng("net").random() for _ in range(5)]
+    assert draws_a == draws_b
+    # A different stream does not replay the same sequence.
+    other = [sim_a.rng("fd").random() for _ in range(5)]
+    assert other != draws_a
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(5.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [pytest.approx(5.0)]

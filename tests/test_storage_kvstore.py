@@ -1,0 +1,270 @@
+"""Tests for the transactional key-value store and the XA facade."""
+
+import pytest
+
+from repro.storage.kvstore import (
+    ABORTED,
+    COMMITTED,
+    PREPARED,
+    TransactionError,
+    TransactionalKVStore,
+)
+from repro.storage.locks import LockConflict
+from repro.storage.stable import StableStorage
+from repro.storage.xa import OUTCOME_ABORT, OUTCOME_COMMIT, XAResource
+
+
+def make_store(**initial):
+    return TransactionalKVStore("db", initial_data=initial)
+
+
+# ------------------------------------------------------------------ basic txn
+
+
+def test_begin_read_write_commit_cycle():
+    store = make_store(balance=100)
+    store.begin("t1")
+    assert store.read("t1", "balance") == 100
+    store.write("t1", "balance", 90)
+    assert store.read("t1", "balance") == 90  # sees own write
+    assert store.get_committed("balance") == 100  # not yet durable
+    store.prepare("t1")
+    store.commit("t1")
+    assert store.get_committed("balance") == 90
+    assert store.status("t1") == COMMITTED
+
+
+def test_begin_is_idempotent_for_active_transaction():
+    store = make_store()
+    first = store.begin("t1")
+    second = store.begin("t1")
+    assert first is second
+
+
+def test_begin_after_termination_rejected():
+    store = make_store()
+    store.begin("t1")
+    store.abort("t1")
+    with pytest.raises(TransactionError):
+        store.begin("t1")
+
+
+def test_abort_discards_writes_and_releases_locks():
+    store = make_store(x=1)
+    store.begin("t1")
+    store.write("t1", "x", 2)
+    store.abort("t1")
+    assert store.get_committed("x") == 1
+    assert store.status("t1") == ABORTED
+    store.begin("t2")
+    store.write("t2", "x", 3)  # lock is free again
+
+
+def test_write_conflict_raises_lock_conflict():
+    store = make_store()
+    store.begin("t1")
+    store.begin("t2")
+    store.write("t1", "x", 1)
+    with pytest.raises(LockConflict):
+        store.write("t2", "x", 2)
+
+
+def test_commit_requires_prepare_unless_one_phase():
+    store = make_store()
+    store.begin("t1")
+    store.write("t1", "x", 1)
+    with pytest.raises(TransactionError):
+        store.commit("t1")
+    store.commit("t1", allow_one_phase=True)
+    assert store.get_committed("x") == 1
+
+
+def test_commit_unknown_or_aborted_rejected():
+    store = make_store()
+    with pytest.raises(TransactionError):
+        store.commit("ghost")
+    store.begin("t1")
+    store.abort("t1")
+    with pytest.raises(TransactionError):
+        store.commit("t1")
+
+
+def test_abort_after_commit_rejected_and_commit_idempotent():
+    store = make_store()
+    store.begin("t1")
+    store.write("t1", "x", 1)
+    store.prepare("t1")
+    store.commit("t1")
+    assert store.commit("t1") == 0.0  # idempotent
+    with pytest.raises(TransactionError):
+        store.abort("t1")
+
+
+def test_read_from_unknown_transaction_rejected():
+    store = make_store()
+    with pytest.raises(TransactionError):
+        store.read("ghost", "x")
+
+
+# --------------------------------------------------------------------- voting
+
+
+def test_prepare_votes_yes_and_holds_locks():
+    store = make_store()
+    store.begin("t1")
+    store.write("t1", "x", 1)
+    vote, cost = store.prepare("t1")
+    assert vote == "yes"
+    assert cost > 0  # forced log write
+    assert store.status("t1") == PREPARED
+    assert store.in_doubt() == ["t1"]
+    store.begin("t2")
+    with pytest.raises(LockConflict):
+        store.write("t2", "x", 2)  # in-doubt transaction still holds the lock
+
+
+def test_prepare_unknown_transaction_votes_no():
+    store = make_store()
+    vote, cost = store.prepare("ghost")
+    assert vote == "no"
+    assert cost == 0.0
+
+
+def test_prepare_is_idempotent():
+    store = make_store()
+    store.begin("t1")
+    store.write("t1", "x", 1)
+    assert store.prepare("t1")[0] == "yes"
+    vote, cost = store.prepare("t1")
+    assert vote == "yes"
+    assert cost == 0.0
+
+
+# ------------------------------------------------------------- crash recovery
+
+
+def test_recovery_restores_committed_state():
+    store = make_store(balance=100)
+    store.begin("t1")
+    store.write("t1", "balance", 42)
+    store.prepare("t1")
+    store.commit("t1")
+    store.crash()
+    assert store.committed_snapshot() == {}
+    in_doubt = store.recover()
+    assert in_doubt == []
+    assert store.get_committed("balance") == 42
+
+
+def test_recovery_restores_in_doubt_transactions_with_locks():
+    store = make_store()
+    store.begin("t1")
+    store.write("t1", "x", 1)
+    store.prepare("t1")
+    store.crash()
+    in_doubt = store.recover()
+    assert in_doubt == ["t1"]
+    assert store.status("t1") == PREPARED
+    store.begin("t2")
+    with pytest.raises(LockConflict):
+        store.write("t2", "x", 9)
+    # A later decision can still commit the in-doubt transaction.
+    store.commit("t1")
+    assert store.get_committed("x") == 1
+
+
+def test_recovery_discards_active_unprepared_transactions():
+    store = make_store(x=0)
+    store.begin("t1")
+    store.write("t1", "x", 5)
+    store.crash()
+    in_doubt = store.recover()
+    assert in_doubt == []
+    assert store.get_committed("x") == 0
+    # The lock died with the unprepared transaction.
+    store.begin("t2")
+    store.write("t2", "x", 7)
+
+
+def test_recovery_preserves_initial_data():
+    store = make_store(seats=10)
+    store.crash()
+    store.recover()
+    assert store.get_committed("seats") == 10
+
+
+# ------------------------------------------------------------------ XA facade
+
+
+def test_xa_execute_vote_decide_commit():
+    resource = XAResource(make_store(balance=100))
+
+    def logic(view):
+        balance = view.read("balance")
+        view.write("balance", balance - 10)
+        return {"new_balance": balance - 10}
+
+    result = resource.execute("t1", logic)
+    assert result == {"new_balance": 90}
+    vote, _ = resource.vote("t1")
+    assert vote == "yes"
+    outcome, _ = resource.decide("t1", OUTCOME_COMMIT)
+    assert outcome == OUTCOME_COMMIT
+    assert resource.store.get_committed("balance") == 90
+
+
+def test_xa_decide_abort_always_aborts():
+    resource = XAResource(make_store(balance=100))
+    resource.execute("t1", lambda view: view.write("balance", 0))
+    resource.vote("t1")
+    outcome, _ = resource.decide("t1", OUTCOME_ABORT)
+    assert outcome == OUTCOME_ABORT
+    assert resource.store.get_committed("balance") == 100
+
+
+def test_xa_commit_without_yes_vote_refused():
+    resource = XAResource(make_store())
+    resource.execute("t1", lambda view: view.write("x", 1))
+    # No vote() call: decide(commit) must not commit.
+    outcome, _ = resource.decide("t1", OUTCOME_COMMIT)
+    assert outcome == OUTCOME_ABORT
+    assert resource.store.get_committed("x") is None
+
+
+def test_xa_decide_commit_is_idempotent():
+    resource = XAResource(make_store())
+    resource.execute("t1", lambda view: view.write("x", 1))
+    resource.vote("t1")
+    assert resource.decide("t1", OUTCOME_COMMIT)[0] == OUTCOME_COMMIT
+    assert resource.decide("t1", OUTCOME_COMMIT)[0] == OUTCOME_COMMIT
+
+
+def test_xa_unknown_outcome_rejected():
+    resource = XAResource(make_store())
+    with pytest.raises(ValueError):
+        resource.decide("t1", "maybe")
+
+
+def test_xa_lock_conflict_during_execute_aborts_transaction():
+    store = make_store()
+    resource = XAResource(store)
+    resource.execute("t1", lambda view: view.write("x", 1))
+    with pytest.raises(LockConflict):
+        resource.execute("t2", lambda view: view.write("x", 2))
+    assert store.status("t2") == ABORTED
+
+
+def test_xa_recover_reports_in_doubt():
+    resource = XAResource(make_store())
+    resource.execute("t1", lambda view: view.write("x", 1))
+    resource.vote("t1")
+    resource.crash()
+    assert resource.recover() == ["t1"]
+    assert resource.in_doubt() == ["t1"]
+
+
+def test_xa_one_phase_commit():
+    resource = XAResource(make_store())
+    resource.execute("t1", lambda view: view.write("x", 1))
+    resource.commit_one_phase("t1")
+    assert resource.store.get_committed("x") == 1
