@@ -9,66 +9,57 @@ debited exactly once.  The same crash against the unreliable baseline leaves
 the client hanging, which is why end users retry, which is how people get
 charged twice.
 
+Both stacks come from one scenario DSN each -- only the scheme (and the crash
+time) differs.
+
 Run with:  python examples/bank_failover.py
 """
 
-from repro.baselines import BaselineConfig, BaselineDeployment
-from repro.core import DeploymentConfig, EtxDeployment
-from repro.failure.injection import FaultSchedule
+from repro import api
 from repro.workload.bank import BankWorkload
 
-CRASH_TIME = 244.0           # just after the decision is written into regD
-BASELINE_CRASH_TIME = 215.0  # after the database commit, before the client's reply
+# just after the decision is written into regD:
+ETX_DSN = "etx://a3.d1.c1?detect=10&fault=crash@244:a1"
+# after the database commit, before the client's reply:
+BASELINE_DSN = "baseline://a1.d1.c1?fault=crash@215:a1"
 
 
 def run_etransaction(bank: BankWorkload) -> None:
-    deployment = EtxDeployment(DeploymentConfig(
-        num_app_servers=3,
-        num_db_servers=1,
-        detection_delay=10.0,
-        business_logic=bank.business_logic,
-        initial_data=bank.initial_data(),
-    ))
-    deployment.apply_faults(FaultSchedule().crash(CRASH_TIME, "a1"))
-    issued = deployment.run_request(bank.debit(0, 100))
+    system = api.build(api.Scenario.from_dsn(ETX_DSN), workload=bank)
+    issued = system.run_request(bank.debit(0, 100))
 
     answered_by = {event.process
-                   for event in deployment.trace.select("as_result_sent", outcome="commit")}
+                   for event in system.trace.select("as_result_sent", outcome="commit")}
     print("=== e-Transaction protocol (asynchronous replication) ===")
-    print("primary a1 crashed at t=%.0f ms" % CRASH_TIME)
+    print("scenario:", ETX_DSN)
     print("delivered:", issued.delivered, " latency: %.1f ms" % issued.latency)
     print("result computed by:", issued.result.computed_by,
           " committed result reported by:", sorted(answered_by))
-    balance = deployment.db_servers["d1"].committed_value("account:0")
+    balance = system.db_servers["d1"].committed_value("account:0")
     print("account balance:", balance, "(debited exactly once)")
-    print("specification:", deployment.check_spec().summary())
+    print("specification:", system.check_spec().summary())
     assert balance == bank.initial_balance - 100
 
 
 def run_baseline(bank: BankWorkload) -> None:
-    deployment = BaselineDeployment(BaselineConfig(
-        num_db_servers=1,
-        business_logic=bank.business_logic,
-        initial_data=bank.initial_data(),
-    ))
-    deployment.apply_faults(FaultSchedule().crash(BASELINE_CRASH_TIME, "a1"))
-    issued = deployment.issue(bank.debit(0, 100))
-    deployment.run(until=60_000.0)
+    system = api.build(api.Scenario.from_dsn(BASELINE_DSN), workload=bank)
+    issued = system.issue(bank.debit(0, 100))
+    system.run(until=60_000.0)
 
-    balance = deployment.db_servers["d1"].committed_value("account:0")
+    balance = system.db_servers["d1"].committed_value("account:0")
     print("\n=== unreliable baseline, crash between commit and reply ===")
+    print("scenario:", BASELINE_DSN)
     print("delivered:", issued.delivered)
     print("account balance:", balance)
     if not issued.delivered and balance != bank.initial_balance:
         print("the payment WAS applied but the user never heard back -- "
               "a manual retry would charge the account twice")
-    report = deployment.check_spec()
+    report = system.check_spec()
     print("specification:", report.summary())
 
 
 def main() -> None:
-    bank = BankWorkload(num_accounts=1, initial_balance=500)
-    run_etransaction(bank)
+    run_etransaction(BankWorkload(num_accounts=1, initial_balance=500))
     run_baseline(BankWorkload(num_accounts=1, initial_balance=500))
 
 

@@ -1,42 +1,44 @@
 #!/usr/bin/env python3
 """Quickstart: run one e-Transaction through a simulated three-tier system.
 
-Builds the default deployment (one client, three application servers, one
-database server, consensus-backed wo-registers), issues a single request,
-and checks the run against the executable e-Transaction specification.
+One scenario DSN describes the whole deployment (one client, three application
+servers, one database server, consensus-backed wo-registers); the unified
+scenario API builds it, issues a single request, and checks the run against
+the executable e-Transaction specification.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import DeploymentConfig, EtxDeployment, Request
+from repro import api
+from repro.core import Request
+
+DSN = "etx://a3.d1.c1"   # 3 app servers (tolerates one crash), 1 db, 1 client
 
 
 def main() -> None:
-    deployment = EtxDeployment(DeploymentConfig(
-        num_app_servers=3,      # tolerates one application-server crash
-        num_db_servers=1,
-        initial_data={"greeting": None},
-    ))
+    system = api.build(api.Scenario.from_dsn(DSN),
+                       initial_data={"greeting": None})
 
     # issue() returns a handle; run_request drives the simulator until the
     # committed result is delivered back to the client.
-    issued = deployment.run_request(Request("greeting", {"text": "hello, exactly once"}))
+    issued = system.run_request(Request("greeting", {"text": "hello, exactly once"}))
 
-    print("delivered:        ", issued.delivered)
+    print("scenario:          ", DSN)
+    print("delivered:         ", issued.delivered)
     print("attempts (results):", issued.attempts)
-    print("client latency:    %.1f ms (virtual)" % issued.latency)
+    print("client latency:     %.1f ms (virtual)" % issued.latency)
     print("result value:      ", issued.result.value)
     print("computed by:       ", issued.result.computed_by)
-    print("database contents: ", deployment.db_servers["d1"].committed_value("greeting"))
+    print("database contents: ", system.db_servers["d1"].committed_value("greeting"))
 
     # Every run records a structured trace; the specification checker verifies
     # the paper's properties (T.1, T.2, A.1-A.3, V.1, V.2) over it.
-    report = deployment.check_spec()
+    report = system.check_spec()
     print("specification:     ", report.summary())
 
     # A peek at what happened on the wire.
     print("\nmessage counts by type:")
-    for msg_type, count in sorted(deployment.network.stats.by_type_sent.items()):
+    for msg_type, count in sorted(system.stats.by_type_sent.items()):
         print(f"  {msg_type:<16} {count}")
 
 

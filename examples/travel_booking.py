@@ -5,42 +5,35 @@ Two clients book trips (flight + hotel + car) against a two-database
 back end.  Inventory is finite, so some bookings come back as ``sold_out`` --
 a *user-level abort*, which the paper models as a regular result value: the
 e-Transaction still executes exactly once, it just tells the user there are no
-seats left.  A database crash in the middle of the run is tolerated without
-losing or duplicating any booking.
+seats left.  A database crash in the middle of the run -- declared right in
+the scenario DSN -- is tolerated without losing or duplicating any booking.
 
 Run with:  python examples/travel_booking.py
 """
 
-from repro.core import DeploymentConfig, EtxDeployment
-from repro.failure.injection import FaultSchedule
+from repro import api
 from repro.workload.travel import TravelWorkload
+
+# 3 app servers, both databases must commit every booking, two clients; one of
+# the databases crashes for a while in the middle of the run -- the protocol
+# keeps retrying the decision until it recovers (property T.2).
+DSN = "etx://a3.d2.c2?seed=42&fault=crash_for@600:d2:800"
 
 
 def main() -> None:
     travel = TravelWorkload(destinations=("PAR", "NYC"), seats_per_flight=3,
                             rooms_per_hotel=3, cars_per_city=2)
-    deployment = EtxDeployment(DeploymentConfig(
-        num_app_servers=3,
-        num_db_servers=2,          # both databases must commit every booking
-        num_clients=2,
-        business_logic=travel.business_logic,
-        initial_data=travel.initial_data(),
-        seed=42,
-    ))
-
-    # One of the databases crashes for a while in the middle of the run; the
-    # protocol keeps retrying the decision until it recovers (property T.2).
-    deployment.apply_faults(FaultSchedule().crash_for(600.0, "d2", downtime=800.0))
+    system = api.build(api.Scenario.from_dsn(DSN), workload=travel)
 
     bookings = []
     for index in range(8):
         client = "c1" if index % 2 == 0 else "c2"
         destination = "PAR" if index < 5 else "NYC"
-        bookings.append((client, deployment.issue(
+        bookings.append((client, system.issue(
             travel.book(destination, traveller=f"{client}-trip{index}"), client=client)))
 
-    deployment.sim.run_until(lambda: all(issued.delivered for _, issued in bookings),
-                             until=5_000_000.0)
+    system.sim.run_until(lambda: all(issued.delivered for _, issued in bookings),
+                         until=5_000_000.0)
 
     confirmed = 0
     for client, issued in bookings:
@@ -53,7 +46,7 @@ def main() -> None:
         else:
             print(f"{client}: sold out   ({value})")
 
-    for name, db in deployment.db_servers.items():
+    for name, db in system.db_servers.items():
         snapshot = db.store.committed_snapshot()
         print(f"\n{name}: bookings={travel.bookings_made(snapshot)} "
               f"seats PAR={travel.seats_left(snapshot, 'PAR')} "
@@ -61,11 +54,11 @@ def main() -> None:
 
     # Exactly-once accounting: confirmed bookings == inventory consumed, on
     # every database, despite the crash.
-    d1 = deployment.db_servers["d1"].store.committed_snapshot()
-    d2 = deployment.db_servers["d2"].store.committed_snapshot()
+    d1 = system.db_servers["d1"].store.committed_snapshot()
+    d2 = system.db_servers["d2"].store.committed_snapshot()
     assert d1 == d2, "databases must agree"
     assert travel.bookings_made(d1) == confirmed
-    print("\nspecification:", deployment.check_spec().summary())
+    print("\nspecification:", system.check_spec().summary())
 
 
 if __name__ == "__main__":

@@ -23,12 +23,15 @@ depends on:
 * ``repro.metrics`` -- latency-component accounting and communication-step
   counting used to regenerate the paper's figures.
 * ``repro.experiments`` -- one harness per table/figure plus ablations.
+* ``repro.api`` -- the unified scenario API: declarative :class:`Scenario`
+  objects with a DSN string form, a protocol-driver registry, and
+  ``run_scenario`` -- the single entry point every experiment, example and
+  CLI command builds through.
 
 Quickstart::
 
-    from repro.experiments import figure8
-    report = figure8.run()
-    print(report.to_table())
+    from repro import api
+    print(api.run_scenario("etx://a3.d1.c1?fd=heartbeat&seed=7").summary())
 """
 
 from repro.version import __version__

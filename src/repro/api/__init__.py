@@ -1,0 +1,73 @@
+"""Unified scenario API: one protocol-agnostic facade for every run.
+
+This package is the single entry point for building and running any scenario
+of the reproduction -- the e-Transaction protocol and the three comparison
+protocols alike::
+
+    from repro import api
+
+    # declaratively ...
+    scenario = api.Scenario(protocol="etx", num_app_servers=3, workload="bank")
+
+    # ... or from a DSN string (round-trips via scenario.to_dsn()):
+    scenario = api.Scenario.from_dsn("etx://a3.d1.c1?fd=heartbeat&seed=7")
+
+    result = api.run_scenario(scenario)
+    print(result.summary())          # latency, messages, spec report
+
+    # or keep your hands on the wheel:
+    system = api.build(scenario)     # a RunningSystem facade
+    issued = system.run_request(system.standard_request())
+    assert system.check_spec().ok
+
+New protocols plug in with :func:`register_protocol`; their DSN scheme and
+smoke coverage (tests parametrize over :func:`registered_protocols`) come for
+free.  New workloads plug in with :func:`register_workload`.
+"""
+
+from repro.api.drivers import (
+    ProtocolDriver,
+    RunningSystem,
+    build,
+    get_protocol,
+    iter_drivers,
+    register_protocol,
+    registered_protocols,
+)
+from repro.api.runner import ScenarioResult, run_scenario
+from repro.api.scenario import (
+    FaultSpec,
+    Scenario,
+    ScenarioError,
+    default_app_servers,
+    known_schemes,
+    register_scheme,
+)
+from repro.api.workloads import (
+    WorkloadBinding,
+    bind_workload,
+    register_workload,
+    registered_workloads,
+)
+
+__all__ = [
+    "Scenario",
+    "FaultSpec",
+    "ScenarioError",
+    "known_schemes",
+    "register_scheme",
+    "default_app_servers",
+    "ProtocolDriver",
+    "RunningSystem",
+    "register_protocol",
+    "registered_protocols",
+    "get_protocol",
+    "iter_drivers",
+    "build",
+    "ScenarioResult",
+    "run_scenario",
+    "WorkloadBinding",
+    "bind_workload",
+    "register_workload",
+    "registered_workloads",
+]

@@ -1,0 +1,111 @@
+"""Run a scenario end-to-end and bundle the result.
+
+:func:`run_scenario` is the one-call entry point behind ``python -m repro run
+<dsn>``: build the scenario's stack, drive its standard workload in a closed
+loop, then package latency breakdown, message counts, attempts and the
+specification report into a :class:`ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Union
+
+from repro.api.drivers import RunningSystem, build
+from repro.api.scenario import Scenario
+from repro.core.spec import SpecReport
+from repro.metrics.latency import LatencyBreakdown, breakdown_from_run
+from repro.workload.generator import ClosedLoopDriver, RunStatistics
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    dsn: str
+    requested: int
+    statistics: RunStatistics
+    breakdown: LatencyBreakdown
+    message_counts: dict[str, int]
+    total_messages: int
+    spec: SpecReport
+
+    @property
+    def delivered(self) -> int:
+        """Number of requests whose committed result reached the client."""
+        return self.statistics.count
+
+    @property
+    def ok(self) -> bool:
+        """Every request delivered and every checked property holds."""
+        return self.delivered == self.requested and self.spec.ok
+
+    def summary(self) -> str:
+        """A compact multi-line report (what the CLI prints)."""
+        stats = self.statistics
+        lines = [
+            f"scenario   {self.dsn}",
+            f"protocol   {self.scenario.protocol}   workload {self.scenario.workload}"
+            f"   seed {self.scenario.seed}",
+            f"requests   {self.delivered}/{self.requested} delivered"
+            f"   attempts mean {stats.mean_attempts:.1f}",
+            f"latency    mean {stats.mean_latency:.1f} ms"
+            f"   max {stats.max_latency:.1f} ms",
+            f"messages   {self.total_messages} sent"
+            f" ({self._top_message_types()})",
+            f"spec       {self.spec.summary()}",
+        ]
+        return "\n".join(lines)
+
+    def _top_message_types(self, limit: int = 4) -> str:
+        ranked = sorted(self.message_counts.items(),
+                        key=lambda item: (-item[1], item[0]))
+        head = ", ".join(f"{name}={count}" for name, count in ranked[:limit])
+        return head + (", ..." if len(ranked) > limit else "")
+
+
+def run_scenario(scenario: Union[Scenario, str], requests: int = 1,
+                 horizon_per_request: float = 1_000_000.0,
+                 settle: float = 5_000.0,
+                 check_termination: Optional[bool] = None,
+                 **build_overrides: Any) -> ScenarioResult:
+    """Build ``scenario`` (a :class:`Scenario` or DSN string), run it, report.
+
+    ``requests`` standard workload requests are issued in a closed loop.  After
+    the last delivery the simulation runs ``settle`` further milliseconds so
+    cleanup traffic (fail-over, decides, acknowledgements) lands in the trace
+    before the specification is checked.  ``check_termination`` defaults to
+    *auto*: termination properties are only enforced when every request was
+    delivered and no client was deliberately crashed.  Extra keyword arguments
+    are forwarded to :func:`repro.api.build` (workload / timing overrides).
+    """
+    if isinstance(scenario, str):
+        scenario = Scenario.from_dsn(scenario)
+    system = build(scenario, **build_overrides)
+    driver = ClosedLoopDriver(system, horizon_per_request=horizon_per_request)
+    statistics = driver.run([system.standard_request() for _ in range(requests)])
+    if settle > 0:
+        system.run(until=system.sim.now + settle)
+    if check_termination is None:
+        client_faulted = any(fault.target in scenario.client_names
+                             for fault in scenario.faults)
+        check_termination = statistics.undelivered == 0 and not client_faulted
+    spec = system.check_spec(check_termination=check_termination)
+    breakdown = breakdown_from_run(
+        protocol=scenario.protocol,
+        trace=system.trace,
+        timing=system.db_timing,
+        mean_latency=statistics.mean_latency,
+        samples=statistics.count,
+    )
+    return ScenarioResult(
+        scenario=scenario,
+        dsn=scenario.to_dsn(),
+        requested=requests,
+        statistics=statistics,
+        breakdown=breakdown,
+        message_counts=dict(system.stats.by_type_sent),
+        total_messages=system.stats.sent,
+        spec=spec,
+    )

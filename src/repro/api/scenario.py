@@ -1,0 +1,380 @@
+"""Declarative scenario descriptions and their DSN string form.
+
+A :class:`Scenario` captures everything needed to build and run one protocol
+stack -- tier sizes, protocol, register mode, failure detector, latency
+topology, loss, timings, workload and fault schedule -- as plain data.  Every
+scenario has a DSN (data-source-name) form modelled on database connection
+strings::
+
+    etx://a3.d1.c1?fd=heartbeat&loss=0.01&seed=7
+    2pc://a1.d1?workload=bank&timing=paper&log=25
+    pb://a2.d1?workload=bank
+    baseline://a1.d1?fault=crash@215:a1
+
+The scheme selects the protocol (``etx``/``ar``, ``2pc``/``twopc``,
+``pb``/``primary-backup``, ``baseline``; extensible via
+:func:`register_scheme`).  The host part gives the tier sizes as dot-separated
+tokens ``a<N>`` (application servers), ``d<N>`` (database servers) and
+``c<N>`` (clients), in any order; omitted tiers fall back to the protocol's
+defaults.  Query parameters tune everything else; ``fault`` may repeat, every
+other parameter may appear at most once (a duplicate is ambiguous and
+rejected, as in database DSNs).
+
+``Scenario.from_dsn`` and ``Scenario.to_dsn`` round-trip:
+``Scenario.from_dsn(s.to_dsn()) == s`` for every scenario.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, Optional
+from urllib.parse import parse_qsl
+
+from repro.baselines.common import BaselineConfig
+from repro.core.deployment import DeploymentConfig
+from repro.core.timing import ProtocolTiming
+from repro.failure.injection import FaultSchedule
+
+REGISTER_CONSENSUS = "consensus"
+REGISTER_LOCAL = "local"
+FD_ORACLE = "oracle"
+FD_HEARTBEAT = "heartbeat"
+
+TIMING_DEFAULT = "default"
+TIMING_PAPER = "paper"
+
+
+class ScenarioError(ValueError):
+    """A malformed scenario DSN or an invalid scenario field."""
+
+
+# ------------------------------------------------------------------ schemes
+
+_SCHEME_ALIASES: dict[str, str] = {}
+_DEFAULT_APP_SERVERS: dict[str, int] = {}
+
+
+def register_scheme(name: str, *aliases: str, default_app_servers: int = 1) -> None:
+    """Make ``name`` (and ``aliases``) valid DSN schemes for protocol ``name``."""
+    _SCHEME_ALIASES[name] = name
+    for alias in aliases:
+        _SCHEME_ALIASES[alias] = name
+    _DEFAULT_APP_SERVERS[name] = default_app_servers
+
+
+def known_schemes() -> list[str]:
+    """Every scheme (including aliases) the DSN parser accepts."""
+    return sorted(_SCHEME_ALIASES)
+
+
+def default_app_servers(protocol: str) -> int:
+    """Middle-tier size used when a DSN omits the ``a<N>`` host token."""
+    return _DEFAULT_APP_SERVERS.get(protocol, 1)
+
+
+# Schemes are registered by their protocol drivers via
+# :func:`repro.api.register_protocol` (see ``repro.api.drivers`` for the four
+# paper protocols), keeping one source of truth for names, aliases and
+# default tier sizes.  Importing any ``repro.api`` submodule runs the package
+# ``__init__``, which loads the drivers first.
+
+
+# ------------------------------------------------------------------- faults
+
+
+def _format_number(value: float) -> str:
+    """Shortest decimal text that parses back to exactly ``value``."""
+    text = repr(float(value))
+    return text[:-2] if text.endswith(".0") else text
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One DSN-expressible fault: ``kind@time:target[:extra...]``.
+
+    Tokens::
+
+        crash@244:a1                      crash a1 at t=244
+        recover@500:a1                    recover a1 at t=500
+        crash_for@600:d2:800              crash d2 at t=600 for 800 ms
+        false_suspicion@15:a2:a1:200      a2 falsely suspects a1 for 200 ms
+    """
+
+    kind: str
+    time: float
+    target: str
+    downtime: float = 0.0
+    observer: str = ""
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "recover", "crash_for", "false_suspicion"):
+            raise ScenarioError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ScenarioError("fault time must be non-negative")
+
+    @classmethod
+    def from_token(cls, token: str) -> "FaultSpec":
+        """Parse one ``fault=`` query value."""
+        match = re.fullmatch(r"([a-z_]+)@([^:]+)((?::[^:]+)*)", token)
+        if match is None:
+            raise ScenarioError(f"malformed fault token {token!r} "
+                                "(expected kind@time:target[:extra])")
+        kind, time_text, tail = match.groups()
+        args = tail.lstrip(":").split(":") if tail else []
+        try:
+            time = float(time_text)
+        except ValueError:
+            raise ScenarioError(f"bad fault time in {token!r}") from None
+        try:
+            if kind in ("crash", "recover"):
+                (target,) = args
+                return cls(kind, time, target)
+            if kind == "crash_for":
+                target, downtime = args
+                return cls(kind, time, target, downtime=float(downtime))
+            if kind == "false_suspicion":
+                observer, target, duration = args
+                return cls(kind, time, target, observer=observer,
+                           duration=float(duration))
+        except ValueError:
+            raise ScenarioError(f"malformed fault token {token!r} for kind {kind!r}") from None
+        raise ScenarioError(f"unknown fault kind {kind!r}")
+
+    def to_token(self) -> str:
+        """The ``fault=`` query value for this fault."""
+        head = f"{self.kind}@{_format_number(self.time)}"
+        if self.kind in ("crash", "recover"):
+            return f"{head}:{self.target}"
+        if self.kind == "crash_for":
+            return f"{head}:{self.target}:{_format_number(self.downtime)}"
+        return (f"{head}:{self.observer}:{self.target}:"
+                f"{_format_number(self.duration)}")
+
+    def add_to(self, schedule: FaultSchedule) -> None:
+        """Append this fault to a :class:`FaultSchedule`."""
+        if self.kind == "crash":
+            schedule.crash(self.time, self.target)
+        elif self.kind == "recover":
+            schedule.recover(self.time, self.target)
+        elif self.kind == "crash_for":
+            schedule.crash_for(self.time, self.target, downtime=self.downtime)
+        else:
+            schedule.false_suspicion(self.time, self.observer, self.target,
+                                     duration=self.duration)
+
+
+# ----------------------------------------------------------------- scenario
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.lower()
+    if lowered in _TRUE_WORDS:
+        return True
+    if lowered in _FALSE_WORDS:
+        return False
+    raise ValueError(f"not a boolean: {text!r}")
+
+
+# query parameter -> (Scenario field, parser).  Order doubles as the canonical
+# serialisation order of ``to_dsn``.
+_QUERY_PARAMS: dict[str, tuple[str, Callable[[str], Any]]] = {
+    "seed": ("seed", int),
+    "fd": ("failure_detector", str),
+    "register": ("register_mode", str),
+    "loss": ("loss_probability", float),
+    "reliable": ("use_reliable_channels", _parse_bool),
+    "detect": ("detection_delay", float),
+    "hb_interval": ("heartbeat_interval", float),
+    "hb_timeout": ("heartbeat_timeout", float),
+    "lat_ca": ("client_app_latency", float),
+    "lat_aa": ("app_app_latency", float),
+    "lat_ad": ("app_db_latency", float),
+    "log": ("coordinator_log_latency", float),
+    "backoff": ("client_backoff", float),
+    "workload": ("workload", str),
+    "timing": ("timing", str),
+}
+
+_HOST_TOKEN = re.compile(r"([adc])(\d+)")
+_HOST_FIELDS = {"a": "num_app_servers", "d": "num_db_servers", "c": "num_clients"}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, declarative description of one protocol run.
+
+    ``num_app_servers=0`` (the default) resolves to the protocol's standard
+    middle-tier size (3 for ``etx``, 2 for ``pb``, 1 otherwise).
+    """
+
+    # Numeric defaults are taken from the config dataclasses the drivers fill
+    # in, so the DSN form and the direct-config form of "the same" deployment
+    # cannot drift apart.
+    protocol: str = "etx"
+    num_app_servers: int = 0
+    num_db_servers: int = 1
+    num_clients: int = 1
+    seed: int = 0
+    failure_detector: str = FD_ORACLE
+    register_mode: str = REGISTER_CONSENSUS
+    loss_probability: float = 0.0
+    use_reliable_channels: bool = False
+    detection_delay: float = DeploymentConfig.detection_delay
+    heartbeat_interval: float = DeploymentConfig.heartbeat_interval
+    heartbeat_timeout: float = DeploymentConfig.heartbeat_timeout
+    client_app_latency: float = DeploymentConfig.client_app_latency
+    app_app_latency: float = DeploymentConfig.app_app_latency
+    app_db_latency: float = DeploymentConfig.app_db_latency
+    coordinator_log_latency: float = BaselineConfig.coordinator_log_latency
+    client_backoff: float = ProtocolTiming.client_backoff
+    workload: str = "default"
+    timing: str = TIMING_DEFAULT
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        protocol = _SCHEME_ALIASES.get(self.protocol)
+        if protocol is None:
+            raise ScenarioError(
+                f"unknown protocol {self.protocol!r}; known schemes: "
+                f"{', '.join(known_schemes())}")
+        object.__setattr__(self, "protocol", protocol)
+        if self.num_app_servers == 0:
+            object.__setattr__(self, "num_app_servers", default_app_servers(protocol))
+        if self.num_app_servers < 1 or self.num_db_servers < 1 or self.num_clients < 1:
+            raise ScenarioError("every tier needs at least one process")
+        if self.register_mode not in (REGISTER_CONSENSUS, REGISTER_LOCAL):
+            raise ScenarioError(f"unknown register mode {self.register_mode!r}")
+        if self.failure_detector not in (FD_ORACLE, FD_HEARTBEAT):
+            raise ScenarioError(f"unknown failure detector {self.failure_detector!r}")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ScenarioError("loss probability must be within [0, 1]")
+        if self.client_backoff < 0:
+            raise ScenarioError("client backoff must be non-negative")
+        if self.timing not in (TIMING_DEFAULT, TIMING_PAPER):
+            raise ScenarioError(f"unknown timing profile {self.timing!r}")
+        object.__setattr__(self, "faults", tuple(self.faults))
+        known = set(self.app_server_names + self.db_server_names + self.client_names)
+        for fault in self.faults:
+            for role, name in (("target", fault.target), ("observer", fault.observer)):
+                if name and name not in known:
+                    raise ScenarioError(
+                        f"fault {fault.to_token()!r} names unknown {role} "
+                        f"{name!r}; this scenario has processes "
+                        f"{', '.join(sorted(known))}")
+
+    # ------------------------------------------------------------------- DSN
+
+    @classmethod
+    def from_dsn(cls, dsn: str) -> "Scenario":
+        """Parse a scenario DSN (see the module docstring for the grammar)."""
+        if "://" not in dsn:
+            raise ScenarioError(f"not a scenario DSN (missing '://'): {dsn!r}")
+        scheme, _, rest = dsn.partition("://")
+        scheme = scheme.strip().lower()
+        if scheme not in _SCHEME_ALIASES:
+            raise ScenarioError(f"unknown scenario scheme {scheme!r}; known schemes: "
+                                f"{', '.join(known_schemes())}")
+        host, _, query = rest.partition("?")
+        values: dict[str, Any] = {"protocol": _SCHEME_ALIASES[scheme]}
+        cls._parse_host(host, values)
+        cls._parse_query(query, values)
+        return cls(**values)
+
+    @staticmethod
+    def _parse_host(host: str, values: dict[str, Any]) -> None:
+        for token in filter(None, host.split(".")):
+            match = _HOST_TOKEN.fullmatch(token)
+            if match is None:
+                raise ScenarioError(
+                    f"bad host token {token!r} (expected a<N>, d<N> or c<N>)")
+            tier, count = match.groups()
+            field_name = _HOST_FIELDS[tier]
+            if field_name in values:
+                raise ScenarioError(f"ambiguous host: tier {tier!r} given twice")
+            if int(count) < 1:
+                raise ScenarioError(f"bad host token {token!r}: every tier "
+                                    "needs at least one process")
+            values[field_name] = int(count)
+
+    @staticmethod
+    def _parse_query(query: str, values: dict[str, Any]) -> None:
+        faults: list[FaultSpec] = []
+        seen: dict[str, str] = {}
+        for key, raw in parse_qsl(query, keep_blank_values=True):
+            if key == "fault":
+                faults.append(FaultSpec.from_token(raw))
+                continue
+            if key in seen:
+                raise ScenarioError(
+                    f"ambiguous DSN: parameter {key!r} given twice "
+                    f"({seen[key]!r} and {raw!r})")
+            seen[key] = raw
+            if key not in _QUERY_PARAMS:
+                raise ScenarioError(
+                    f"unknown DSN parameter {key!r}; known parameters: "
+                    f"{', '.join(sorted(_QUERY_PARAMS))}, fault")
+            field_name, parser = _QUERY_PARAMS[key]
+            try:
+                values[field_name] = parser(raw)
+            except ValueError as exc:
+                raise ScenarioError(f"bad value for {key!r}: {exc}") from None
+        if faults:
+            values["faults"] = tuple(faults)
+
+    def to_dsn(self) -> str:
+        """Serialise to the canonical DSN (omitting default-valued parameters)."""
+        defaults = {f.name: f.default for f in fields(self) if f.name != "faults"}
+        host = (f"a{self.num_app_servers}.d{self.num_db_servers}"
+                f".c{self.num_clients}")
+        parts: list[str] = []
+        for key, (field_name, _) in _QUERY_PARAMS.items():
+            value = getattr(self, field_name)
+            if value == defaults[field_name]:
+                continue
+            if isinstance(value, bool):
+                text = "1" if value else "0"
+            elif isinstance(value, float):
+                text = _format_number(value)
+            else:
+                text = str(value)
+            parts.append(f"{key}={text}")
+        parts.extend(f"fault={fault.to_token()}" for fault in self.faults)
+        query = "&".join(parts)
+        return f"{self.protocol}://{host}" + (f"?{query}" if query else "")
+
+    # -------------------------------------------------------------- derived
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def fault_schedule(self) -> FaultSchedule:
+        """The scenario's faults as an applicable :class:`FaultSchedule`."""
+        schedule = FaultSchedule()
+        for fault in self.faults:
+            fault.add_to(schedule)
+        return schedule
+
+    @property
+    def client_names(self) -> list[str]:
+        return [f"c{i + 1}" for i in range(self.num_clients)]
+
+    @property
+    def app_server_names(self) -> list[str]:
+        return [f"a{i + 1}" for i in range(self.num_app_servers)]
+
+    @property
+    def db_server_names(self) -> list[str]:
+        return [f"d{i + 1}" for i in range(self.num_db_servers)]
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        return (f"{self.protocol} scenario: {self.num_app_servers} app / "
+                f"{self.num_db_servers} db / {self.num_clients} client(s), "
+                f"workload={self.workload}, fd={self.failure_detector}, "
+                f"seed={self.seed}, faults={len(self.faults)}")

@@ -1,0 +1,107 @@
+"""Named workloads for scenarios.
+
+A scenario names its workload (``workload=bank`` in the DSN); this module
+resolves the name to a :class:`WorkloadBinding` -- the business logic, the
+initial database contents and a factory for the workload's standard request.
+Programmatic callers can instead pass a workload *object* (anything with
+``business_logic`` and ``initial_data()``) straight to :func:`repro.api.build`;
+:func:`bind_workload` wraps it the same way.
+
+New workloads register with :func:`register_workload`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Union
+
+from repro.api.scenario import ScenarioError
+from repro.core.deployment import default_business_logic
+from repro.core.types import Request
+from repro.workload.bank import BankWorkload
+from repro.workload.travel import TravelWorkload
+
+
+@dataclass
+class WorkloadBinding:
+    """A workload resolved for one run."""
+
+    name: str
+    instance: Any  # the underlying workload object (None for ``default``)
+    business_logic: Callable[[Request], Callable[[Any], Any]]
+    initial_data: dict[str, Any]
+    make_request: Callable[[], Request]
+
+
+_REGISTRY: Dict[str, Callable[[], WorkloadBinding]] = {}
+
+
+def register_workload(name: str, factory: Callable[[], WorkloadBinding]) -> None:
+    """Register a named workload usable as ``workload=<name>`` in DSNs."""
+    _REGISTRY[name] = factory
+
+
+def registered_workloads() -> list[str]:
+    """Names accepted for the ``workload`` scenario field."""
+    return sorted(_REGISTRY)
+
+
+def bind_workload(spec: Union[str, Any, None]) -> WorkloadBinding:
+    """Resolve a workload name or object to a :class:`WorkloadBinding`."""
+    if spec is None:
+        spec = "default"
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec]()
+        except KeyError:
+            raise ScenarioError(f"unknown workload {spec!r}; registered workloads: "
+                                f"{', '.join(registered_workloads())}") from None
+    if isinstance(spec, WorkloadBinding):
+        return spec
+    return _bind_object(spec)
+
+
+def _bind_object(workload: Any, name: str = "") -> WorkloadBinding:
+    if hasattr(workload, "debit"):
+        make_request = lambda: workload.debit(0, 10)  # noqa: E731
+    elif hasattr(workload, "book"):
+        make_request = lambda: workload.book(workload.destinations[0])  # noqa: E731
+    elif hasattr(workload, "random_request"):
+        rng = random.Random(0)
+        make_request = lambda: workload.random_request(rng)  # noqa: E731
+    else:
+        make_request = _ping
+    return WorkloadBinding(
+        name=name or type(workload).__name__,
+        instance=workload,
+        business_logic=workload.business_logic,
+        initial_data=dict(workload.initial_data()),
+        make_request=make_request,
+    )
+
+
+def _ping() -> Request:
+    return Request("ping", {"n": 1})
+
+
+def _default_binding() -> WorkloadBinding:
+    return WorkloadBinding(name="default", instance=None,
+                           business_logic=default_business_logic,
+                           initial_data={}, make_request=_ping)
+
+
+def _bank_binding() -> WorkloadBinding:
+    # The paper's measured workload: small debits against a bank account
+    # (the configuration behind Figures 1, 7 and 8).
+    return _bind_object(BankWorkload(num_accounts=4, initial_balance=100_000),
+                        name="bank")
+
+
+def _travel_binding() -> WorkloadBinding:
+    return _bind_object(TravelWorkload(), name="travel")
+
+
+register_workload("default", _default_binding)
+register_workload("bank", _bank_binding)
+register_workload("travel", _travel_binding)

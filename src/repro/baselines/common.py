@@ -10,17 +10,17 @@ changes between protocols, which is exactly the point of the comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from repro.core.client import Client, IssuedRequest
 from repro.core.dataserver import DatabaseServer
-from repro.core.spec import SpecificationChecker, SpecReport
+from repro.core.spec import SpecReport, check_run
 from repro.core.timing import DatabaseTiming, ProtocolTiming
-from repro.core.types import Request
+from repro.core.types import VOTE_YES, Request
 from repro.failure.detectors import PerfectFailureDetector
 from repro.failure.injection import FaultSchedule
-from repro.net.latency import FixedLatency, PerLinkLatency
+from repro.net.latency import PerLinkLatency, three_tier_latency
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.process import Process
@@ -55,6 +55,12 @@ class OnePhaseDatabaseServer(DatabaseServer):
                 outcome = "abort"
             if io_cost > 0:
                 yield self.sleep(self.timing.commit_cpu + io_cost + self.timing.end)
+            if outcome == "commit":
+                # A one-phase commit fuses the vote and the decision: record
+                # the implicit yes-vote so the spec checker sees a database
+                # never commits a result it did not (implicitly) vote for.
+                self.trace.record("db_vote", self.name, j=key, vote=VOTE_YES,
+                                  one_phase=True)
             self.trace.record("db_decide", self.name, j=key, outcome=outcome,
                               requested="commit", one_phase=True)
             self.send(message.sender, Message(ACK_COMMIT, payload={"j": key}))
@@ -108,7 +114,7 @@ class BaseThreeTierDeployment:
         if config is None:
             config = BaselineConfig(**overrides)
         elif overrides:
-            raise ValueError("pass either a config object or keyword overrides, not both")
+            config = replace(config, **overrides)
         self.config = config
         self.sim = Simulator(seed=config.seed)
         self.network = Network(self.sim, latency=self._build_latency(),
@@ -126,16 +132,11 @@ class BaseThreeTierDeployment:
 
     def _build_latency(self) -> PerLinkLatency:
         config = self.config
-        latency = PerLinkLatency(FixedLatency(config.app_app_latency))
-        for client in config.client_names:
-            for app in config.app_server_names:
-                latency.set_link(client, app, FixedLatency(config.client_app_latency))
-                latency.set_link(app, client, FixedLatency(config.client_app_latency))
-        for app in config.app_server_names:
-            for db in config.db_server_names:
-                latency.set_link(app, db, FixedLatency(config.app_db_latency))
-                latency.set_link(db, app, FixedLatency(config.app_db_latency))
-        return latency
+        return three_tier_latency(config.client_names, config.app_server_names,
+                                  config.db_server_names,
+                                  client_app_latency=config.client_app_latency,
+                                  app_app_latency=config.app_app_latency,
+                                  app_db_latency=config.app_db_latency)
 
     def _build_db_servers(self) -> None:
         for name in self.config.db_server_names:
@@ -198,9 +199,10 @@ class BaseThreeTierDeployment:
     def check_spec(self, check_termination: bool = True) -> SpecReport:
         """Check the e-Transaction properties over the trace.
 
-        The baselines are *not expected* to satisfy all of them -- that is the
-        paper's argument; the checker quantifies which ones break and when.
+        The baselines are *not expected* to satisfy all of them under faults --
+        that is the paper's argument; the checker quantifies which ones break
+        and when.
         """
-        checker = SpecificationChecker(self.trace, self.config.db_server_names,
-                                       self.config.client_names)
-        return checker.check(check_termination=check_termination)
+        return check_run(self.trace, self.config.db_server_names,
+                         self.config.client_names,
+                         check_termination=check_termination)

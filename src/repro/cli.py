@@ -2,6 +2,8 @@
 
 Usage (any of)::
 
+    python -m repro run "etx://a3.d1.c1?fd=heartbeat&seed=7"
+    python -m repro run "2pc://?workload=bank&timing=paper" --requests 3
     python -m repro figure8 --requests 5
     python -m repro figure7
     python -m repro figure1
@@ -9,9 +11,11 @@ Usage (any of)::
     python -m repro fault-sweep --runs 20
     python -m repro quickstart
 
-Each sub-command runs the corresponding experiment harness and prints the
-regenerated table(s) to stdout; exit status is non-zero if the reproduced
-result does not have the paper's shape (useful in CI).
+``run`` executes any scenario DSN (scheme = protocol: ``etx``, ``2pc``,
+``pb``, ``baseline``) through the unified scenario API; the other sub-commands
+run the corresponding experiment harness and print the regenerated table(s) to
+stdout.  Exit status is non-zero if the result does not have the paper's
+shape (useful in CI).
 """
 
 from __future__ import annotations
@@ -20,17 +24,37 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.core import DeploymentConfig, EtxDeployment, Request
+from repro import api
+from repro.core import Request
 from repro.experiments import fault_sweep, figure1, figure7, figure8
 from repro.experiments.ablations import asynchrony_sweep, log_cost_sweep, scaling_sweep
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        scenario = api.Scenario.from_dsn(args.dsn)
+        if args.seed is not None:
+            scenario = scenario.with_(seed=_seed(args))
+        result = api.run_scenario(scenario, requests=args.requests)
+    except api.ScenarioError as error:
+        # Bad DSNs, protocol constraints, unknown workloads: user input,
+        # reported cleanly.  Anything else is a genuine bug and tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def _seed(args: argparse.Namespace) -> int:
+    return args.seed if args.seed is not None else 0
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> int:
-    deployment = EtxDeployment(DeploymentConfig(num_app_servers=args.app_servers,
-                                                num_db_servers=args.db_servers,
-                                                seed=args.seed))
-    issued = deployment.run_request(Request("quickstart", {"n": 1}))
-    report = deployment.check_spec()
+    scenario = api.Scenario(protocol="etx", num_app_servers=args.app_servers,
+                            num_db_servers=args.db_servers, seed=_seed(args))
+    system = api.build(scenario)
+    issued = system.run_request(Request("quickstart", {"n": 1}))
+    report = system.check_spec()
     print(f"delivered={issued.delivered} latency={issued.latency:.1f} ms "
           f"attempts={issued.attempts}")
     print(report.summary())
@@ -38,7 +62,7 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure8(args: argparse.Namespace) -> int:
-    report = figure8.run(requests_per_protocol=args.requests, seed=args.seed,
+    report = figure8.run(requests_per_protocol=args.requests, seed=_seed(args),
                          num_app_servers=args.app_servers)
     print(report.to_table())
     print()
@@ -49,7 +73,7 @@ def _cmd_figure8(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure7(args: argparse.Namespace) -> int:
-    report = figure7.run(seed=args.seed)
+    report = figure7.run(seed=_seed(args))
     print(report.to_table())
     print()
     print("client latencies (ms):",
@@ -63,7 +87,7 @@ def _cmd_figure7(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    report = figure1.run(seed=args.seed)
+    report = figure1.run(seed=_seed(args))
     print(report.to_text())
     ok = report.all_spec_ok()
     print(f"\nall scenarios satisfy the e-Transaction specification: {ok}")
@@ -72,23 +96,23 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
     print("== E5: asynchrony of the replication scheme ==")
-    for point in asynchrony_sweep(seed=args.seed):
+    for point in asynchrony_sweep(seed=_seed(args)):
         print(f"  {point.label:<40} claimers={point.distinct_claimers} "
               f"aborted={point.aborted_results} safe={point.spec_ok}")
     print("\n== E7: forced-log cost sweep (AR vs 2PC) ==")
-    for point in log_cost_sweep(seed=args.seed, requests=1):
+    for point in log_cost_sweep(seed=_seed(args), requests=1):
         winner = "AR" if point.ar_wins else "2PC"
         print(f"  log={point.forced_write_latency:5.1f} ms   AR={point.ar_total:6.1f}   "
               f"2PC={point.twopc_total:6.1f}   winner={winner}")
     print("\n== E8: replication-degree scaling ==")
-    for point in scaling_sweep(seed=args.seed, requests=1):
+    for point in scaling_sweep(seed=_seed(args), requests=1):
         print(f"  n={point.num_app_servers}   latency={point.mean_latency:6.1f} ms   "
               f"messages={point.total_messages}")
     return 0
 
 
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
-    result = fault_sweep.run(num_runs=args.runs, seed=args.seed,
+    result = fault_sweep.run(num_runs=args.runs, seed=_seed(args),
                              allow_client_crash=args.client_crashes)
     print(result.summary())
     for violation in result.violations:
@@ -102,8 +126,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction harnesses for 'Implementing e-Transactions with "
                     "Asynchronous Replication' (DSN 2000)")
-    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="simulation seed (for `run`, overrides the DSN's seed)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run any scenario DSN "
+                                     "(e.g. etx://a3.d1.c1?fd=heartbeat&seed=7)")
+    run.add_argument("dsn", help="scenario DSN; schemes: "
+                                 + ", ".join(api.known_schemes()))
+    run.add_argument("--requests", type=int, default=1,
+                     help="closed-loop requests to issue (default 1)")
+    run.set_defaults(func=_cmd_run)
 
     quickstart = sub.add_parser("quickstart", help="run one e-Transaction and check the spec")
     quickstart.add_argument("--app-servers", type=int, default=3)

@@ -9,14 +9,14 @@ and most integration tests go through this builder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from repro.consensus.synod import ConsensusHost
 from repro.core.appserver import ApplicationServer, RegisterPair
 from repro.core.client import Client, IssuedRequest
 from repro.core.dataserver import DatabaseServer
-from repro.core.spec import SpecificationChecker, SpecReport
+from repro.core.spec import SpecificationChecker, SpecReport, check_run
 from repro.core.timing import DatabaseTiming, ProtocolTiming
 from repro.core.types import Request
 from repro.failure.detectors import (
@@ -24,7 +24,7 @@ from repro.failure.detectors import (
     HeartbeatFailureDetector,
 )
 from repro.failure.injection import FaultSchedule
-from repro.net.latency import FixedLatency, PerLinkLatency
+from repro.net.latency import PerLinkLatency, three_tier_latency
 from repro.net.network import Network
 from repro.net.reliable import ReliableChannelLayer
 from repro.registers.consensus_backed import ConsensusRegisterArray
@@ -106,7 +106,7 @@ class EtxDeployment:
         if config is None:
             config = DeploymentConfig(**overrides)
         elif overrides:
-            raise ValueError("pass either a config object or keyword overrides, not both")
+            config = replace(config, **overrides)
         self.config = config
         self.sim = Simulator(seed=config.seed)
         self.network = Network(self.sim, latency=self._build_latency(),
@@ -140,16 +140,11 @@ class EtxDeployment:
 
     def _build_latency(self) -> PerLinkLatency:
         config = self.config
-        latency = PerLinkLatency(FixedLatency(config.app_app_latency))
-        for client in config.client_names:
-            for app in config.app_server_names:
-                latency.set_link(client, app, FixedLatency(config.client_app_latency))
-                latency.set_link(app, client, FixedLatency(config.client_app_latency))
-        for app in config.app_server_names:
-            for db in config.db_server_names:
-                latency.set_link(app, db, FixedLatency(config.app_db_latency))
-                latency.set_link(db, app, FixedLatency(config.app_db_latency))
-        return latency
+        return three_tier_latency(config.client_names, config.app_server_names,
+                                  config.db_server_names,
+                                  client_app_latency=config.client_app_latency,
+                                  app_app_latency=config.app_app_latency,
+                                  app_db_latency=config.app_db_latency)
 
     def _build_processes(self) -> None:
         config = self.config
@@ -266,4 +261,6 @@ class EtxDeployment:
 
     def check_spec(self, check_termination: bool = True) -> SpecReport:
         """Check the e-Transaction properties over the current trace."""
-        return self.spec_checker().check(check_termination=check_termination)
+        return check_run(self.trace, self.config.db_server_names,
+                         self.config.client_names,
+                         check_termination=check_termination)

@@ -246,3 +246,14 @@ class SpecificationChecker:
     def _key_of(event) -> tuple:
         key = event.get("j")
         return tuple(key) if isinstance(key, (list, tuple)) else (None, key)
+
+
+def check_run(trace: TraceRecorder, db_server_names: list[str],
+              client_names: list[str], check_termination: bool = True) -> SpecReport:
+    """Check the e-Transaction properties of one run in a single call.
+
+    Shared by every deployment's ``check_spec`` so the protocol stacks are
+    judged by exactly the same checker wiring.
+    """
+    checker = SpecificationChecker(trace, db_server_names, client_names)
+    return checker.check(check_termination=check_termination)

@@ -17,13 +17,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.deployment import DeploymentConfig, EtxDeployment
-from repro.core.timing import DatabaseTiming, ProtocolTiming
+from repro import api
 from repro.experiments import calibration
-from repro.failure.injection import FaultSchedule
 from repro.metrics.steps import profile_from_trace
 from repro.workload.generator import ClosedLoopDriver
 
@@ -54,24 +52,16 @@ def asynchrony_sweep(seed: int = 0) -> list[AsynchronyPoint]:
         ("patient client, false suspicion", 2_000.0, True),
         ("impatient client, false suspicion", 40.0, True),
     ]
-    workload = calibration.default_workload()
     points = []
     for label, backoff, false_suspicion in scenarios:
-        config = DeploymentConfig(
-            num_app_servers=3,
-            num_db_servers=1,
-            seed=seed,
-            detection_delay=10.0,
-            db_timing=calibration.paper_database_timing(),
-            protocol_timing=ProtocolTiming(client_backoff=backoff),
-            business_logic=workload.business_logic,
-            initial_data=workload.initial_data(),
-        )
-        deployment = EtxDeployment(config)
-        if false_suspicion:
-            deployment.apply_faults(
-                FaultSchedule().false_suspicion(15.0, "a2", "a1", duration=200.0))
-        issued = deployment.run_request(workload.debit(0, 10))
+        faults = (api.FaultSpec("false_suspicion", 15.0, "a1",
+                                observer="a2", duration=200.0),) \
+            if false_suspicion else ()
+        scenario = calibration.paper_scenario(
+            "etx", seed=seed, num_app_servers=3, detection_delay=10.0,
+            client_backoff=backoff, faults=faults)
+        deployment = api.build(scenario)
+        issued = deployment.run_request(deployment.standard_request())
         deployment.run(until=deployment.sim.now + 10_000.0)
         claimers = {event.process for event in deployment.trace.select("as_claim")}
         result_messages = deployment.trace.count("as_result_sent")
@@ -117,16 +107,15 @@ def log_cost_sweep(latencies: Optional[list[float]] = None, seed: int = 0,
     """
     if latencies is None:
         latencies = [0.0, 2.0, 5.0, 12.5, 25.0]
-    workload = calibration.default_workload()
-    timing = calibration.paper_database_timing()
     points = []
     for log_latency in latencies:
-        ar = calibration.build_ar_deployment(seed=seed, workload=workload, db_timing=timing)
-        ar_stats = ClosedLoopDriver(ar).run([workload.debit(0, 10) for _ in range(requests)])
-        twopc = calibration.build_twopc_deployment(seed=seed, workload=workload,
-                                                   db_timing=timing, log_latency=log_latency)
+        ar = api.build(calibration.paper_scenario("etx", seed=seed))
+        ar_stats = ClosedLoopDriver(ar).run(
+            [ar.standard_request() for _ in range(requests)])
+        twopc = api.build(calibration.paper_scenario(
+            "2pc", seed=seed, coordinator_log_latency=log_latency))
         twopc_stats = ClosedLoopDriver(twopc).run(
-            [workload.debit(0, 10) for _ in range(requests)])
+            [twopc.standard_request() for _ in range(requests)])
         points.append(LogCostPoint(
             forced_write_latency=log_latency,
             ar_total=ar_stats.mean_latency,
@@ -154,15 +143,12 @@ def scaling_sweep(degrees: Optional[list[int]] = None, seed: int = 0,
     """Latency and message count of the AR protocol versus replication degree (E8)."""
     if degrees is None:
         degrees = [1, 3, 5, 7]
-    workload = calibration.default_workload()
-    timing = calibration.paper_database_timing()
     points = []
     for degree in degrees:
-        deployment = calibration.build_ar_deployment(seed=seed, workload=workload,
-                                                     db_timing=timing,
-                                                     num_app_servers=degree)
+        deployment = api.build(calibration.paper_scenario(
+            "etx", seed=seed, num_app_servers=degree))
         stats = ClosedLoopDriver(deployment).run(
-            [workload.debit(0, 10) for _ in range(requests)])
+            [deployment.standard_request() for _ in range(requests)])
         profile = profile_from_trace(deployment.trace, f"ar-{degree}")
         points.append(ScalingPoint(
             num_app_servers=degree,

@@ -1,21 +1,18 @@
-"""Calibration data: the paper's measured numbers and our standard configurations.
+"""Calibration data: the paper's measured numbers and our standard scenarios.
 
 ``PAPER_FIGURE8`` is the table of Appendix 3 (Figure 8) verbatim, in
-milliseconds.  The deployment helpers below build the three protocol stacks
-with identical database timing and network topology so that the *only*
-differences between the measured columns are the protocols themselves --
-exactly the paper's methodology (same SQL work, same machines, same network).
+milliseconds.  The deployment helpers below build the protocol stacks through
+the unified scenario API (:mod:`repro.api`) with identical database timing and
+network topology, so that the *only* differences between the measured columns
+are the protocols themselves -- exactly the paper's methodology (same SQL
+work, same machines, same network).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
-from repro.baselines.baseline import BaselineDeployment
-from repro.baselines.common import BaselineConfig
-from repro.baselines.primary_backup import PrimaryBackupDeployment
-from repro.baselines.twopc import TwoPCDeployment
-from repro.core.deployment import DeploymentConfig, EtxDeployment
+from repro import api
 from repro.core.timing import DatabaseTiming, ProtocolTiming
 from repro.core.types import Request
 from repro.workload.bank import BankWorkload
@@ -42,7 +39,7 @@ def paper_database_timing() -> DatabaseTiming:
 
 def default_workload() -> BankWorkload:
     """The measured workload: update a bank account on a single database."""
-    return BankWorkload(num_accounts=4, initial_balance=100_000)
+    return api.bind_workload("bank").instance
 
 
 def standard_request(workload: Optional[BankWorkload] = None) -> Request:
@@ -51,65 +48,59 @@ def standard_request(workload: Optional[BankWorkload] = None) -> Request:
     return workload.debit(0, 10)
 
 
+def paper_scenario(protocol: str, seed: int = 0, num_app_servers: int = 0,
+                   num_db_servers: int = 1, **fields: Any) -> api.Scenario:
+    """A paper-calibrated scenario for ``protocol`` (bank workload, Figure 8
+    timing); ``num_app_servers=0`` keeps the protocol's standard tier size."""
+    return api.Scenario(protocol=protocol, seed=seed,
+                        num_app_servers=num_app_servers,
+                        num_db_servers=num_db_servers,
+                        workload="bank", timing="paper", **fields)
+
+
 def build_ar_deployment(seed: int = 0, num_app_servers: int = 3, num_db_servers: int = 1,
                         workload: Optional[BankWorkload] = None,
                         db_timing: Optional[DatabaseTiming] = None,
                         register_mode: str = "consensus",
-                        protocol_timing: Optional[ProtocolTiming] = None) -> EtxDeployment:
+                        protocol_timing: Optional[ProtocolTiming] = None
+                        ) -> api.RunningSystem:
     """The asynchronous-replication (e-Transaction) stack, paper-calibrated."""
-    workload = workload or default_workload()
-    config = DeploymentConfig(
-        num_app_servers=num_app_servers,
-        num_db_servers=num_db_servers,
-        register_mode=register_mode,
-        seed=seed,
-        db_timing=db_timing or paper_database_timing(),
-        protocol_timing=protocol_timing or ProtocolTiming(),
-        business_logic=workload.business_logic,
-        initial_data=workload.initial_data(),
-    )
-    return EtxDeployment(config)
-
-
-def _baseline_config(seed: int, num_app_servers: int, num_db_servers: int,
-                     workload: BankWorkload, db_timing: Optional[DatabaseTiming],
-                     coordinator_log_latency: float = 12.5) -> BaselineConfig:
-    return BaselineConfig(
-        num_app_servers=num_app_servers,
-        num_db_servers=num_db_servers,
-        seed=seed,
-        db_timing=db_timing or paper_database_timing(),
-        coordinator_log_latency=coordinator_log_latency,
-        business_logic=workload.business_logic,
-        initial_data=workload.initial_data(),
-    )
+    scenario = paper_scenario("etx", seed=seed, num_app_servers=num_app_servers,
+                              num_db_servers=num_db_servers,
+                              register_mode=register_mode)
+    return api.build(scenario, workload=workload, db_timing=db_timing,
+                     protocol_timing=protocol_timing)
 
 
 def build_baseline_deployment(seed: int = 0, num_db_servers: int = 1,
                               workload: Optional[BankWorkload] = None,
-                              db_timing: Optional[DatabaseTiming] = None) -> BaselineDeployment:
+                              db_timing: Optional[DatabaseTiming] = None
+                              ) -> api.RunningSystem:
     """The unreliable baseline stack (Figure 7a)."""
-    workload = workload or default_workload()
-    return BaselineDeployment(_baseline_config(seed, 1, num_db_servers, workload, db_timing))
+    scenario = paper_scenario("baseline", seed=seed, num_db_servers=num_db_servers)
+    return api.build(scenario, workload=workload, db_timing=db_timing)
 
 
 def build_twopc_deployment(seed: int = 0, num_db_servers: int = 1,
                            workload: Optional[BankWorkload] = None,
                            db_timing: Optional[DatabaseTiming] = None,
-                           log_latency: float = 12.5) -> TwoPCDeployment:
+                           log_latency: float = 12.5) -> api.RunningSystem:
     """The presumed-nothing 2PC stack (Figure 7b)."""
-    workload = workload or default_workload()
-    return TwoPCDeployment(_baseline_config(seed, 1, num_db_servers, workload, db_timing,
-                                            coordinator_log_latency=log_latency))
+    scenario = paper_scenario("2pc", seed=seed, num_db_servers=num_db_servers,
+                              coordinator_log_latency=log_latency)
+    return api.build(scenario, workload=workload, db_timing=db_timing)
 
 
 def build_primary_backup_deployment(seed: int = 0, num_db_servers: int = 1,
                                     workload: Optional[BankWorkload] = None,
                                     db_timing: Optional[DatabaseTiming] = None,
                                     failure_detector_override: Any = None
-                                    ) -> PrimaryBackupDeployment:
+                                    ) -> api.RunningSystem:
     """The primary-backup stack (Figure 7c)."""
-    workload = workload or default_workload()
-    config = _baseline_config(seed, 2, num_db_servers, workload, db_timing)
-    return PrimaryBackupDeployment(config,
-                                   failure_detector_override=failure_detector_override)
+    scenario = paper_scenario("pb", seed=seed, num_db_servers=num_db_servers)
+    system = api.build(scenario, workload=workload, db_timing=db_timing)
+    if failure_detector_override is not None:
+        # Reproduce the paper's warning: give the backup an unreliable
+        # detector instead of the perfect one.
+        system.deployment.backup.failure_detector = failure_detector_override
+    return system

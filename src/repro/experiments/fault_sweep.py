@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.deployment import DeploymentConfig, EtxDeployment
+from repro import api
 from repro.experiments import calibration
 from repro.failure.injection import RandomFaultPlan
 
@@ -48,29 +48,22 @@ class FaultSweepResult:
 def run(num_runs: int = 20, seed: int = 0, num_db_servers: int = 1,
         allow_client_crash: bool = False, horizon: float = 300_000.0) -> FaultSweepResult:
     """Run ``num_runs`` randomly faulted executions and check every property."""
-    workload = calibration.default_workload()
     result = FaultSweepResult()
     for index in range(num_runs):
         run_seed = seed * 10_000 + index
-        config = DeploymentConfig(
-            num_app_servers=3,
-            num_db_servers=num_db_servers,
-            seed=run_seed,
-            detection_delay=10.0,
-            db_timing=calibration.paper_database_timing(),
-            business_logic=workload.business_logic,
-            initial_data=workload.initial_data(),
-        )
-        deployment = EtxDeployment(config)
+        scenario = calibration.paper_scenario(
+            "etx", seed=run_seed, num_app_servers=3,
+            num_db_servers=num_db_servers, detection_delay=10.0)
+        deployment = api.build(scenario)
         plan = RandomFaultPlan(
-            app_servers=config.app_server_names,
-            db_servers=config.db_server_names,
+            app_servers=scenario.app_server_names,
+            db_servers=scenario.db_server_names,
             client="c1" if allow_client_crash else None,
             horizon=1_500.0,
             client_crash_probability=0.4 if allow_client_crash else 0.0,
         )
         deployment.apply_faults(plan.generate(run_seed))
-        issued = deployment.issue(workload.debit(0, 10))
+        issued = deployment.issue(deployment.standard_request())
         deployment.sim.run_until(lambda: issued.delivered, until=horizon)
         deployment.run(until=deployment.sim.now + 20_000.0)
         client_crashed = deployment.trace.count("crash", "c1") > 0

@@ -20,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import api
 from repro.core import Request
-from repro.core.deployment import DeploymentConfig, EtxDeployment
 from repro.experiments import calibration
 from repro.failure.injection import FaultSchedule
 from repro.metrics.steps import CommunicationProfile, profile_from_trace
@@ -68,22 +68,14 @@ class Figure1Report:
         return "\n".join(result.summary() for result in self.scenarios.values())
 
 
-def _build(seed: int) -> tuple[EtxDeployment, Request]:
-    workload = calibration.default_workload()
-    request = workload.debit(0, 10)
-    config = DeploymentConfig(
-        num_app_servers=3,
-        num_db_servers=1,
-        seed=seed,
-        detection_delay=10.0,
-        db_timing=calibration.paper_database_timing(),
-        business_logic=workload.business_logic,
-        initial_data=workload.initial_data(),
-    )
-    return EtxDeployment(config), request
+def _build(seed: int) -> tuple[api.RunningSystem, Request]:
+    scenario = calibration.paper_scenario("etx", seed=seed, num_app_servers=3,
+                                          detection_delay=10.0)
+    system = api.build(scenario)
+    return system, system.standard_request()
 
 
-def _scenario(name: str, deployment: EtxDeployment, request: Request,
+def _scenario(name: str, deployment: api.RunningSystem, request: Request,
               horizon: float = 1_000_000.0) -> ScenarioResult:
     issued = deployment.run_request(request, horizon=horizon)
     deployment.run(until=deployment.sim.now + 5_000.0)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import api
 from repro.experiments import calibration
 from repro.metrics.steps import CommunicationProfile, StepComparison, profile_from_trace
 
@@ -68,23 +69,19 @@ class Figure7Report:
 
 def run(seed: int = 0) -> Figure7Report:
     """Run one failure-free request through each of the four protocols."""
-    workload = calibration.default_workload()
-    timing = calibration.paper_database_timing()
     comparison = StepComparison()
     latencies: dict[str, float] = {}
 
     stacks = {
-        "baseline": calibration.build_baseline_deployment(seed=seed, workload=workload,
-                                                          db_timing=timing),
-        "2PC": calibration.build_twopc_deployment(seed=seed, workload=workload,
-                                                  db_timing=timing),
-        "PB": calibration.build_primary_backup_deployment(seed=seed, workload=workload,
-                                                          db_timing=timing),
-        "AR": calibration.build_ar_deployment(seed=seed, workload=workload, db_timing=timing),
+        "baseline": calibration.paper_scenario("baseline", seed=seed),
+        "2PC": calibration.paper_scenario("2pc", seed=seed),
+        "PB": calibration.paper_scenario("pb", seed=seed),
+        "AR": calibration.paper_scenario("etx", seed=seed),
     }
-    for protocol, deployment in stacks.items():
-        issued = deployment.run_request(workload.debit(0, 10))
+    for protocol, scenario in stacks.items():
+        system = api.build(scenario)
+        issued = system.run_request(system.standard_request())
         if issued.delivered and issued.latency is not None:
             latencies[protocol] = issued.latency
-        comparison.add(profile_from_trace(deployment.trace, protocol))
+        comparison.add(profile_from_trace(system.trace, protocol))
     return Figure7Report(comparison=comparison, latencies=latencies)

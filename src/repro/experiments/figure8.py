@@ -11,10 +11,10 @@ reliability" row, and can compare the result against the paper's numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
+from repro import api
 from repro.experiments import calibration
-from repro.metrics.latency import LatencyBreakdown, LatencyTable, breakdown_from_run
+from repro.metrics.latency import LatencyTable, breakdown_from_run
 from repro.workload.generator import ClosedLoopDriver, RunStatistics
 
 
@@ -82,32 +82,28 @@ def run(requests_per_protocol: int = 5, seed: int = 0,
         Also measure the primary-backup comparator (the paper discusses it but
         reports no numbers because its components match the AR column).
     """
-    workload = calibration.default_workload()
-    timing = calibration.paper_database_timing()
     table = LatencyTable()
     statistics: dict[str, RunStatistics] = {}
 
-    deployments = {
-        "baseline": calibration.build_baseline_deployment(seed=seed, workload=workload,
-                                                          db_timing=timing),
-        "AR": calibration.build_ar_deployment(seed=seed, workload=workload, db_timing=timing,
-                                              num_app_servers=num_app_servers),
-        "2PC": calibration.build_twopc_deployment(seed=seed, workload=workload,
-                                                  db_timing=timing),
+    scenarios = {
+        "baseline": calibration.paper_scenario("baseline", seed=seed),
+        "AR": calibration.paper_scenario("etx", seed=seed,
+                                         num_app_servers=num_app_servers),
+        "2PC": calibration.paper_scenario("2pc", seed=seed),
     }
     if include_primary_backup:
-        deployments["PB"] = calibration.build_primary_backup_deployment(
-            seed=seed, workload=workload, db_timing=timing)
+        scenarios["PB"] = calibration.paper_scenario("pb", seed=seed)
 
-    for protocol, deployment in deployments.items():
-        driver = ClosedLoopDriver(deployment)
-        requests = [workload.debit(0, 10) for _ in range(requests_per_protocol)]
+    for protocol, scenario in scenarios.items():
+        system = api.build(scenario)
+        driver = ClosedLoopDriver(system)
+        requests = [system.standard_request() for _ in range(requests_per_protocol)]
         stats = driver.run(requests)
         statistics[protocol] = stats
         breakdown = breakdown_from_run(
             protocol=protocol,
-            trace=deployment.trace,
-            timing=timing,
+            trace=system.trace,
+            timing=system.db_timing,
             mean_latency=stats.mean_latency,
             samples=stats.count,
         )

@@ -10,7 +10,7 @@ and timing sweeps).
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Sequence
 
 
 class LatencyModel:
@@ -80,6 +80,29 @@ class ExponentialLatency(LatencyModel):
 
     def __repr__(self) -> str:
         return f"ExponentialLatency(base={self.base}, tail_mean={self.tail_mean})"
+
+
+def three_tier_latency(client_names: Sequence[str], app_server_names: Sequence[str],
+                       db_server_names: Sequence[str], *,
+                       client_app_latency: float,
+                       app_app_latency: float,
+                       app_db_latency: float) -> "PerLinkLatency":
+    """The standard client <-> app <-> db latency topology.
+
+    Client/app links cross the Internet, app/app and app/db links stay inside
+    the cluster; app-to-app traffic uses the default.  Shared by every
+    deployment builder so all protocol stacks run on an identical network.
+    """
+    latency = PerLinkLatency(FixedLatency(app_app_latency))
+    for client in client_names:
+        for app in app_server_names:
+            latency.set_link(client, app, FixedLatency(client_app_latency))
+            latency.set_link(app, client, FixedLatency(client_app_latency))
+    for app in app_server_names:
+        for db in db_server_names:
+            latency.set_link(app, db, FixedLatency(app_db_latency))
+            latency.set_link(db, app, FixedLatency(app_db_latency))
+    return latency
 
 
 class PerLinkLatency(LatencyModel):

@@ -1,0 +1,181 @@
+"""Tests for the scenario DSN parser/serializer of :mod:`repro.api`."""
+
+import pytest
+
+from repro import api
+from repro.api.scenario import FaultSpec, Scenario, ScenarioError
+
+
+# ------------------------------------------------------------- round-trip
+
+
+ROUND_TRIP_SCENARIOS = [
+    Scenario(),
+    Scenario(protocol="2pc"),
+    Scenario(protocol="pb", num_db_servers=2),
+    Scenario(protocol="baseline", seed=9, loss_probability=0.25),
+    Scenario(protocol="etx", num_app_servers=5, num_clients=2,
+             failure_detector="heartbeat", register_mode="local",
+             detection_delay=10.0, heartbeat_interval=2.5, heartbeat_timeout=40.0,
+             client_app_latency=12.0, app_app_latency=1.0, app_db_latency=0.25,
+             client_backoff=40.0, use_reliable_channels=True,
+             workload="bank", timing="paper"),
+    Scenario(protocol="etx", faults=(
+        FaultSpec("crash", 244.0, "a1"),
+        FaultSpec("recover", 500.0, "a1"),
+        FaultSpec("crash_for", 600.0, "d1", downtime=800.0),
+        FaultSpec("false_suspicion", 15.0, "a1", observer="a2", duration=200.0),
+    )),
+    Scenario(protocol="2pc", coordinator_log_latency=25.0, timing="paper"),
+]
+
+
+@pytest.mark.parametrize("scenario", ROUND_TRIP_SCENARIOS,
+                         ids=lambda s: s.to_dsn())
+def test_dsn_round_trips(scenario):
+    assert Scenario.from_dsn(scenario.to_dsn()) == scenario
+
+
+def test_parse_the_issue_example():
+    scenario = Scenario.from_dsn("etx://a3.d1.c1?fd=heartbeat&loss=0.01&seed=7")
+    assert scenario.protocol == "etx"
+    assert scenario.num_app_servers == 3
+    assert scenario.num_db_servers == 1
+    assert scenario.num_clients == 1
+    assert scenario.failure_detector == "heartbeat"
+    assert scenario.loss_probability == 0.01
+    assert scenario.seed == 7
+
+
+def test_to_dsn_omits_defaults():
+    assert Scenario().to_dsn() == "etx://a3.d1.c1"
+    assert Scenario(protocol="2pc").to_dsn() == "2pc://a1.d1.c1"
+
+
+# ------------------------------------------------------------- defaulting
+
+
+def test_omitted_host_components_use_protocol_defaults():
+    assert Scenario.from_dsn("etx://").num_app_servers == 3
+    assert Scenario.from_dsn("pb://").num_app_servers == 2
+    assert Scenario.from_dsn("2pc://").num_app_servers == 1
+    assert Scenario.from_dsn("baseline://").num_app_servers == 1
+    scenario = Scenario.from_dsn("etx://d2")
+    assert (scenario.num_app_servers, scenario.num_db_servers,
+            scenario.num_clients) == (3, 2, 1)
+
+
+def test_host_components_accept_any_order():
+    scenario = Scenario.from_dsn("etx://c2.a5.d3")
+    assert (scenario.num_app_servers, scenario.num_db_servers,
+            scenario.num_clients) == (5, 3, 2)
+
+
+def test_scheme_aliases_normalise_to_canonical_protocols():
+    assert Scenario.from_dsn("ar://") == Scenario.from_dsn("etx://")
+    assert Scenario.from_dsn("twopc://") == Scenario.from_dsn("2pc://")
+    assert Scenario.from_dsn("primary-backup://") == Scenario.from_dsn("pb://")
+    assert Scenario.from_dsn("ar://").to_dsn().startswith("etx://")
+
+
+def test_omitted_query_parameters_fall_back_to_defaults():
+    scenario = Scenario.from_dsn("etx://a3")
+    assert scenario.seed == 0
+    assert scenario.failure_detector == "oracle"
+    assert scenario.register_mode == "consensus"
+    assert scenario.workload == "default"
+    assert scenario.timing == "default"
+    assert scenario.faults == ()
+
+
+# ----------------------------------------------------------------- errors
+
+
+@pytest.mark.parametrize("dsn, fragment", [
+    ("gopher://a3", "unknown scenario scheme"),
+    ("etx", "missing '://'"),
+    ("etx://x3", "bad host token"),
+    ("etx://a3.a4", "given twice"),
+    ("etx://a3?warp=9", "unknown DSN parameter"),
+    ("etx://a3?seed=1&seed=2", "ambiguous"),
+    ("etx://a3?seed=1&seed=1", "ambiguous"),
+    ("etx://a3?seed=banana", "bad value for 'seed'"),
+    ("etx://a3?fd=psychic", "unknown failure detector"),
+    ("etx://a3?loss=1.5", "loss probability"),
+    ("etx://a3?fault=crash", "malformed fault token"),
+    ("etx://a3?fault=warp@1:a1", "unknown fault kind"),
+    ("etx://a0", "at least one process"),
+])
+def test_clear_errors_on_bad_dsns(dsn, fragment):
+    with pytest.raises(ScenarioError) as excinfo:
+        Scenario.from_dsn(dsn)
+    assert fragment in str(excinfo.value)
+
+
+def test_scenario_error_is_a_value_error():
+    assert issubclass(ScenarioError, ValueError)
+
+
+# ----------------------------------------------------------------- faults
+
+
+def test_fault_tokens_round_trip():
+    for token in ("crash@244:a1", "recover@500:a1", "crash_for@600:d2:800",
+                  "false_suspicion@15:a2:a1:200"):
+        assert FaultSpec.from_token(token).to_token() == token
+
+
+def test_fault_schedule_materialises_every_fault():
+    scenario = Scenario.from_dsn(
+        "etx://?fault=crash@244:a1&fault=crash_for@600:d1:800")
+    schedule = scenario.fault_schedule()
+    assert len(schedule) == 2
+    kinds = sorted(action.kind for action in schedule)
+    assert kinds == ["crash", "crash_for"]
+
+
+# ------------------------------------------------------------ conveniences
+
+
+def test_with_replaces_fields():
+    scenario = Scenario.from_dsn("etx://a3?seed=1")
+    assert scenario.with_(seed=9).seed == 9
+    assert scenario.seed == 1
+
+
+def test_tier_name_helpers_match_host():
+    scenario = Scenario.from_dsn("etx://a2.d2.c2")
+    assert scenario.app_server_names == ["a1", "a2"]
+    assert scenario.db_server_names == ["d1", "d2"]
+    assert scenario.client_names == ["c1", "c2"]
+
+
+def test_api_reexports_the_scenario_surface():
+    assert api.Scenario is Scenario
+    assert api.FaultSpec is FaultSpec
+    assert "etx" in api.known_schemes()
+
+
+def test_faults_naming_unknown_processes_are_rejected():
+    with pytest.raises(ScenarioError, match="unknown target 'a9'"):
+        Scenario.from_dsn("etx://a3.d1.c1?fault=crash@10:a9")
+    with pytest.raises(ScenarioError, match="unknown observer"):
+        Scenario.from_dsn("etx://a3?fault=false_suspicion@15:a7:a1:200")
+    # valid targets in any tier parse fine
+    assert Scenario.from_dsn("etx://a3.d1.c1?fault=crash@10:c1")
+    assert Scenario.from_dsn("etx://a3.d2?fault=crash_for@10:d2:50")
+
+
+def test_scenario_defaults_track_the_config_dataclasses():
+    from repro.baselines.common import BaselineConfig
+    from repro.core.deployment import DeploymentConfig
+    from repro.core.timing import ProtocolTiming
+
+    scenario = Scenario()
+    config = DeploymentConfig()
+    assert scenario.detection_delay == config.detection_delay
+    assert scenario.client_app_latency == config.client_app_latency
+    assert scenario.app_app_latency == config.app_app_latency
+    assert scenario.app_db_latency == config.app_db_latency
+    assert scenario.coordinator_log_latency == BaselineConfig().coordinator_log_latency
+    assert scenario.client_backoff == ProtocolTiming().client_backoff

@@ -209,5 +209,9 @@ def test_primary_backup_requires_two_app_servers():
 def test_baseline_config_validation():
     with pytest.raises(ValueError):
         BaselineConfig(num_app_servers=0)
-    with pytest.raises(ValueError):
-        BaselineDeployment(BaselineConfig(), num_db_servers=2)
+
+
+def test_baseline_config_overrides_derive_a_new_config():
+    deployment = BaselineDeployment(BaselineConfig(), num_db_servers=2)
+    assert deployment.config.num_db_servers == 2
+    assert len(deployment.db_servers) == 2

@@ -60,3 +60,45 @@ def test_fault_sweep_command(capsys):
 def test_seed_flag_is_accepted(capsys):
     status = main(["--seed", "7", "quickstart"])
     assert status == 0
+
+
+@pytest.mark.parametrize("dsn", [
+    "etx://a3.d1.c1?fd=heartbeat&seed=7",
+    "2pc://?workload=bank&timing=paper",
+    "pb://a2.d1?workload=bank",
+    "baseline://a1.d1.c1",
+])
+def test_run_command_executes_any_scheme(dsn, capsys):
+    status = main(["run", dsn])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "spec" in captured and "all properties hold" in captured
+    assert "1/1 delivered" in captured
+
+
+def test_run_command_accepts_multiple_requests(capsys):
+    status = main(["run", "etx://a3.d1.c1", "--requests", "2"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "2/2 delivered" in captured
+
+
+def test_run_command_rejects_unknown_schemes(capsys):
+    status = main(["run", "gopher://a3"])
+    captured = capsys.readouterr()
+    assert status == 2
+    assert "unknown scenario scheme" in captured.err
+
+
+def test_run_command_applies_the_global_seed(capsys):
+    status = main(["--seed", "5", "run", "etx://a3.d1.c1"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "seed 5" in captured
+
+
+def test_run_command_seed_zero_overrides_the_dsn_seed(capsys):
+    status = main(["--seed", "0", "run", "etx://a3.d1.c1?seed=7"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "seed 0" in captured

@@ -19,10 +19,12 @@ def consensus_scenarios(draw):
     max_crashes = (n - 1) // 2
     crashed = draw(st.lists(st.sampled_from(names), min_size=0, max_size=max_crashes,
                             unique=True))
-    # Keep at least one live proposer so a decision is reachable.
+    # Keep at least one live proposer so a decision is reachable.  (Dropping
+    # an arbitrary element is not enough: the surviving entry could itself be
+    # the sole proposer, e.g. proposers=[a1], crashed=[a1, a2].)
     live_proposers = [p for p in proposers if p not in crashed]
     if not live_proposers:
-        crashed = crashed[:-1]
+        crashed = [name for name in crashed if name != proposers[0]]
     seed = draw(st.integers(min_value=0, max_value=2**16))
     crash_times = {name: draw(st.floats(min_value=0.0, max_value=50.0)) for name in crashed}
     return n, names, proposers, crash_times, seed

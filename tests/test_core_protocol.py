@@ -217,8 +217,15 @@ def test_config_validation():
         DeploymentConfig(num_app_servers=0)
     with pytest.raises(ValueError):
         DeploymentConfig(register_mode="shared-memory")
-    with pytest.raises(ValueError):
-        EtxDeployment(DeploymentConfig(), num_db_servers=2)
+
+
+def test_deployment_overrides_derive_a_replaced_config():
+    base = DeploymentConfig(seed=3)
+    deployment = EtxDeployment(base, num_db_servers=2)
+    assert deployment.config.num_db_servers == 2
+    assert deployment.config.seed == 3       # untouched fields carry over
+    assert base.num_db_servers == 1          # the original config is unchanged
+    assert len(deployment.db_servers) == 2
 
 
 def test_deployment_exposes_trace_and_names():
