@@ -9,7 +9,7 @@ is the regenerated figure.
 import pytest
 
 from repro.experiments import calibration, figure8
-from repro.workload.generator import ClosedLoopDriver
+from repro.workload.generator import ClosedLoop
 
 
 def test_bench_figure8_full_table(benchmark):
@@ -32,7 +32,7 @@ def test_bench_cost_of_reliability(benchmark):
 def _single_request_latency(builder):
     workload = calibration.default_workload()
     deployment = builder(workload=workload, db_timing=calibration.paper_database_timing())
-    stats = ClosedLoopDriver(deployment).run([workload.debit(0, 10)])
+    stats = ClosedLoop().run(deployment, [workload.debit(0, 10)])
     return stats.mean_latency
 
 

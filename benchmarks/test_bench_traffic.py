@@ -1,0 +1,90 @@
+"""Benchmarks for the traffic engine: load generation and sweep execution.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Besides the
+pytest-benchmark timings, each test prints wall-clock seconds and simulator
+events per second, so future performance PRs (batching, sharding, caching)
+have a recorded baseline to beat.
+"""
+
+import time
+
+import pytest
+
+from repro import api
+from repro.workload.generator import ClosedLoop, OpenLoop
+
+OPEN_LOOP_DSN = "etx://a3.d1.c4?rate=40&seed=3&workload=bank&timing=paper"
+CLOSED_LOOP_DSN = "etx://a3.d1.c4?seed=3&workload=bank&timing=paper"
+
+
+def _report(label: str, wall: float, events: int, delivered: int) -> None:
+    rate = events / wall if wall > 0 else float("inf")
+    print(f"\n[{label}] wall={wall:.3f}s events={events} "
+          f"events/sec={rate:,.0f} delivered={delivered}")
+
+
+def test_bench_open_loop_events_per_second():
+    """One open-loop scenario: the per-event cost of the simulator kernel."""
+    system = api.build(api.Scenario.from_dsn(OPEN_LOOP_DSN))
+    generator = OpenLoop(rate=40.0)
+    start = time.perf_counter()
+    stats = generator.run(system, 10)
+    wall = time.perf_counter() - start
+    _report("open-loop c4 rate=40", wall, system.sim.events_processed, stats.count)
+    assert stats.count == 40
+    assert stats.throughput > 0
+    assert system.check_spec().ok
+
+
+def test_bench_closed_loop_multi_client(benchmark):
+    """Closed loop over four concurrent clients, measured by pytest-benchmark."""
+    def run_once():
+        return api.run_scenario(CLOSED_LOOP_DSN, requests=3)
+
+    result = benchmark(run_once)
+    assert result.delivered == 12
+    assert result.spec.ok
+
+
+def test_bench_open_loop_scenario(benchmark):
+    """The CI smoke shape: one open-loop run through the public entry point."""
+    def run_once():
+        return api.run_scenario(OPEN_LOOP_DSN, requests=2)
+
+    result = benchmark(run_once)
+    assert result.delivered == 8
+    assert result.spec.ok
+
+
+def test_bench_parallel_sweep_matches_serial():
+    """A 4-way parallel sweep: wall-clock and identical-results check."""
+    sweep = api.Sweep.over("etx://d1?workload=bank&timing=paper&seed=3",
+                           protocol=["etx", "2pc"], clients=[1, 4])
+    start = time.perf_counter()
+    parallel = api.run_sweep(sweep, requests=1, workers=4)
+    parallel_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    serial = api.run_sweep(sweep, requests=1, workers=1)
+    serial_wall = time.perf_counter() - start
+    print(f"\n[sweep 2x2] parallel wall={parallel_wall:.3f}s "
+          f"serial wall={serial_wall:.3f}s rows={len(parallel)}")
+    assert parallel.to_table() == serial.to_table()
+    assert parallel.ok
+
+
+def test_bench_mailbox_hot_path(benchmark):
+    """High-rate single-client closed loop: stresses deliver/_take_from_mailbox."""
+    def run_once():
+        system = api.build(api.Scenario.from_dsn(
+            "etx://a3.d1.c1?seed=5&workload=bank"))
+        return ClosedLoop().run(system, 20)
+
+    stats = benchmark(run_once)
+    assert stats.count == 20
+    assert stats.undelivered == 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual baseline runs
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q", "-s"]))

@@ -13,7 +13,14 @@ protocols alike::
     scenario = api.Scenario.from_dsn("etx://a3.d1.c1?fd=heartbeat&seed=7")
 
     result = api.run_scenario(scenario)
-    print(result.summary())          # latency, messages, spec report
+    print(result.summary())          # throughput, percentiles, messages, spec
+
+    # ... or from a DSN with a traffic shape (8 clients, open loop):
+    result = api.run_scenario("etx://a3.d1.c8?rate=50&arrival=poisson")
+
+    # fan a scenario grid out over worker processes (deterministic):
+    sweep = api.Sweep.over("etx://d1", protocol=["etx", "2pc"], clients=[1, 8])
+    print(api.run_sweep(sweep, workers=4).to_table())
 
     # or keep your hands on the wheel:
     system = api.build(scenario)     # a RunningSystem facade
@@ -34,7 +41,8 @@ from repro.api.drivers import (
     register_protocol,
     registered_protocols,
 )
-from repro.api.runner import ScenarioResult, run_scenario
+from repro.api.runner import ScenarioResult, load_generator_for, run_scenario
+from repro.api.sweep import Sweep, SweepResult, map_jobs, run_sweep
 from repro.api.scenario import (
     FaultSpec,
     Scenario,
@@ -66,6 +74,11 @@ __all__ = [
     "build",
     "ScenarioResult",
     "run_scenario",
+    "load_generator_for",
+    "Sweep",
+    "SweepResult",
+    "run_sweep",
+    "map_jobs",
     "WorkloadBinding",
     "bind_workload",
     "register_workload",

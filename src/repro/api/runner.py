@@ -1,9 +1,11 @@
 """Run a scenario end-to-end and bundle the result.
 
 :func:`run_scenario` is the one-call entry point behind ``python -m repro run
-<dsn>``: build the scenario's stack, drive its standard workload in a closed
-loop, then package latency breakdown, message counts, attempts and the
-specification report into a :class:`ScenarioResult`.
+<dsn>``: build the scenario's stack, drive its workload with the traffic shape
+the scenario asks for (closed loop by default, open loop when ``rate`` is
+set), then package throughput, latency percentiles, per-client statistics,
+latency breakdown, message counts and the specification report into a
+:class:`ScenarioResult`.
 """
 
 from __future__ import annotations
@@ -15,7 +17,17 @@ from repro.api.drivers import RunningSystem, build
 from repro.api.scenario import Scenario
 from repro.core.spec import SpecReport
 from repro.metrics.latency import LatencyBreakdown, breakdown_from_run
-from repro.workload.generator import ClosedLoopDriver, RunStatistics
+from repro.workload.generator import ClosedLoop, LoadGenerator, OpenLoop, RunStatistics
+
+
+def load_generator_for(scenario: Scenario,
+                       horizon_per_request: float = 1_000_000.0) -> LoadGenerator:
+    """The load generator a scenario's ``rate``/``arrival``/``think`` ask for."""
+    if scenario.rate > 0:
+        return OpenLoop(rate=scenario.rate, arrival=scenario.arrival,
+                        horizon_per_request=horizon_per_request)
+    return ClosedLoop(think_time=scenario.think_time,
+                      horizon_per_request=horizon_per_request)
 
 
 @dataclass
@@ -37,6 +49,11 @@ class ScenarioResult:
         return self.statistics.count
 
     @property
+    def throughput(self) -> float:
+        """Delivered requests per second of virtual time."""
+        return self.statistics.throughput
+
+    @property
     def ok(self) -> bool:
         """Every request delivered and every checked property holds."""
         return self.delivered == self.requested and self.spec.ok
@@ -44,18 +61,34 @@ class ScenarioResult:
     def summary(self) -> str:
         """A compact multi-line report (what the CLI prints)."""
         stats = self.statistics
+        scenario = self.scenario
+        if scenario.rate > 0:
+            load = (f"open loop @ {scenario.rate:g}/s {scenario.arrival}"
+                    f" over {scenario.num_clients} client(s)")
+        else:
+            load = f"closed loop over {scenario.num_clients} client(s)"
+            if scenario.think_time > 0:
+                load += f", think {scenario.think_time:g} ms"
         lines = [
             f"scenario   {self.dsn}",
-            f"protocol   {self.scenario.protocol}   workload {self.scenario.workload}"
-            f"   seed {self.scenario.seed}",
+            f"protocol   {scenario.protocol}   workload {scenario.workload}"
+            f"   seed {scenario.seed}",
+            f"load       {load}",
             f"requests   {self.delivered}/{self.requested} delivered"
-            f"   attempts mean {stats.mean_attempts:.1f}",
+            f"   attempts mean {stats.mean_attempts:.1f}"
+            f"   throughput {stats.throughput:.1f} req/s",
             f"latency    mean {stats.mean_latency:.1f} ms"
-            f"   max {stats.max_latency:.1f} ms",
+            f"   p50 {stats.p50:.1f}   p95 {stats.p95:.1f}"
+            f"   p99 {stats.p99:.1f}   max {stats.max_latency:.1f}",
             f"messages   {self.total_messages} sent"
             f" ({self._top_message_types()})",
             f"spec       {self.spec.summary()}",
         ]
+        if len(stats.by_client) > 1:
+            per_client = "   ".join(
+                f"{name} {leaf.count} req p50 {leaf.p50:.1f}"
+                for name, leaf in stats.by_client.items())
+            lines.insert(5, f"clients    {per_client}")
         return "\n".join(lines)
 
     def _top_message_types(self, limit: int = 4) -> str:
@@ -72,19 +105,24 @@ def run_scenario(scenario: Union[Scenario, str], requests: int = 1,
                  **build_overrides: Any) -> ScenarioResult:
     """Build ``scenario`` (a :class:`Scenario` or DSN string), run it, report.
 
-    ``requests`` standard workload requests are issued in a closed loop.  After
-    the last delivery the simulation runs ``settle`` further milliseconds so
-    cleanup traffic (fail-over, decides, acknowledgements) lands in the trace
-    before the specification is checked.  ``check_termination`` defaults to
-    *auto*: termination properties are only enforced when every request was
-    delivered and no client was deliberately crashed.  Extra keyword arguments
-    are forwarded to :func:`repro.api.build` (workload / timing overrides).
+    ``requests`` workload requests are issued *per client*: a closed loop
+    drives every client concurrently with that many back-to-back requests,
+    an open loop (``scenario.rate > 0``) injects
+    ``requests * num_clients`` arrivals at the configured rate, round-robined
+    over the clients.  After the last delivery the simulation runs ``settle``
+    further milliseconds so cleanup traffic (fail-over, decides,
+    acknowledgements) lands in the trace before the specification is checked.
+    ``check_termination`` defaults to *auto*: termination properties are only
+    enforced when every request was delivered and no client was deliberately
+    crashed.  Extra keyword arguments are forwarded to
+    :func:`repro.api.build` (workload / timing overrides).
     """
     if isinstance(scenario, str):
         scenario = Scenario.from_dsn(scenario)
     system = build(scenario, **build_overrides)
-    driver = ClosedLoopDriver(system, horizon_per_request=horizon_per_request)
-    statistics = driver.run([system.standard_request() for _ in range(requests)])
+    generator = load_generator_for(scenario, horizon_per_request=horizon_per_request)
+    statistics = generator.run(system, requests)
+    requested = requests * scenario.num_clients
     if settle > 0:
         system.run(until=system.sim.now + settle)
     if check_termination is None:
@@ -92,17 +130,20 @@ def run_scenario(scenario: Union[Scenario, str], requests: int = 1,
                              for fault in scenario.faults)
         check_termination = statistics.undelivered == 0 and not client_faulted
     spec = system.check_spec(check_termination=check_termination)
+    # The component breakdown explains *protocol* latency, so it gets the
+    # service latency -- for open loops the client-observed mean also
+    # contains queueing at the client, which is load, not protocol cost.
     breakdown = breakdown_from_run(
         protocol=scenario.protocol,
         trace=system.trace,
         timing=system.db_timing,
-        mean_latency=statistics.mean_latency,
+        mean_latency=statistics.mean_service_latency,
         samples=statistics.count,
     )
     return ScenarioResult(
         scenario=scenario,
         dsn=scenario.to_dsn(),
-        requested=requests,
+        requested=requested,
         statistics=statistics,
         breakdown=breakdown,
         message_counts=dict(system.stats.by_type_sent),

@@ -7,8 +7,9 @@ scenario has a DSN (data-source-name) form modelled on database connection
 strings::
 
     etx://a3.d1.c1?fd=heartbeat&loss=0.01&seed=7
+    etx://a3.d1.c8?rate=50&arrival=poisson&seed=7
     2pc://a1.d1?workload=bank&timing=paper&log=25
-    pb://a2.d1?workload=bank
+    pb://a2.d1?workload=bank&clients=4&think=250
     baseline://a1.d1?fault=crash@215:a1
 
 The scheme selects the protocol (``etx``/``ar``, ``2pc``/``twopc``,
@@ -43,6 +44,9 @@ FD_HEARTBEAT = "heartbeat"
 
 TIMING_DEFAULT = "default"
 TIMING_PAPER = "paper"
+
+ARRIVAL_POISSON = "poisson"
+ARRIVAL_UNIFORM = "uniform"
 
 
 class ScenarioError(ValueError):
@@ -181,9 +185,14 @@ def _parse_bool(text: str) -> bool:
 
 
 # query parameter -> (Scenario field, parser).  Order doubles as the canonical
-# serialisation order of ``to_dsn``.
+# serialisation order of ``to_dsn``.  ``clients`` is an alternative spelling
+# of the host's ``c<N>`` token (never serialised -- the host carries it).
 _QUERY_PARAMS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "seed": ("seed", int),
+    "clients": ("num_clients", int),
+    "rate": ("rate", float),
+    "arrival": ("arrival", str),
+    "think": ("think_time", float),
     "fd": ("failure_detector", str),
     "register": ("register_mode", str),
     "loss": ("loss_probability", float),
@@ -234,6 +243,13 @@ class Scenario:
     client_backoff: float = ProtocolTiming.client_backoff
     workload: str = "default"
     timing: str = TIMING_DEFAULT
+    # Traffic shape: ``rate == 0`` is the paper's closed loop (every client
+    # re-issues on delivery, pausing ``think_time`` in between); ``rate > 0``
+    # is an open loop injecting requests at that many per second of virtual
+    # time with the given arrival process.
+    rate: float = 0.0
+    arrival: str = ARRIVAL_POISSON
+    think_time: float = 0.0
     faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -257,6 +273,17 @@ class Scenario:
             raise ScenarioError("client backoff must be non-negative")
         if self.timing not in (TIMING_DEFAULT, TIMING_PAPER):
             raise ScenarioError(f"unknown timing profile {self.timing!r}")
+        if self.rate < 0:
+            raise ScenarioError("arrival rate must be non-negative "
+                                "(0 selects the closed loop)")
+        if self.arrival not in (ARRIVAL_POISSON, ARRIVAL_UNIFORM):
+            raise ScenarioError(f"unknown arrival process {self.arrival!r} "
+                                f"(expected {ARRIVAL_POISSON!r} or {ARRIVAL_UNIFORM!r})")
+        if self.think_time < 0:
+            raise ScenarioError("think time must be non-negative")
+        if self.rate > 0 and self.think_time > 0:
+            raise ScenarioError("think time is a closed-loop knob; an open loop "
+                                "(rate > 0) injects independently of completions")
         object.__setattr__(self, "faults", tuple(self.faults))
         known = set(self.app_server_names + self.db_server_names + self.client_names)
         for fault in self.faults:
@@ -319,6 +346,10 @@ class Scenario:
                     f"unknown DSN parameter {key!r}; known parameters: "
                     f"{', '.join(sorted(_QUERY_PARAMS))}, fault")
             field_name, parser = _QUERY_PARAMS[key]
+            if field_name in values:
+                raise ScenarioError(
+                    f"ambiguous DSN: {key!r} duplicates a host token "
+                    f"(both set {field_name})")
             try:
                 values[field_name] = parser(raw)
             except ValueError as exc:
@@ -333,6 +364,8 @@ class Scenario:
                 f".c{self.num_clients}")
         parts: list[str] = []
         for key, (field_name, _) in _QUERY_PARAMS.items():
+            if key == "clients":  # the host's c<N> token already carries it
+                continue
             value = getattr(self, field_name)
             if value == defaults[field_name]:
                 continue
@@ -372,9 +405,20 @@ class Scenario:
     def db_server_names(self) -> list[str]:
         return [f"d{i + 1}" for i in range(self.num_db_servers)]
 
+    @property
+    def load_shape(self) -> str:
+        """One word for the traffic shape this scenario asks for."""
+        return "open" if self.rate > 0 else "closed"
+
     def describe(self) -> str:
         """One human-readable line."""
+        if self.rate > 0:
+            load = f"open loop @ {_format_number(self.rate)}/s ({self.arrival})"
+        elif self.think_time > 0:
+            load = f"closed loop, think {_format_number(self.think_time)} ms"
+        else:
+            load = "closed loop"
         return (f"{self.protocol} scenario: {self.num_app_servers} app / "
                 f"{self.num_db_servers} db / {self.num_clients} client(s), "
-                f"workload={self.workload}, fd={self.failure_detector}, "
+                f"{load}, workload={self.workload}, fd={self.failure_detector}, "
                 f"seed={self.seed}, faults={len(self.faults)}")

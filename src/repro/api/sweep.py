@@ -1,0 +1,223 @@
+"""Declarative scenario sweeps and their parallel executor.
+
+A :class:`Sweep` is a base :class:`~repro.api.scenario.Scenario` plus named
+*axes* (protocol, tier sizes, fault schedules, seeds, load shape, any scenario
+field).  :meth:`Sweep.expand` takes the cartesian product of the axes and
+yields one concrete scenario per grid point; :func:`run_sweep` executes the
+grid -- serially, or fanned out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+-- and returns the ordered :class:`ScenarioResult` rows.
+
+Determinism is the contract: every scenario carries its own seed, each
+execution resets the process-global request-id counter first
+(:func:`repro.core.types.reset_request_counter`), and the per-stream simulator
+RNGs are hash-randomisation-free, so a parallel sweep produces *byte-identical*
+results to a serial execution of the same grid::
+
+    from repro import api
+
+    sweep = api.Sweep.over("etx://d1?workload=bank",
+                           protocol=["etx", "2pc"], num_clients=[1, 4, 8])
+    result = api.run_sweep(sweep, requests=2, workers=4)
+    print(result.to_table())
+
+Experiment harnesses reuse the executor through :func:`map_jobs` when their
+per-scenario measurement is something other than :func:`run_scenario`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar, Union
+
+from repro.api.runner import ScenarioResult, run_scenario
+from repro.api.scenario import _QUERY_PARAMS, Scenario, ScenarioError
+from repro.core.types import reset_request_counter
+
+_JobT = TypeVar("_JobT")
+_RowT = TypeVar("_RowT")
+
+# Axis names accept scenario field names and their DSN-parameter spellings.
+_AXIS_ALIASES: dict[str, str] = {
+    **{param: field_name for param, (field_name, _) in _QUERY_PARAMS.items()},
+    "protocol": "protocol",
+    "app_servers": "num_app_servers",
+    "db_servers": "num_db_servers",
+    "a": "num_app_servers",
+    "d": "num_db_servers",
+    "c": "num_clients",
+}
+
+_SCENARIO_FIELDS = frozenset(Scenario.__dataclass_fields__)
+
+
+def resolve_axis_field(name: str) -> str:
+    """Map an axis name (field name or DSN spelling) to a Scenario field."""
+    field_name = _AXIS_ALIASES.get(name, name)
+    if field_name not in _SCENARIO_FIELDS:
+        raise ScenarioError(
+            f"unknown sweep axis {name!r}; axes are scenario fields "
+            f"({', '.join(sorted(_SCENARIO_FIELDS))}) or DSN parameters "
+            f"({', '.join(sorted(_AXIS_ALIASES))})")
+    return field_name
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A base scenario and the axes to expand around it.
+
+    Each axis is ``(name, values)``; a value is either a plain field value or
+    a mapping of several fields applied together (useful when one logical
+    axis moves multiple knobs, e.g. a protocol together with its natural
+    middle-tier size).  Axes expand in order, later axes fastest -- the same
+    nesting as ``itertools.product``.
+    """
+
+    base: Scenario
+    axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+
+    @classmethod
+    def over(cls, base: Union[Scenario, str], **axes: Iterable[Any]) -> "Sweep":
+        """Build a sweep from a base scenario (or DSN) and keyword axes."""
+        if isinstance(base, str):
+            base = Scenario.from_dsn(base)
+        resolved = tuple((name, tuple(values)) for name, values in axes.items())
+        for name, values in resolved:
+            if not values:
+                raise ScenarioError(f"sweep axis {name!r} has no values")
+            # An axis whose values are all mappings is a compound axis; its
+            # name is just a label and the mappings name the fields.
+            if any(not isinstance(value, Mapping) for value in values):
+                resolve_axis_field(name)
+        return cls(base=base, axes=resolved)
+
+    def with_axis(self, name: str, values: Iterable[Any]) -> "Sweep":
+        """A copy with one more axis appended."""
+        return Sweep.over(self.base, **dict(self.axes), **{name: values})
+
+    def __len__(self) -> int:
+        size = 1
+        for _, values in self.axes:
+            size *= len(values)
+        return size
+
+    def expand(self) -> list[Scenario]:
+        """One concrete scenario per grid point, in deterministic grid order."""
+        scenarios: list[Scenario] = []
+        names = [name for name, _ in self.axes]
+        for point in itertools.product(*(values for _, values in self.axes)):
+            scenario = self.base
+            for name, value in zip(names, point):
+                if isinstance(value, Mapping):
+                    scenario = scenario.with_(
+                        **{resolve_axis_field(k): v for k, v in value.items()})
+                else:
+                    scenario = scenario.with_(**{resolve_axis_field(name): value})
+            scenarios.append(scenario)
+        return scenarios
+
+
+# ------------------------------------------------------------------ executor
+
+
+def default_workers(jobs: int) -> int:
+    """Worker processes used when the caller does not say: one per grid
+    point, capped by the machine's cores."""
+    return max(1, min(jobs, os.cpu_count() or 1))
+
+
+def map_jobs(worker: Callable[[_JobT], _RowT], jobs: Sequence[_JobT],
+             workers: Optional[int] = None) -> list[_RowT]:
+    """Run ``worker`` over ``jobs``, preserving order.
+
+    ``workers > 1`` fans out over a process pool; ``worker`` (and the jobs and
+    rows) must then be picklable, i.e. a module-level function.  ``workers``
+    of ``None`` picks :func:`default_workers`; ``0``/``1`` runs serially in
+    this process.  Either path calls the *same* worker, so a serial run and a
+    parallel run of the same jobs produce identical rows.
+    """
+    jobs = list(jobs)
+    if workers is None:
+        workers = default_workers(len(jobs))
+    if workers <= 1 or len(jobs) <= 1:
+        return [worker(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        return list(pool.map(worker, jobs, chunksize=1))
+
+
+@dataclass(frozen=True)
+class _ScenarioJob:
+    """Picklable unit of sweep work."""
+
+    scenario: Scenario
+    requests: int
+    horizon_per_request: float
+    settle: float
+
+
+def _execute_scenario(job: _ScenarioJob) -> ScenarioResult:
+    """Run one grid point (in whatever process the pool put it)."""
+    # Per-worker deterministic seeding: the run must not see how many
+    # requests earlier grid points in the same process created.
+    reset_request_counter()
+    return run_scenario(job.scenario, requests=job.requests,
+                        horizon_per_request=job.horizon_per_request,
+                        settle=job.settle)
+
+
+@dataclass
+class SweepResult:
+    """The ordered outcome of one sweep execution."""
+
+    rows: list[ScenarioResult]
+
+    @property
+    def ok(self) -> bool:
+        """Every grid point delivered everything and kept the spec clean."""
+        return all(row.ok for row in self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_table(self) -> str:
+        """Fixed-width text table: one row per grid point.
+
+        The rendering is deliberately deterministic (no timestamps, no worker
+        identities) so two executions of the same grid -- serial or parallel
+        -- can be compared byte for byte.
+        """
+        header = (f"{'scenario':<52} {'delivered':>9} {'tput/s':>8} "
+                  f"{'p50':>8} {'p95':>8} {'p99':>8} {'mean':>8} "
+                  f"{'msgs':>7} {'spec':>5}")
+        lines = [header]
+        for row in self.rows:
+            stats = row.statistics
+            delivered = f"{row.delivered}/{row.requested}"
+            lines.append(
+                f"{row.dsn:<52} {delivered:>9} {stats.throughput:>8.1f} "
+                f"{stats.p50:>8.1f} {stats.p95:>8.1f} {stats.p99:>8.1f} "
+                f"{stats.mean_latency:>8.1f} {row.total_messages:>7} "
+                f"{'ok' if row.spec.ok else 'FAIL':>5}")
+        return "\n".join(lines)
+
+
+def run_sweep(sweep: Union[Sweep, Sequence[Scenario]], requests: int = 1,
+              workers: Optional[int] = None,
+              horizon_per_request: float = 1_000_000.0,
+              settle: float = 5_000.0) -> SweepResult:
+    """Execute a sweep (or an explicit scenario list) and collect the rows.
+
+    ``requests`` is per client, as in :func:`repro.api.run_scenario`.
+    ``workers`` of ``None`` uses one process per grid point up to the core
+    count; ``0``/``1`` runs serially.  Rows come back in grid order
+    regardless of which worker finished first.
+    """
+    scenarios = sweep.expand() if isinstance(sweep, Sweep) else list(sweep)
+    jobs = [_ScenarioJob(scenario, requests, horizon_per_request, settle)
+            for scenario in scenarios]
+    return SweepResult(rows=map_jobs(_execute_scenario, jobs, workers=workers))

@@ -15,6 +15,7 @@ from repro.baselines.common import (
     COMMIT_ONE_PHASE,
     BaseThreeTierDeployment,
     OnePhaseDatabaseServer,
+    RequestDeduplication,
 )
 from repro.core import messages as msg
 from repro.core.types import ABORT, COMMIT, Decision, Request, Result
@@ -22,12 +23,13 @@ from repro.net.message import Message, is_type, is_type_with
 from repro.sim.process import Process
 
 
-class BaselineAppServer(Process):
+class BaselineAppServer(RequestDeduplication, Process):
     """A stateless application server offering no reliability guarantee."""
 
     def __init__(self, sim, name: str, db_server_names: list[str]):
         super().__init__(sim, name)
         self.db_server_names = list(db_server_names)
+        self._init_dedup()
 
     def on_start(self, recovery: bool) -> None:
         self.spawn(self._serve(), name="baseline-serve")
@@ -39,6 +41,8 @@ class BaselineAppServer(Process):
             j = message["j"]
             request: Request = message["request"]
             key = (client, j)
+            if self._replay_duplicate(key):
+                continue
             self.trace.record("as_request", self.name, client=client, j=j,
                               request_id=request.request_id)
             value = yield from self._execute(key, request)
@@ -48,6 +52,7 @@ class BaselineAppServer(Process):
             committed = yield from self._commit(key)
             outcome = COMMIT if committed else ABORT
             decision = Decision(result=result if committed else None, outcome=outcome)
+            self._record_decision(key, decision)
             self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
             self.send(client, msg.result_message(j, decision))
 

@@ -13,11 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
+from repro.core import messages as msg
 from repro.core.client import Client, IssuedRequest
 from repro.core.dataserver import DatabaseServer
 from repro.core.spec import SpecReport, check_run
 from repro.core.timing import DatabaseTiming, ProtocolTiming
-from repro.core.types import VOTE_YES, Request
+from repro.core.types import VOTE_YES, Decision, Request
 from repro.failure.detectors import PerfectFailureDetector
 from repro.failure.injection import FaultSchedule
 from repro.net.latency import PerLinkLatency, three_tier_latency
@@ -28,6 +29,41 @@ from repro.sim.scheduler import Simulator
 
 COMMIT_ONE_PHASE = "CommitOnePhase"
 ACK_COMMIT = "AckCommit"
+
+
+class RequestDeduplication:
+    """At-most-once guard for the serial application-server loops.
+
+    A client that waits longer than its back-off re-broadcasts the *same*
+    result identifier -- routine once many clients queue at one server.  A
+    transaction manager that re-executed the duplicate would re-run a
+    committed transaction (and crash the database's prepare).  The mixin
+    remembers completed decisions and replays them for duplicates.  The
+    memory is volatile: a crash forgets it, so a retry that races a server
+    crash still double-executes on the unreliable baseline -- exactly the
+    at-most-once violation the paper's comparison is about.
+    """
+
+    def _init_dedup(self) -> None:
+        self._completed_decisions: dict[Any, Decision] = {}
+
+    def _record_decision(self, key: Any, decision: Any) -> None:
+        """Remember the decision sent to the client for ``key``."""
+        self._completed_decisions[key] = decision
+
+    def _replay_duplicate(self, key: Any) -> bool:
+        """Resend the recorded decision if ``key`` already completed."""
+        decision = self._completed_decisions.get(key)
+        if decision is None:
+            return False
+        client, j = key
+        self.trace.record("as_result_resent", self.name, client=client, j=j,
+                          outcome=decision.outcome)
+        self.send(client, msg.result_message(j, decision))
+        return True
+
+    def on_crash(self) -> None:
+        self._completed_decisions.clear()
 
 
 class OnePhaseDatabaseServer(DatabaseServer):

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.baselines.common import BaseThreeTierDeployment
+from repro.baselines.common import BaseThreeTierDeployment, RequestDeduplication
 from repro.core import messages as msg
 from repro.core.types import ABORT, COMMIT, Decision, Request, Result, VOTE_YES
 from repro.failure.detectors import FailureDetector
@@ -32,13 +32,14 @@ PB_OUTCOME = "PBOutcome"
 PB_OUTCOME_ACK = "PBOutcomeAck"
 
 
-class PrimaryServer(Process):
+class PrimaryServer(RequestDeduplication, Process):
     """The primary application server of the primary-backup scheme."""
 
     def __init__(self, sim, name: str, backup_name: str, db_server_names: list[str]):
         super().__init__(sim, name)
         self.backup_name = backup_name
         self.db_server_names = list(db_server_names)
+        self._init_dedup()
 
     def on_start(self, recovery: bool) -> None:
         self.spawn(self._serve(), name="pb-primary")
@@ -50,6 +51,8 @@ class PrimaryServer(Process):
             j = message["j"]
             request: Request = message["request"]
             key = (client, j)
+            if self._replay_duplicate(key):
+                continue
             self.trace.record("as_request", self.name, client=client, j=j,
                               request_id=request.request_id)
             # Replicate the request to the backup before doing any work.
@@ -67,6 +70,7 @@ class PrimaryServer(Process):
             yield self.receive(is_type_with(PB_OUTCOME_ACK, j=key))
             yield from self._decide(key, outcome)
             decision = Decision(result=result if outcome == COMMIT else None, outcome=outcome)
+            self._record_decision(key, decision)
             self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
             self.send(client, msg.result_message(j, decision))
 

@@ -13,7 +13,7 @@ the client.  This gives at-most-once semantics, but
 
 from __future__ import annotations
 
-from repro.baselines.common import BaseThreeTierDeployment
+from repro.baselines.common import BaseThreeTierDeployment, RequestDeduplication
 from repro.core import messages as msg
 from repro.core.types import ABORT, COMMIT, Decision, Request, Result, VOTE_YES
 from repro.net.message import is_type, is_type_with
@@ -22,7 +22,7 @@ from repro.storage.stable import StableStorage
 from repro.storage.wal import WriteAheadLog
 
 
-class TwoPCCoordinator(Process):
+class TwoPCCoordinator(RequestDeduplication, Process):
     """Application server acting as a classic 2PC transaction manager."""
 
     def __init__(self, sim, name: str, db_server_names: list[str],
@@ -31,6 +31,7 @@ class TwoPCCoordinator(Process):
         self.db_server_names = list(db_server_names)
         self.disk = StableStorage(f"{name}.tmlog", forced_write_latency=log_latency)
         self.log = WriteAheadLog(self.disk)
+        self._init_dedup()
 
     def on_start(self, recovery: bool) -> None:
         self.spawn(self._serve(), name="twopc-serve")
@@ -42,6 +43,8 @@ class TwoPCCoordinator(Process):
             j = message["j"]
             request: Request = message["request"]
             key = (client, j)
+            if self._replay_duplicate(key):
+                continue
             self.trace.record("as_request", self.name, client=client, j=j,
                               request_id=request.request_id)
             # Presumed nothing: force a start record before doing anything.
@@ -62,6 +65,7 @@ class TwoPCCoordinator(Process):
                               duration=cost)
             yield from self._decide(key, outcome)
             decision = Decision(result=result if outcome == COMMIT else None, outcome=outcome)
+            self._record_decision(key, decision)
             self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
             self.send(client, msg.result_message(j, decision))
 

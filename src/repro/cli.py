@@ -3,7 +3,10 @@
 Usage (any of)::
 
     python -m repro run "etx://a3.d1.c1?fd=heartbeat&seed=7"
+    python -m repro run "etx://a3.d1.c8?rate=50&arrival=poisson&seed=7"
     python -m repro run "2pc://?workload=bank&timing=paper" --requests 3
+    python -m repro sweep "etx://d1?workload=bank" \
+        --axis protocol=etx,2pc,pb --axis clients=1,4,8 --workers 4
     python -m repro figure8 --requests 5
     python -m repro figure7
     python -m repro figure1
@@ -12,10 +15,11 @@ Usage (any of)::
     python -m repro quickstart
 
 ``run`` executes any scenario DSN (scheme = protocol: ``etx``, ``2pc``,
-``pb``, ``baseline``) through the unified scenario API; the other sub-commands
-run the corresponding experiment harness and print the regenerated table(s) to
-stdout.  Exit status is non-zero if the result does not have the paper's
-shape (useful in CI).
+``pb``, ``baseline``) through the unified scenario API; ``sweep`` expands
+``--axis`` grids around a base DSN and fans the grid out over worker
+processes; the other sub-commands run the corresponding experiment harness
+and print the regenerated table(s) to stdout.  Exit status is non-zero if the
+result does not have the paper's shape (useful in CI).
 """
 
 from __future__ import annotations
@@ -47,6 +51,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _seed(args: argparse.Namespace) -> int:
     return args.seed if args.seed is not None else 0
+
+
+def _parse_axis(text: str) -> tuple[str, list]:
+    """Parse one ``--axis name=v1,v2,...`` argument."""
+    name, separator, tail = text.partition("=")
+    name = name.strip()
+    if not separator or not name or not tail:
+        raise api.ScenarioError(
+            f"bad axis {text!r} (expected name=value[,value...])")
+    return name, [_coerce(value) for value in tail.split(",")]
+
+
+def _coerce(text: str):
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        base = api.Scenario.from_dsn(args.dsn)
+        if args.seed is not None:
+            base = base.with_(seed=_seed(args))
+        axes: dict = {}
+        for axis in args.axis or []:
+            name, values = _parse_axis(axis)
+            if name in axes:
+                raise api.ScenarioError(
+                    f"axis {name!r} given twice; list all its values in one "
+                    f"--axis {name}=v1,v2,...")
+            axes[name] = values
+        sweep = api.Sweep.over(base, **axes)
+        workers = 1 if args.serial else args.workers
+        result = api.run_sweep(sweep, requests=args.requests, workers=workers)
+    except api.ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.to_table())
+    print(f"\n{len(result)} scenario(s), "
+          f"{sum(row.delivered for row in result)} requests delivered, "
+          f"all ok: {result.ok}")
+    return 0 if result.ok else 1
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
@@ -135,8 +187,24 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("dsn", help="scenario DSN; schemes: "
                                  + ", ".join(api.known_schemes()))
     run.add_argument("--requests", type=int, default=1,
-                     help="closed-loop requests to issue (default 1)")
+                     help="requests to issue per client (default 1)")
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="expand --axis grids around a base DSN and run them "
+                      "on a worker-process pool")
+    sweep.add_argument("dsn", help="base scenario DSN the axes are applied to")
+    sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                       help="one sweep axis (repeatable), e.g. "
+                            "protocol=etx,2pc,pb or clients=1,4,8")
+    sweep.add_argument("--requests", type=int, default=1,
+                       help="requests per client and scenario (default 1)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: one per scenario, "
+                            "capped at the core count)")
+    sweep.add_argument("--serial", action="store_true",
+                       help="run in-process, single worker (same results)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     quickstart = sub.add_parser("quickstart", help="run one e-Transaction and check the spec")
     quickstart.add_argument("--app-servers", type=int, default=3)

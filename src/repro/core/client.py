@@ -35,6 +35,7 @@ class IssuedRequest:
         self.future: SimFuture = SimFuture()
         self.attempts = 0
         self.aborted_results: list[int] = []
+        self.enqueued_at: Optional[float] = None
         self.issued_at: Optional[float] = None
         self.delivered_at: Optional[float] = None
 
@@ -50,10 +51,19 @@ class IssuedRequest:
 
     @property
     def latency(self) -> Optional[float]:
-        """End-to-end latency as seen by the client, once delivered."""
+        """Service latency: from when the client started working on the
+        request to delivery (excludes any wait in the client's queue)."""
         if self.issued_at is None or self.delivered_at is None:
             return None
         return self.delivered_at - self.issued_at
+
+    @property
+    def sojourn(self) -> Optional[float]:
+        """Response time: from :meth:`Client.issue` (arrival) to delivery,
+        including the time the request queued behind earlier ones."""
+        if self.enqueued_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.enqueued_at
 
 
 class Client(Process):
@@ -98,6 +108,7 @@ class Client(Process):
         while another request is in flight queues the new one behind it.
         """
         issued = IssuedRequest(request)
+        issued.enqueued_at = self.now
         self._queue.append(issued)
         self.trace.record("client_issue", self.name, request_id=request.request_id,
                           operation=request.operation)

@@ -23,7 +23,7 @@ from typing import Optional
 from repro import api
 from repro.experiments import calibration
 from repro.metrics.steps import profile_from_trace
-from repro.workload.generator import ClosedLoopDriver
+from repro.workload.generator import ClosedLoop
 
 
 # --------------------------------------------------------------------- E5
@@ -110,12 +110,10 @@ def log_cost_sweep(latencies: Optional[list[float]] = None, seed: int = 0,
     points = []
     for log_latency in latencies:
         ar = api.build(calibration.paper_scenario("etx", seed=seed))
-        ar_stats = ClosedLoopDriver(ar).run(
-            [ar.standard_request() for _ in range(requests)])
+        ar_stats = ClosedLoop().run(ar, requests)
         twopc = api.build(calibration.paper_scenario(
             "2pc", seed=seed, coordinator_log_latency=log_latency))
-        twopc_stats = ClosedLoopDriver(twopc).run(
-            [twopc.standard_request() for _ in range(requests)])
+        twopc_stats = ClosedLoop().run(twopc, requests)
         points.append(LogCostPoint(
             forced_write_latency=log_latency,
             ar_total=ar_stats.mean_latency,
@@ -147,8 +145,7 @@ def scaling_sweep(degrees: Optional[list[int]] = None, seed: int = 0,
     for degree in degrees:
         deployment = api.build(calibration.paper_scenario(
             "etx", seed=seed, num_app_servers=degree))
-        stats = ClosedLoopDriver(deployment).run(
-            [deployment.standard_request() for _ in range(requests)])
+        stats = ClosedLoop().run(deployment, requests)
         profile = profile_from_trace(deployment.trace, f"ar-{degree}")
         points.append(ScalingPoint(
             num_app_servers=degree,

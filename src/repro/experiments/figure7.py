@@ -11,8 +11,10 @@ steps) from the trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro import api
+from repro.api import sweep as sweep_api
 from repro.experiments import calibration
 from repro.metrics.steps import CommunicationProfile, StepComparison, profile_from_trace
 
@@ -67,21 +69,30 @@ class Figure7Report:
         return all(checks)
 
 
-def run(seed: int = 0) -> Figure7Report:
-    """Run one failure-free request through each of the four protocols."""
+def _profile_stack(job: tuple[str, api.Scenario]
+                   ) -> tuple[str, CommunicationProfile, Optional[float]]:
+    """One sweep job: run one failure-free request, extract the profile."""
+    label, scenario = job
+    system = api.build(scenario)
+    issued = system.run_request(system.standard_request())
+    latency = issued.latency if issued.delivered else None
+    return label, profile_from_trace(system.trace, label), latency
+
+
+def run(seed: int = 0, workers: int = 1) -> Figure7Report:
+    """Run one failure-free request through each of the four protocols
+    (fanned out over ``workers`` processes when asked; same results)."""
+    jobs = [
+        ("baseline", calibration.paper_scenario("baseline", seed=seed)),
+        ("2PC", calibration.paper_scenario("2pc", seed=seed)),
+        ("PB", calibration.paper_scenario("pb", seed=seed)),
+        ("AR", calibration.paper_scenario("etx", seed=seed)),
+    ]
     comparison = StepComparison()
     latencies: dict[str, float] = {}
-
-    stacks = {
-        "baseline": calibration.paper_scenario("baseline", seed=seed),
-        "2PC": calibration.paper_scenario("2pc", seed=seed),
-        "PB": calibration.paper_scenario("pb", seed=seed),
-        "AR": calibration.paper_scenario("etx", seed=seed),
-    }
-    for protocol, scenario in stacks.items():
-        system = api.build(scenario)
-        issued = system.run_request(system.standard_request())
-        if issued.delivered and issued.latency is not None:
-            latencies[protocol] = issued.latency
-        comparison.add(profile_from_trace(system.trace, protocol))
+    for label, profile, latency in sweep_api.map_jobs(_profile_stack, jobs,
+                                                      workers=workers):
+        if latency is not None:
+            latencies[label] = latency
+        comparison.add(profile)
     return Figure7Report(comparison=comparison, latencies=latencies)

@@ -10,12 +10,13 @@ reliability" row, and can compare the result against the paper's numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from repro import api
+from repro.api import sweep as sweep_api
 from repro.experiments import calibration
-from repro.metrics.latency import LatencyTable, breakdown_from_run
-from repro.workload.generator import ClosedLoopDriver, RunStatistics
+from repro.metrics.latency import LatencyTable
+from repro.metrics.percentiles import summarise
+from repro.workload.generator import RunStatistics
 
 
 @dataclass
@@ -48,6 +49,11 @@ class Figure8Report:
                 f"{paper_overhead * 100:>16.0f}%{overheads.get(protocol, 0.0) * 100:>19.0f}%")
         return "\n".join(lines)
 
+    def percentile_summary(self) -> dict[str, dict[str, float]]:
+        """p50/p95/p99 of each protocol's client-observed latency."""
+        return {protocol: summarise(stats.latencies)
+                for protocol, stats in self.statistics.items()}
+
     def shape_holds(self, tolerance: float = 0.10) -> bool:
         """The qualitative claim of the paper:
 
@@ -64,9 +70,13 @@ class Figure8Report:
         return ordering and ar_close and twopc_close
 
 
+_COLUMN_LABELS = {"baseline": "baseline", "etx": "AR", "2pc": "2PC", "pb": "PB"}
+
+
 def run(requests_per_protocol: int = 5, seed: int = 0,
-        num_app_servers: int = 3, include_primary_backup: bool = False) -> Figure8Report:
-    """Reproduce Figure 8.
+        num_app_servers: int = 3, include_primary_backup: bool = False,
+        workers: int = 1) -> Figure8Report:
+    """Reproduce Figure 8 (one sweep over the protocol axis).
 
     Parameters
     ----------
@@ -81,31 +91,26 @@ def run(requests_per_protocol: int = 5, seed: int = 0,
     include_primary_backup:
         Also measure the primary-backup comparator (the paper discusses it but
         reports no numbers because its components match the AR column).
+    workers:
+        Worker processes for the protocol columns (results are identical at
+        any worker count; 1 measures in-process).
     """
+    protocol_axis: list[dict] = [
+        {"protocol": "baseline", "num_app_servers": 1},
+        {"protocol": "etx", "num_app_servers": num_app_servers},
+        {"protocol": "2pc", "num_app_servers": 1},
+    ]
+    if include_primary_backup:
+        protocol_axis.append({"protocol": "pb", "num_app_servers": 2})
+    grid = sweep_api.Sweep.over(calibration.paper_scenario("baseline", seed=seed),
+                                protocol=protocol_axis)
+    result = sweep_api.run_sweep(grid, requests=requests_per_protocol,
+                                 workers=workers)
+
     table = LatencyTable()
     statistics: dict[str, RunStatistics] = {}
-
-    scenarios = {
-        "baseline": calibration.paper_scenario("baseline", seed=seed),
-        "AR": calibration.paper_scenario("etx", seed=seed,
-                                         num_app_servers=num_app_servers),
-        "2PC": calibration.paper_scenario("2pc", seed=seed),
-    }
-    if include_primary_backup:
-        scenarios["PB"] = calibration.paper_scenario("pb", seed=seed)
-
-    for protocol, scenario in scenarios.items():
-        system = api.build(scenario)
-        driver = ClosedLoopDriver(system)
-        requests = [system.standard_request() for _ in range(requests_per_protocol)]
-        stats = driver.run(requests)
-        statistics[protocol] = stats
-        breakdown = breakdown_from_run(
-            protocol=protocol,
-            trace=system.trace,
-            timing=system.db_timing,
-            mean_latency=stats.mean_latency,
-            samples=stats.count,
-        )
-        table.add(breakdown)
+    for row in result:
+        label = _COLUMN_LABELS[row.scenario.protocol]
+        statistics[label] = row.statistics
+        table.add(replace(row.breakdown, protocol=label))
     return Figure8Report(table=table, statistics=statistics)

@@ -1,4 +1,4 @@
-"""Measurement: latency-component accounting and communication-step profiles."""
+"""Measurement: percentiles, latency-component accounting and step profiles."""
 
 from repro.metrics.latency import (
     COMPONENT_ORDER,
@@ -6,6 +6,7 @@ from repro.metrics.latency import (
     LatencyTable,
     breakdown_from_run,
 )
+from repro.metrics.percentiles import SUMMARY_FRACTIONS, percentile, summarise
 from repro.metrics.steps import (
     PROTOCOL_MESSAGE_TYPES,
     CommunicationProfile,
@@ -15,6 +16,9 @@ from repro.metrics.steps import (
 )
 
 __all__ = [
+    "percentile",
+    "summarise",
+    "SUMMARY_FRACTIONS",
     "LatencyBreakdown",
     "LatencyTable",
     "breakdown_from_run",

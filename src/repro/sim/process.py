@@ -200,7 +200,8 @@ class Process:
 
     @property
     def threads(self) -> list[Thread]:
-        """Live and finished threads spawned since the last crash."""
+        """Threads spawned since the last crash (finished ones may have been
+        pruned by the message-delivery fast path)."""
         return list(self._threads)
 
     @property
@@ -288,18 +289,36 @@ class Process:
         """
         if not self.up:
             return
+        finished = 0
         for thread in self._threads:
+            if not thread.alive:
+                finished += 1
+                continue
             wait = thread.waiting_on_receive
-            if thread.alive and wait is not None and wait.matches(message):
+            if wait is not None and wait.matches(message):
                 thread.resume(message)
                 return
+        # Long-lived processes spawn short-lived threads (one per request);
+        # prune the dead ones now and then so delivery stays proportional to
+        # the number of *live* threads, not to the run's total history.
+        if finished > 32 and finished > len(self._threads) // 2:
+            self._threads = [t for t in self._threads if t.alive or not t.finished]
         self._mailbox.append(message)
 
     def _take_from_mailbox(self, wait: Receive) -> Optional[Any]:
         """Remove and return the first buffered message matching ``wait``."""
-        for index, message in enumerate(self._mailbox):
+        mailbox = self._mailbox
+        if not mailbox:
+            return None
+        # Fast path: a receive usually consumes the oldest buffered message
+        # (FIFO traffic), and popleft is O(1) where ``del deque[index]`` is
+        # O(n) -- this is the hot path of high-rate runs.
+        if wait.matches(mailbox[0]):
+            return mailbox.popleft()
+        for index in range(1, len(mailbox)):
+            message = mailbox[index]
             if wait.matches(message):
-                del self._mailbox[index]
+                del mailbox[index]
                 return message
         return None
 

@@ -15,10 +15,22 @@ from __future__ import annotations
 
 import heapq
 import random
+import zlib
 from typing import Callable, Optional
 
 from repro.sim.errors import InvalidScheduling, SimulationLimitExceeded
 from repro.sim.tracing import TraceRecorder
+
+
+def stream_seed(seed: int, stream: str) -> int:
+    """Seed of the named per-stream RNG, derived from the global ``seed``.
+
+    Uses CRC-32 rather than ``hash()``: Python salts string hashing with
+    ``PYTHONHASHSEED``, so a hash-derived seed would differ between
+    interpreter invocations and silently break cross-process reproducibility
+    (e.g. a sweep worker replaying a scenario another process ran).
+    """
+    return zlib.crc32(f"{seed}\x00{stream}".encode("utf-8")) & 0xFFFFFFFF
 
 
 class ScheduledEvent:
@@ -79,10 +91,7 @@ class Simulator:
     def rng(self, stream: str) -> random.Random:
         """Return the named deterministic random stream, creating it on first use."""
         if stream not in self._rng_streams:
-            # Derive a per-stream seed from the global seed and the stream name
-            # so streams are independent and stable across runs.
-            derived = hash((self.seed, stream)) & 0xFFFFFFFF
-            self._rng_streams[stream] = random.Random(derived)
+            self._rng_streams[stream] = random.Random(stream_seed(self.seed, stream))
         return self._rng_streams[stream]
 
     # ------------------------------------------------------------ scheduling

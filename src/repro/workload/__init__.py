@@ -1,7 +1,13 @@
-"""Workloads: the bank-account update measured in the paper and the travel example."""
+"""Workloads and traffic shapes: what to run and how hard to push it."""
 
 from repro.workload.bank import BankWorkload
-from repro.workload.generator import ClosedLoopDriver, RequestStream, RunStatistics
+from repro.workload.generator import (
+    ClosedLoop,
+    LoadGenerator,
+    OpenLoop,
+    RequestStream,
+    RunStatistics,
+)
 from repro.workload.travel import TravelWorkload
 
 __all__ = [
@@ -9,5 +15,7 @@ __all__ = [
     "TravelWorkload",
     "RequestStream",
     "RunStatistics",
-    "ClosedLoopDriver",
+    "LoadGenerator",
+    "ClosedLoop",
+    "OpenLoop",
 ]

@@ -27,6 +27,9 @@ ROUND_TRIP_SCENARIOS = [
         FaultSpec("false_suspicion", 15.0, "a1", observer="a2", duration=200.0),
     )),
     Scenario(protocol="2pc", coordinator_log_latency=25.0, timing="paper"),
+    Scenario(protocol="etx", num_clients=8, rate=50.0, seed=7),
+    Scenario(protocol="etx", num_clients=4, rate=12.5, arrival="uniform"),
+    Scenario(protocol="pb", num_clients=4, think_time=250.0),
 ]
 
 
@@ -179,3 +182,48 @@ def test_scenario_defaults_track_the_config_dataclasses():
     assert scenario.app_db_latency == config.app_db_latency
     assert scenario.coordinator_log_latency == BaselineConfig().coordinator_log_latency
     assert scenario.client_backoff == ProtocolTiming().client_backoff
+
+
+# ------------------------------------------------------------ traffic shape
+
+
+def test_parse_the_open_loop_issue_example():
+    scenario = Scenario.from_dsn("etx://a3.d1.c8?rate=50&arrival=poisson&seed=7")
+    assert scenario.num_clients == 8
+    assert scenario.rate == 50.0
+    assert scenario.arrival == "poisson"
+    assert scenario.seed == 7
+    assert Scenario.from_dsn(scenario.to_dsn()) == scenario
+
+
+def test_clients_query_parameter_is_an_alternative_host_spelling():
+    scenario = Scenario.from_dsn("etx://a3.d1?clients=4&think=100")
+    assert scenario.num_clients == 4
+    assert scenario.think_time == 100.0
+    # Serialisation always uses the host token, never the parameter.
+    assert ".c4" in scenario.to_dsn() and "clients=" not in scenario.to_dsn()
+    assert Scenario.from_dsn(scenario.to_dsn()) == scenario
+
+
+def test_clients_parameter_conflicting_with_host_is_ambiguous():
+    with pytest.raises(ScenarioError, match="host token"):
+        Scenario.from_dsn("etx://a3.d1.c8?clients=8")
+
+
+def test_load_shape_validation():
+    with pytest.raises(ScenarioError, match="non-negative"):
+        Scenario(rate=-1.0)
+    with pytest.raises(ScenarioError, match="arrival"):
+        Scenario(rate=5.0, arrival="bursty")
+    with pytest.raises(ScenarioError, match="think time"):
+        Scenario(think_time=-2.0)
+    with pytest.raises(ScenarioError, match="closed-loop"):
+        Scenario(rate=5.0, think_time=10.0)
+    assert Scenario(rate=5.0).load_shape == "open"
+    assert Scenario().load_shape == "closed"
+
+
+def test_describe_mentions_the_load_shape():
+    assert "open loop @ 50/s (poisson)" in Scenario(rate=50.0).describe()
+    assert "closed loop" in Scenario().describe()
+    assert "think 250 ms" in Scenario(think_time=250.0).describe()

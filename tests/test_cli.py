@@ -102,3 +102,37 @@ def test_run_command_seed_zero_overrides_the_dsn_seed(capsys):
     captured = capsys.readouterr().out
     assert status == 0
     assert "seed 0" in captured
+
+
+def test_run_command_open_loop_reports_throughput(capsys):
+    status = main(["run", "etx://a3.d1.c2?rate=40&seed=7"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "2/2 delivered" in captured
+    assert "throughput" in captured and "p95" in captured
+    assert "open loop @ 40/s poisson" in captured
+
+
+def test_sweep_command_runs_a_grid_serially(capsys):
+    status = main(["sweep", "etx://d1", "--axis", "protocol=etx,2pc",
+                   "--axis", "clients=1,2", "--serial"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "tput/s" in captured
+    assert captured.count("etx://") == 2 and captured.count("2pc://") == 2
+    assert "all ok: True" in captured
+
+
+def test_sweep_command_rejects_unknown_axes(capsys):
+    status = main(["sweep", "etx://d1", "--axis", "warp=1,2", "--serial"])
+    captured = capsys.readouterr()
+    assert status == 2
+    assert "unknown sweep axis" in captured.err
+
+
+def test_sweep_command_applies_the_global_seed(capsys):
+    status = main(["--seed", "3", "sweep", "etx://d1", "--axis",
+                   "clients=1", "--serial"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "seed=3" in captured

@@ -191,3 +191,21 @@ def test_fault_sweep_all_safe():
     assert result.all_safe, result.violations
     assert result.delivery_rate == 1.0
     assert "6 runs" in result.summary()
+
+
+def test_figure8_percentile_summary(figure8_report):
+    summary = figure8_report.percentile_summary()
+    for protocol in ("baseline", "AR", "2PC"):
+        assert set(summary[protocol]) == {"p50", "p95", "p99"}
+        assert summary[protocol]["p50"] <= summary[protocol]["p99"]
+
+
+def test_figure8_parallel_workers_match_serial(figure8_report):
+    parallel = figure8.run(requests_per_protocol=3, workers=3)
+    assert parallel.to_table() == figure8_report.to_table()
+
+
+def test_fault_sweep_parallel_workers_match_serial():
+    serial = fault_sweep.run(num_runs=4, seed=2, workers=1)
+    parallel = fault_sweep.run(num_runs=4, seed=2, workers=4)
+    assert serial == parallel

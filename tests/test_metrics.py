@@ -151,3 +151,34 @@ def test_step_comparison_table():
     assert comparison.message_counts() == {"baseline": 1, "AR": 2}
     table = comparison.to_table()
     assert "baseline" in table and "AR" in table
+
+
+# ------------------------------------------------------------- percentiles
+
+
+def test_percentile_interpolates_linearly():
+    import pytest
+
+    from repro.metrics import percentile
+
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.0) == 10.0
+    assert percentile(values, 1.0) == 40.0
+    assert percentile(values, 0.5) == pytest.approx(25.0)
+    assert percentile(values, 1 / 3) == pytest.approx(20.0)  # exact at samples
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.99) == 7.0
+    with pytest.raises(ValueError):
+        percentile(values, 1.5)
+
+
+def test_summarise_reports_the_standard_fractions():
+    import pytest
+
+    from repro.metrics import summarise
+
+    summary = summarise([float(v) for v in range(1, 101)])
+    assert set(summary) == {"p50", "p95", "p99"}
+    assert summary["p50"] == pytest.approx(50.5)
+    assert summary["p95"] == pytest.approx(95.05)
+    assert summary["p99"] == pytest.approx(99.01)

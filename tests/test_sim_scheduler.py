@@ -131,3 +131,42 @@ def test_call_soon_runs_at_current_time():
     sim.schedule(5.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
     sim.run()
     assert times == [pytest.approx(5.0)]
+
+
+def test_stream_seed_is_hash_randomisation_free():
+    import zlib
+
+    from repro.sim.scheduler import stream_seed
+
+    # The derivation must not involve str.__hash__ (salted by
+    # PYTHONHASHSEED); CRC-32 of "<seed>\x00<stream>" is the contract.
+    assert stream_seed(7, "net") == zlib.crc32(b"7\x00net") & 0xFFFFFFFF
+    assert stream_seed(7, "net") != stream_seed(7, "fd")
+    assert stream_seed(7, "net") != stream_seed(8, "net")
+
+
+def test_rng_streams_identical_across_interpreter_invocations():
+    """Regression: per-stream seeds used hash((seed, stream)), which is
+    salted by PYTHONHASHSEED -- 'deterministic' runs differed between
+    interpreter invocations.  Spawn subprocesses with different hash seeds
+    and require identical draws."""
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    code = ("from repro.sim.scheduler import Simulator; "
+            "s = Simulator(seed=7); "
+            "print([s.rng('net').random() for _ in range(3)], "
+            "s.rng('load.arrivals').randint(0, 10**9))")
+    outputs = set()
+    for hash_seed in ("0", "1", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run([sys.executable, "-c", code], env=env,
+                                   capture_output=True, text=True, timeout=60)
+        assert completed.returncode == 0, completed.stderr
+        outputs.add(completed.stdout)
+    assert len(outputs) == 1, f"draws depend on PYTHONHASHSEED: {outputs}"

@@ -8,7 +8,7 @@ from repro.core import DeploymentConfig, EtxDeployment
 from repro.storage.kvstore import TransactionalKVStore
 from repro.storage.xa import TransactionView
 from repro.workload.bank import BankWorkload
-from repro.workload.generator import ClosedLoopDriver, RequestStream, RunStatistics
+from repro.workload.generator import ClosedLoop, OpenLoop, RequestStream, RunStatistics
 from repro.workload.travel import TravelWorkload
 
 
@@ -154,13 +154,65 @@ def test_run_statistics_aggregation():
     assert empty.mean_latency == 0.0 and empty.percentile(0.5) == 0.0
 
 
-def test_closed_loop_driver_runs_requests_sequentially():
+def test_run_statistics_percentiles_interpolate():
+    stats = RunStatistics(latencies=[100.0, 200.0, 300.0, 400.0])
+    assert stats.p50 == pytest.approx(250.0)  # between the middle samples
+    assert stats.percentile(0.25) == pytest.approx(175.0)
+    assert stats.p99 == pytest.approx(397.0)
+
+
+def test_run_statistics_throughput():
+    stats = RunStatistics(latencies=[10.0, 20.0], elapsed=500.0)
+    assert stats.throughput == pytest.approx(4.0)  # 2 requests in 0.5 s
+    assert RunStatistics().throughput == 0.0
+
+
+def test_closed_loop_runs_requests_sequentially():
     bank = BankWorkload(num_accounts=1, initial_balance=100)
     deployment = EtxDeployment(DeploymentConfig(
         business_logic=bank.business_logic, initial_data=bank.initial_data()))
-    driver = ClosedLoopDriver(deployment)
-    stats = driver.run([bank.debit(0, 10) for _ in range(3)])
+    stats = ClosedLoop().run(deployment, [bank.debit(0, 10) for _ in range(3)])
     assert stats.count == 3
     assert stats.undelivered == 0
     assert deployment.db_servers["d1"].committed_value("account:0") == 70
     assert stats.mean_latency > 0
+    assert stats.throughput > 0
+    assert set(stats.by_client) == {"c1"}
+    assert stats.by_client["c1"].count == 3
+
+
+def test_closed_loop_think_time_spaces_requests():
+    bank = BankWorkload(num_accounts=1, initial_balance=100)
+    fast = EtxDeployment(DeploymentConfig(
+        business_logic=bank.business_logic, initial_data=bank.initial_data()))
+    slow = EtxDeployment(DeploymentConfig(
+        business_logic=bank.business_logic, initial_data=bank.initial_data()))
+    fast_stats = ClosedLoop().run(fast, [bank.debit(0, 10) for _ in range(3)])
+    slow_stats = ClosedLoop(think_time=500.0).run(
+        slow, [bank.debit(0, 10) for _ in range(3)])
+    assert slow_stats.count == fast_stats.count == 3
+    # Think time stretches the run without touching per-request latency much.
+    assert slow_stats.elapsed >= fast_stats.elapsed + 2 * 500.0
+    assert slow_stats.throughput < fast_stats.throughput
+
+
+def test_open_loop_uniform_arrivals_inject_at_rate():
+    bank = BankWorkload(num_accounts=1, initial_balance=1_000)
+    deployment = EtxDeployment(DeploymentConfig(
+        business_logic=bank.business_logic, initial_data=bank.initial_data()))
+    generator = OpenLoop(rate=10.0, arrival="uniform")  # one every 100 ms
+    stats = generator.run(deployment, [bank.debit(0, 10) for _ in range(4)])
+    assert stats.count == 4
+    assert stats.undelivered == 0
+    # Four uniform arrivals at 10/s span 400 ms plus the last service time.
+    assert stats.elapsed >= 400.0
+    assert deployment.db_servers["d1"].committed_value("account:0") == 960
+
+
+def test_open_loop_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        OpenLoop(rate=0.0)
+    with pytest.raises(ValueError):
+        OpenLoop(rate=5.0, arrival="bursty")
+    with pytest.raises(ValueError):
+        ClosedLoop(think_time=-1.0)
