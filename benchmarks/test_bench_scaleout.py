@@ -1,0 +1,60 @@
+"""Scale-out benchmark: partitioned data tier vs. a single database.
+
+Measures the committed-transaction throughput of the e-Transaction stack at a
+fixed offered load while the database tier grows, and emits the result as a
+machine-readable BENCH JSON (``benchmarks/out/scaleout.json``; override the
+directory with ``BENCH_OUT``).  CI uploads the file as a workflow artifact, so
+the repository accumulates a throughput trajectory over time.
+
+The headline assertion is the scale-out contract: at ``xshard=0`` a ``d=4``
+deployment must sustain at least 2.5x the committed throughput of ``d=1`` at
+the same offered load.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import scaleout
+
+DB_COUNTS = (1, 2, 4)
+XSHARD_FRACTIONS = (0.0, 0.25)
+
+
+def test_bench_scaleout_curve_and_json():
+    start = time.perf_counter()
+    report = scaleout.run(db_counts=DB_COUNTS, xshard_fractions=XSHARD_FRACTIONS,
+                          rate=16.0, clients=12, requests=4, seed=0, workers=1)
+    wall = time.perf_counter() - start
+    print(f"\n[scaleout] wall={wall:.3f}s")
+    print(report.to_table())
+    assert report.ok, "some grid point lost requests or violated the spec"
+
+    speedups = report.speedup(0.0)
+    print(f"speed-up vs d=1 at xshard=0: {speedups}")
+    assert speedups[4] >= 2.5, (
+        f"d=4 sustained only {speedups[4]:.2f}x the d=1 throughput "
+        f"(the partitioned tier should scale >= 2.5x at xshard=0)")
+    # The cross-shard curve sits at or below the single-shard curve: every
+    # cross-shard transaction occupies two shards.
+    for d in DB_COUNTS[1:]:
+        single = [p for p in report.curve(0.0) if p.db_servers == d][0]
+        crossed = [p for p in report.curve(0.25) if p.db_servers == d][0]
+        assert crossed.throughput <= single.throughput * 1.05
+
+    out_dir = os.environ.get("BENCH_OUT", os.path.join("benchmarks", "out"))
+    os.makedirs(out_dir, exist_ok=True)
+    payload = dict(report.to_json(), wall_seconds=round(wall, 3))
+    path = os.path.join(out_dir, "scaleout.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"BENCH json written to {path}")
+
+
+def test_bench_scaleout_parallel_grid_is_byte_identical():
+    """The grid executed on a worker pool equals the serial execution."""
+    serial = scaleout.run(db_counts=(1, 2), xshard_fractions=(0.0, 0.25),
+                          rate=16.0, clients=8, requests=2, seed=5, workers=1)
+    parallel = scaleout.run(db_counts=(1, 2), xshard_fractions=(0.0, 0.25),
+                            rate=16.0, clients=8, requests=2, seed=5, workers=4)
+    assert serial.to_json() == parallel.to_json()

@@ -52,6 +52,7 @@ from repro.api.scenario import (
     register_scheme,
 )
 from repro.api.workloads import (
+    ShardContext,
     WorkloadBinding,
     bind_workload,
     register_workload,
@@ -79,6 +80,7 @@ __all__ = [
     "SweepResult",
     "run_sweep",
     "map_jobs",
+    "ShardContext",
     "WorkloadBinding",
     "bind_workload",
     "register_workload",

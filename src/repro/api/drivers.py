@@ -15,7 +15,7 @@ from dataclasses import fields as dataclass_fields
 from typing import Any, Callable, Iterator, Optional
 
 from repro.api.scenario import Scenario, ScenarioError, register_scheme
-from repro.api.workloads import WorkloadBinding, bind_workload
+from repro.api.workloads import ShardContext, WorkloadBinding, bind_workload
 from repro.baselines.baseline import BaselineDeployment
 from repro.baselines.common import BaselineConfig
 from repro.baselines.primary_backup import PrimaryBackupDeployment
@@ -183,6 +183,7 @@ class EtxDriver(ProtocolDriver):
             protocol_timing=protocol_timing,
             initial_data=initial_data,
             business_logic=business_logic,
+            placement=scenario.placement,
         )
         return EtxDeployment(config)
 
@@ -215,6 +216,7 @@ class _BaselineFamilyDriver(ProtocolDriver):
             coordinator_log_latency=scenario.coordinator_log_latency,
             initial_data=initial_data,
             business_logic=business_logic,
+            placement=scenario.placement,
         )
 
     def build(self, scenario, *, business_logic, initial_data, db_timing,
@@ -285,7 +287,11 @@ def build(scenario: Scenario, *,
     """
     driver = get_protocol(scenario.protocol)
     driver.validate(scenario)
-    binding = bind_workload(workload if workload is not None else scenario.workload)
+    shard_context = ShardContext(sharding=scenario.sharding,
+                                 cross_shard_fraction=scenario.xshard,
+                                 seed=scenario.seed)
+    binding = bind_workload(workload if workload is not None else scenario.workload,
+                            context=shard_context)
     resolved_db_timing = db_timing if db_timing is not None \
         else _resolve_db_timing(scenario)
     if protocol_timing is None:

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Union
 
-from repro.api.drivers import RunningSystem, build
+from repro.api.drivers import build
 from repro.api.scenario import Scenario
 from repro.core.spec import SpecReport
+from repro.core.types import reset_request_counter
 from repro.metrics.latency import LatencyBreakdown, breakdown_from_run
 from repro.workload.generator import ClosedLoop, LoadGenerator, OpenLoop, RunStatistics
 
@@ -89,6 +90,13 @@ class ScenarioResult:
                 f"{name} {leaf.count} req p50 {leaf.p50:.1f}"
                 for name, leaf in stats.by_client.items())
             lines.insert(5, f"clients    {per_client}")
+        if len(stats.by_database) > 1 or any(
+                db.in_doubt for db in stats.by_database.values()):
+            per_db = "   ".join(
+                f"{name} {db.commits}c/{db.aborts}a"
+                + (f"/{db.in_doubt}?" if db.in_doubt else "")
+                for name, db in stats.by_database.items())
+            lines.insert(5, f"databases  {per_db}")
         return "\n".join(lines)
 
     def _top_message_types(self, limit: int = 4) -> str:
@@ -119,6 +127,10 @@ def run_scenario(scenario: Union[Scenario, str], requests: int = 1,
     """
     if isinstance(scenario, str):
         scenario = Scenario.from_dsn(scenario)
+    # Request identifiers only need to be unique within one run's trace;
+    # restarting the sequence makes back-to-back runs of the same scenario
+    # byte-identical (the sweep executor relies on the same reset).
+    reset_request_counter()
     system = build(scenario, **build_overrides)
     generator = load_generator_for(scenario, horizon_per_request=horizon_per_request)
     statistics = generator.run(system, requests)

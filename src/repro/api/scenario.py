@@ -8,6 +8,7 @@ strings::
 
     etx://a3.d1.c1?fd=heartbeat&loss=0.01&seed=7
     etx://a3.d1.c8?rate=50&arrival=poisson&seed=7
+    etx://a3.d8.c64?xshard=0.1&placement=hash&workload=bank
     2pc://a1.d1?workload=bank&timing=paper&log=25
     pb://a2.d1?workload=bank&clients=4&think=250
     baseline://a1.d1?fault=crash@215:a1
@@ -29,11 +30,12 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 from urllib.parse import parse_qsl
 
 from repro.baselines.common import BaselineConfig
 from repro.core.deployment import DeploymentConfig
+from repro.core.sharding import KNOWN_PLACEMENTS, PLACEMENT_REPLICATE, Sharding
 from repro.core.timing import ProtocolTiming
 from repro.failure.injection import FaultSchedule
 
@@ -207,6 +209,8 @@ _QUERY_PARAMS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "backoff": ("client_backoff", float),
     "workload": ("workload", str),
     "timing": ("timing", str),
+    "placement": ("placement", str),
+    "xshard": ("xshard", float),
 }
 
 _HOST_TOKEN = re.compile(r"([adc])(\d+)")
@@ -243,6 +247,12 @@ class Scenario:
     client_backoff: float = ProtocolTiming.client_backoff
     workload: str = "default"
     timing: str = TIMING_DEFAULT
+    # Data-tier partitioning: ``placement`` selects the key-placement policy
+    # (``replicate`` keeps the historical full fan-out; ``hash``/``mod``
+    # partition the key space over the ``d`` databases), ``xshard`` is the
+    # fraction of generated requests that span two shards.
+    placement: str = PLACEMENT_REPLICATE
+    xshard: float = 0.0
     # Traffic shape: ``rate == 0`` is the paper's closed loop (every client
     # re-issues on delivery, pausing ``think_time`` in between); ``rate > 0``
     # is an open loop injecting requests at that many per second of virtual
@@ -284,6 +294,16 @@ class Scenario:
         if self.rate > 0 and self.think_time > 0:
             raise ScenarioError("think time is a closed-loop knob; an open loop "
                                 "(rate > 0) injects independently of completions")
+        if self.placement not in KNOWN_PLACEMENTS:
+            raise ScenarioError(f"unknown placement {self.placement!r}; known: "
+                                f"{', '.join(KNOWN_PLACEMENTS)}")
+        if not 0.0 <= self.xshard <= 1.0:
+            raise ScenarioError("cross-shard fraction must be within [0, 1]")
+        if self.xshard > 0 and self.placement == PLACEMENT_REPLICATE:
+            raise ScenarioError("xshard > 0 needs a partitioned placement "
+                                "(placement=hash or placement=mod); under "
+                                "replication every request already involves "
+                                "every database")
         object.__setattr__(self, "faults", tuple(self.faults))
         known = set(self.app_server_names + self.db_server_names + self.client_names)
         for fault in self.faults:
@@ -404,6 +424,11 @@ class Scenario:
     @property
     def db_server_names(self) -> list[str]:
         return [f"d{i + 1}" for i in range(self.num_db_servers)]
+
+    @property
+    def sharding(self) -> Sharding:
+        """Key-placement map of the database tier this scenario describes."""
+        return Sharding(tuple(self.db_server_names), self.placement)
 
     @property
     def load_shape(self) -> str:

@@ -15,6 +15,7 @@ from repro.baselines.common import (
     COMMIT_ONE_PHASE,
     BaseThreeTierDeployment,
     OnePhaseDatabaseServer,
+    ParticipantRouting,
     RequestDeduplication,
 )
 from repro.core import messages as msg
@@ -23,7 +24,7 @@ from repro.net.message import Message, is_type, is_type_with
 from repro.sim.process import Process
 
 
-class BaselineAppServer(RequestDeduplication, Process):
+class BaselineAppServer(RequestDeduplication, ParticipantRouting, Process):
     """A stateless application server offering no reliability guarantee."""
 
     def __init__(self, sim, name: str, db_server_names: list[str]):
@@ -43,39 +44,39 @@ class BaselineAppServer(RequestDeduplication, Process):
             key = (client, j)
             if self._replay_duplicate(key):
                 continue
+            participants = self.participants_of(request)
             self.trace.record("as_request", self.name, client=client, j=j,
                               request_id=request.request_id)
-            value = yield from self._execute(key, request)
+            value = yield from self._execute(key, request, participants)
             result = Result(value=value, request_id=request.request_id, computed_by=self.name)
             self.trace.record("as_compute", self.name, client=client, j=j,
-                              request_id=request.request_id, result=repr(value))
-            committed = yield from self._commit(key)
+                              request_id=request.request_id, result=repr(value),
+                              participants=list(participants))
+            committed = yield from self._commit(key, participants)
             outcome = COMMIT if committed else ABORT
             decision = Decision(result=result if committed else None, outcome=outcome)
             self._record_decision(key, decision)
             self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
             self.send(client, msg.result_message(j, decision))
 
-    def _execute(self, key, request: Request):
-        """Run the business logic on every database (no retries, no recovery)."""
+    def _execute(self, key, request: Request, participants):
+        """Run the business logic on every participant (no retries, no recovery)."""
         values = {}
-        for db_name in self.db_server_names:
+        for db_name in participants:
             self.send(db_name, msg.execute_message(key, request))
-        pending = set(self.db_server_names)
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(msg.EXECUTE_RESULT, j=key))
             if reply.sender in pending:
                 values[reply.sender] = reply["value"]
                 pending.discard(reply.sender)
-        if len(self.db_server_names) == 1:
-            return values[self.db_server_names[0]]
-        return values
+        return self.merge_values(values, participants)
 
-    def _commit(self, key):
-        """One-phase commit on every database; returns overall success."""
-        for db_name in self.db_server_names:
+    def _commit(self, key, participants):
+        """One-phase commit on every participant; returns overall success."""
+        for db_name in participants:
             self.send(db_name, Message(COMMIT_ONE_PHASE, payload={"j": key}))
-        pending = set(self.db_server_names)
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(ACK_COMMIT, j=key))
             if reply.sender in pending:

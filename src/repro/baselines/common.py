@@ -16,6 +16,14 @@ from typing import Any, Callable, Optional
 from repro.core import messages as msg
 from repro.core.client import Client, IssuedRequest
 from repro.core.dataserver import DatabaseServer
+from repro.core.sharding import (
+    KNOWN_PLACEMENTS,
+    PLACEMENT_REPLICATE,
+    Sharding,
+    merge_participant_values,
+    request_participants,
+    validate_participants,
+)
 from repro.core.spec import SpecReport, check_run
 from repro.core.timing import DatabaseTiming, ProtocolTiming
 from repro.core.types import VOTE_YES, Decision, Request
@@ -64,6 +72,27 @@ class RequestDeduplication:
 
     def on_crash(self) -> None:
         self._completed_decisions.clear()
+
+
+class ParticipantRouting:
+    """Shared participant-set routing for the comparison middle tiers.
+
+    The three baselines fan Execute/Prepare/Decide out to exactly the same
+    participant set as the e-Transaction application server
+    (:attr:`repro.core.types.Request.participants`, empty = every database),
+    so partitioned-tier comparisons between the four protocols stay
+    apples-to-apples.  Mix into a :class:`~repro.sim.process.Process` with a
+    ``db_server_names`` attribute.
+    """
+
+    def participants_of(self, request: Request) -> list[str]:
+        """The database servers taking part in this request's transaction."""
+        return request_participants(request, self.db_server_names)
+
+    @staticmethod
+    def merge_values(values: dict[str, Any], participants: list[str]) -> Any:
+        """One business value out of the per-participant answers."""
+        return merge_participant_values(values, participants)
 
 
 class OnePhaseDatabaseServer(DatabaseServer):
@@ -119,6 +148,7 @@ class BaselineConfig:
     coordinator_log_latency: float = 12.5
     initial_data: dict[str, Any] = field(default_factory=dict)
     business_logic: Callable[[Request], Callable[[Any], Any]] = None  # type: ignore[assignment]
+    placement: str = PLACEMENT_REPLICATE
 
     def __post_init__(self) -> None:
         if self.business_logic is None:
@@ -127,6 +157,14 @@ class BaselineConfig:
             self.business_logic = default_business_logic
         if self.num_app_servers < 1 or self.num_db_servers < 1 or self.num_clients < 1:
             raise ValueError("a deployment needs at least one process per tier")
+        if self.placement not in KNOWN_PLACEMENTS:
+            raise ValueError(f"unknown placement {self.placement!r}; known: "
+                             f"{', '.join(KNOWN_PLACEMENTS)}")
+
+    @property
+    def sharding(self) -> Sharding:
+        """Key-placement map of the database tier under this config."""
+        return Sharding(tuple(self.db_server_names), self.placement)
 
     @property
     def client_names(self) -> list[str]:
@@ -152,6 +190,7 @@ class BaseThreeTierDeployment:
         elif overrides:
             config = replace(config, **overrides)
         self.config = config
+        self.sharding = config.sharding
         self.sim = Simulator(seed=config.seed)
         self.network = Network(self.sim, latency=self._build_latency(),
                                loss_probability=config.loss_probability)
@@ -180,7 +219,8 @@ class BaseThreeTierDeployment:
                 self.sim, name, self.config.app_server_names,
                 business_logic=self.config.business_logic,
                 timing=self.config.db_timing,
-                initial_data=dict(self.config.initial_data))
+                initial_data=self.sharding.shard_data(name, self.config.initial_data),
+                owns_key=self.sharding.owner_predicate(name))
             self.network.register(server)
             self.db_servers[name] = server
 
@@ -218,6 +258,7 @@ class BaseThreeTierDeployment:
 
     def issue(self, request: Request, client: Optional[str] = None) -> IssuedRequest:
         """Issue a request from the named (or first) client."""
+        validate_participants(request, self.config.db_server_names)
         target = self.clients[client] if client is not None else self.client
         return target.issue(request)
 

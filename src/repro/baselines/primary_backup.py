@@ -19,7 +19,11 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.baselines.common import BaseThreeTierDeployment, RequestDeduplication
+from repro.baselines.common import (
+    BaseThreeTierDeployment,
+    ParticipantRouting,
+    RequestDeduplication,
+)
 from repro.core import messages as msg
 from repro.core.types import ABORT, COMMIT, Decision, Request, Result, VOTE_YES
 from repro.failure.detectors import FailureDetector
@@ -32,7 +36,7 @@ PB_OUTCOME = "PBOutcome"
 PB_OUTCOME_ACK = "PBOutcomeAck"
 
 
-class PrimaryServer(RequestDeduplication, Process):
+class PrimaryServer(RequestDeduplication, ParticipantRouting, Process):
     """The primary application server of the primary-backup scheme."""
 
     def __init__(self, sim, name: str, backup_name: str, db_server_names: list[str]):
@@ -53,46 +57,46 @@ class PrimaryServer(RequestDeduplication, Process):
             key = (client, j)
             if self._replay_duplicate(key):
                 continue
+            participants = self.participants_of(request)
             self.trace.record("as_request", self.name, client=client, j=j,
                               request_id=request.request_id)
             # Replicate the request to the backup before doing any work.
             self.send(self.backup_name, Message(PB_START, payload={
                 "j": key, "request": request, "client": client}))
             yield self.receive(is_type_with(PB_START_ACK, j=key))
-            value = yield from self._execute(key, request)
+            value = yield from self._execute(key, request, participants)
             result = Result(value=value, request_id=request.request_id, computed_by=self.name)
             self.trace.record("as_compute", self.name, client=client, j=j,
-                              request_id=request.request_id, result=repr(value))
-            outcome = yield from self._prepare(key)
+                              request_id=request.request_id, result=repr(value),
+                              participants=list(participants))
+            outcome = yield from self._prepare(key, participants)
             # Replicate the outcome (and the result) to the backup.
             self.send(self.backup_name, Message(PB_OUTCOME, payload={
                 "j": key, "outcome": outcome, "result": result, "client": client}))
             yield self.receive(is_type_with(PB_OUTCOME_ACK, j=key))
-            yield from self._decide(key, outcome)
+            yield from self._decide(key, outcome, participants)
             decision = Decision(result=result if outcome == COMMIT else None, outcome=outcome)
             self._record_decision(key, decision)
             self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
             self.send(client, msg.result_message(j, decision))
 
-    def _execute(self, key, request: Request):
+    def _execute(self, key, request: Request, participants):
         values = {}
-        for db_name in self.db_server_names:
+        for db_name in participants:
             self.send(db_name, msg.execute_message(key, request))
-        pending = set(self.db_server_names)
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(msg.EXECUTE_RESULT, j=key))
             if reply.sender in pending:
                 values[reply.sender] = reply["value"]
                 pending.discard(reply.sender)
-        if len(self.db_server_names) == 1:
-            return values[self.db_server_names[0]]
-        return values
+        return self.merge_values(values, participants)
 
-    def _prepare(self, key):
+    def _prepare(self, key, participants):
         votes = {}
-        for db_name in self.db_server_names:
-            self.send(db_name, msg.prepare_message(key))
-        pending = set(self.db_server_names)
+        for db_name in participants:
+            self.send(db_name, msg.prepare_message(key, tuple(participants)))
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(msg.VOTE, j=key))
             if reply.sender in pending:
@@ -103,10 +107,10 @@ class PrimaryServer(RequestDeduplication, Process):
                           votes=dict(votes))
         return outcome
 
-    def _decide(self, key, outcome):
-        for db_name in self.db_server_names:
-            self.send(db_name, msg.decide_message(key, outcome))
-        pending = set(self.db_server_names)
+    def _decide(self, key, outcome, participants):
+        for db_name in participants:
+            self.send(db_name, msg.decide_message(key, outcome, tuple(participants)))
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(msg.ACK_DECIDE, j=key))
             if reply.sender in pending:
@@ -165,10 +169,21 @@ class BackupServer(Process):
         outcome = entry.get("outcome", ABORT)
         result = entry.get("result")
         client = entry["client"]
+        # Route the decision to the same participant set the primary used;
+        # the request was replicated in the PB_START message.  An entry with
+        # no request (outcome replicated without a start) falls back to every
+        # database, which is safe: a database that never voted refuses a
+        # commit and merely installs an abort tombstone.
+        request = entry.get("request")
+        if request is not None and request.participants:
+            participants = [name for name in self.db_server_names
+                            if name in request.participants]
+        else:
+            participants = list(self.db_server_names)
         self.trace.record("pb_takeover", self.name, client=client, j=key[1], outcome=outcome)
-        for db_name in self.db_server_names:
-            self.send(db_name, msg.decide_message(key, outcome))
-        pending = set(self.db_server_names)
+        for db_name in participants:
+            self.send(db_name, msg.decide_message(key, outcome, tuple(participants)))
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(msg.ACK_DECIDE, j=key))
             if reply.sender in pending:

@@ -13,7 +13,11 @@ the client.  This gives at-most-once semantics, but
 
 from __future__ import annotations
 
-from repro.baselines.common import BaseThreeTierDeployment, RequestDeduplication
+from repro.baselines.common import (
+    BaseThreeTierDeployment,
+    ParticipantRouting,
+    RequestDeduplication,
+)
 from repro.core import messages as msg
 from repro.core.types import ABORT, COMMIT, Decision, Request, Result, VOTE_YES
 from repro.net.message import is_type, is_type_with
@@ -22,7 +26,7 @@ from repro.storage.stable import StableStorage
 from repro.storage.wal import WriteAheadLog
 
 
-class TwoPCCoordinator(RequestDeduplication, Process):
+class TwoPCCoordinator(RequestDeduplication, ParticipantRouting, Process):
     """Application server acting as a classic 2PC transaction manager."""
 
     def __init__(self, sim, name: str, db_server_names: list[str],
@@ -45,6 +49,7 @@ class TwoPCCoordinator(RequestDeduplication, Process):
             key = (client, j)
             if self._replay_duplicate(key):
                 continue
+            participants = self.participants_of(request)
             self.trace.record("as_request", self.name, client=client, j=j,
                               request_id=request.request_id)
             # Presumed nothing: force a start record before doing anything.
@@ -52,42 +57,41 @@ class TwoPCCoordinator(RequestDeduplication, Process):
             yield self.sleep(cost)
             self.trace.record("tm_log", self.name, which="start", j=j, client=client,
                               duration=cost)
-            value = yield from self._execute(key, request)
+            value = yield from self._execute(key, request, participants)
             result = Result(value=value, request_id=request.request_id, computed_by=self.name)
             self.trace.record("as_compute", self.name, client=client, j=j,
-                              request_id=request.request_id, result=repr(value))
-            outcome = yield from self._prepare(key)
+                              request_id=request.request_id, result=repr(value),
+                              participants=list(participants))
+            outcome = yield from self._prepare(key, participants)
             # Force the outcome record before telling anyone.
             cost = self.log.append_commit(key, forced=True) if outcome == COMMIT \
                 else self.log.append_abort(key, forced=True)
             yield self.sleep(cost)
             self.trace.record("tm_log", self.name, which="outcome", j=j, client=client,
                               duration=cost)
-            yield from self._decide(key, outcome)
+            yield from self._decide(key, outcome, participants)
             decision = Decision(result=result if outcome == COMMIT else None, outcome=outcome)
             self._record_decision(key, decision)
             self.trace.record("as_result_sent", self.name, client=client, j=j, outcome=outcome)
             self.send(client, msg.result_message(j, decision))
 
-    def _execute(self, key, request: Request):
+    def _execute(self, key, request: Request, participants):
         values = {}
-        for db_name in self.db_server_names:
+        for db_name in participants:
             self.send(db_name, msg.execute_message(key, request))
-        pending = set(self.db_server_names)
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(msg.EXECUTE_RESULT, j=key))
             if reply.sender in pending:
                 values[reply.sender] = reply["value"]
                 pending.discard(reply.sender)
-        if len(self.db_server_names) == 1:
-            return values[self.db_server_names[0]]
-        return values
+        return self.merge_values(values, participants)
 
-    def _prepare(self, key):
+    def _prepare(self, key, participants):
         votes = {}
-        for db_name in self.db_server_names:
-            self.send(db_name, msg.prepare_message(key))
-        pending = set(self.db_server_names)
+        for db_name in participants:
+            self.send(db_name, msg.prepare_message(key, tuple(participants)))
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(msg.VOTE, j=key))
             if reply.sender in pending:
@@ -98,10 +102,10 @@ class TwoPCCoordinator(RequestDeduplication, Process):
                           outcome=outcome, votes=dict(votes))
         return outcome
 
-    def _decide(self, key, outcome):
-        for db_name in self.db_server_names:
-            self.send(db_name, msg.decide_message(key, outcome))
-        pending = set(self.db_server_names)
+    def _decide(self, key, outcome, participants):
+        for db_name in participants:
+            self.send(db_name, msg.decide_message(key, outcome, tuple(participants)))
+        pending = set(participants)
         while pending:
             reply = yield self.receive(is_type_with(msg.ACK_DECIDE, j=key))
             if reply.sender in pending:

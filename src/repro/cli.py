@@ -30,7 +30,7 @@ from typing import Optional, Sequence
 
 from repro import api
 from repro.core import Request
-from repro.experiments import fault_sweep, figure1, figure7, figure8
+from repro.experiments import fault_sweep, figure1, figure7, figure8, scaleout
 from repro.experiments.ablations import asynchrony_sweep, log_cost_sweep, scaling_sweep
 
 
@@ -163,6 +163,24 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scaleout(args: argparse.Namespace) -> int:
+    report = scaleout.run(
+        db_counts=tuple(args.db_counts),
+        xshard_fractions=tuple(args.xshard),
+        rate=args.rate, clients=args.clients, requests=args.requests,
+        seed=_seed(args), workers=args.workers)
+    print(f"scale-out: offered load {report.rate:g}/s over {report.clients} "
+          f"client(s), {report.requests_per_client} request(s)/client")
+    print()
+    print(report.to_table())
+    speedups = report.speedup(0.0)
+    if speedups:
+        print()
+        print("speed-up vs d=1 at xshard=0: "
+              + "   ".join(f"d={d} {s:.2f}x" for d, s in sorted(speedups.items())))
+    return 0 if report.ok else 1
+
+
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     result = fault_sweep.run(num_runs=args.runs, seed=_seed(args),
                              allow_client_crash=args.client_crashes)
@@ -227,6 +245,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     ablations = sub.add_parser("ablations", help="asynchrony, log-cost and scaling sweeps")
     ablations.set_defaults(func=_cmd_ablations)
+
+    scale = sub.add_parser(
+        "scaleout", help="throughput vs database-tier size at fixed offered "
+                         "load (partitioned placement)")
+    scale.add_argument("--db-counts", type=int, nargs="+", default=[1, 2, 4, 8],
+                       help="database-tier sizes to measure (default 1 2 4 8)")
+    scale.add_argument("--xshard", type=float, nargs="+", default=[0.0, 0.25],
+                       help="cross-shard fractions, one curve each")
+    scale.add_argument("--rate", type=float, default=16.0,
+                       help="offered load in requests/s of virtual time")
+    scale.add_argument("--clients", type=int, default=12)
+    scale.add_argument("--requests", type=int, default=4,
+                       help="arrivals per client and grid point")
+    scale.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the grid")
+    scale.set_defaults(func=_cmd_scaleout)
 
     sweep = sub.add_parser("fault-sweep", help="random fault schedules, spec-checked")
     sweep.add_argument("--runs", type=int, default=10)

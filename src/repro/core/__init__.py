@@ -22,6 +22,13 @@ from repro.core.deployment import (
     EtxDeployment,
     default_business_logic,
 )
+from repro.core.sharding import (
+    KNOWN_PLACEMENTS,
+    PLACEMENT_HASH,
+    PLACEMENT_MOD,
+    PLACEMENT_REPLICATE,
+    Sharding,
+)
 from repro.core.spec import PropertyViolation, SpecificationChecker, SpecReport
 from repro.core.timing import DatabaseTiming, ProtocolTiming
 from repro.core.types import (
@@ -49,6 +56,11 @@ __all__ = [
     "REGISTER_LOCAL",
     "FD_ORACLE",
     "FD_HEARTBEAT",
+    "Sharding",
+    "KNOWN_PLACEMENTS",
+    "PLACEMENT_REPLICATE",
+    "PLACEMENT_HASH",
+    "PLACEMENT_MOD",
     "SpecificationChecker",
     "SpecReport",
     "PropertyViolation",

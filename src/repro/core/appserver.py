@@ -5,26 +5,39 @@ needs to terminate a result lives either in the back-end databases or in the
 replicated wo-registers (``regA`` -- who executes result ``j``; ``regD`` --
 the decision for result ``j``).  The server runs two protocol threads:
 
-* the **computation thread** (Figure 5): waits for client requests, claims a
-  result by writing its own identity into ``regA[j]``, computes the result by
-  driving the business logic on the databases, runs the voting phase, writes
-  the decision into ``regD[j]`` and terminates the result;
+* the **computation thread** (Figure 5): waits for client requests and, for
+  each new result, spawns a per-request handler that claims the result by
+  writing ``(its identity, participant set)`` into ``regA[j]``, computes the
+  result by driving the business logic on the *participant* databases, runs
+  the voting phase, writes the decision into ``regD[j]`` and terminates the
+  result.  Handlers for distinct results run concurrently -- the paper's
+  single-request presentation is the special case of one in-flight result --
+  so a partitioned database tier turns into real parallelism instead of a
+  queue behind one coroutine;
 * the **cleaning thread** (Figure 6): watches the failure detector and, for
   every result initiated by a suspected server, forces a decision by writing
   ``(nil, abort)`` into ``regD[j]`` -- obtaining either its own abort or the
   decision the suspected server already wrote -- and terminates the result on
-  its behalf.
+  its behalf, against the participant set recorded in the ``regA`` claim.
+
+Participant sets.  A request either carries the set of database servers
+(shards) it touches (:attr:`repro.core.types.Request.participants`) or, when
+that tuple is empty, implicitly addresses every database -- the historical
+full fan-out.  Execute, Prepare and Decide are only ever exchanged with the
+participants, so a single-shard transaction on a ``d``-shard deployment costs
+the same as on a one-database deployment.
 
 Termination (Figure 4's ``terminate()``) keeps re-sending ``Decide`` until
-every database server acknowledges, tolerating database crashes and
+every *participant* database acknowledges, tolerating database crashes and
 recoveries, and finally reports the decision to the client.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.core import messages as msg
+from repro.core.sharding import merge_participant_values, request_participants
 from repro.core.timing import ProtocolTiming
 from repro.core.types import (
     ABORT,
@@ -37,7 +50,7 @@ from repro.core.types import (
     VOTE_YES,
 )
 from repro.failure.detectors import FailureDetector
-from repro.net.message import Message, any_of, is_type, is_type_with
+from repro.net.message import any_of, from_senders, is_type, is_type_with
 from repro.registers.base import BOTTOM, WriteOnceRegisterArray
 from repro.sim.process import Process
 from repro.sim.scheduler import Simulator
@@ -50,6 +63,31 @@ class RegisterPair:
     def __init__(self, reg_a: WriteOnceRegisterArray, reg_d: WriteOnceRegisterArray):
         self.reg_a = reg_a
         self.reg_d = reg_d
+
+
+def claim_entry(server: str, participants: Sequence[str]) -> tuple[str, tuple[str, ...]]:
+    """The value written into ``regA[j]``: claimant plus participant set.
+
+    Recording the participants in the testable claim makes the register entry
+    self-describing: any server that later cleans the result (Figure 6) knows
+    exactly which databases to terminate with, without re-deriving routing
+    from a request it may never have seen.
+    """
+    return (server, tuple(participants))
+
+
+def claim_parts(entry: Any, all_databases: Sequence[str]) -> tuple[Optional[str], tuple[str, ...]]:
+    """Split a ``regA`` entry into (claimant, participants).
+
+    Tolerates legacy entries that are a bare server name (participants then
+    default to every database).
+    """
+    if isinstance(entry, tuple) and len(entry) == 2:
+        claimant, participants = entry
+        return claimant, tuple(participants) if participants else tuple(all_databases)
+    if isinstance(entry, str):
+        return entry, tuple(all_databases)
+    return None, tuple(all_databases)
 
 
 class ApplicationServer(Process):
@@ -87,6 +125,7 @@ class ApplicationServer(Process):
         # Volatile caches (lost on crash, rebuilt from the registers if needed).
         self._known_commits: dict[ResultKey, Decision] = {}
         self._cleaned: set[ResultKey] = set()
+        self._inflight: set[ResultKey] = set()
 
     # --------------------------------------------------------------- lifecycle
 
@@ -99,13 +138,20 @@ class ApplicationServer(Process):
     def on_crash(self) -> None:
         self._known_commits = {}
         self._cleaned = set()
+        self._inflight = set()
         if self.consensus_host is not None:
             self.consensus_host.on_crash()
+
+    # ----------------------------------------------------------------- routing
+
+    def participants_of(self, request: Request) -> list[str]:
+        """The database servers taking part in this request's transaction."""
+        return request_participants(request, self.db_server_names)
 
     # ------------------------------------------------------ computation thread
 
     def _computation_thread(self):
-        """Figure 5: serve client requests."""
+        """Figure 5: dispatch client requests to per-result handlers."""
         while True:
             message = yield self.receive(is_type(msg.REQUEST))
             client = message.sender
@@ -114,6 +160,10 @@ class ApplicationServer(Process):
             key: ResultKey = (client, j)
             self.trace.record("as_request", self.name, client=client, j=j,
                               request_id=request.request_id)
+            if key in self._inflight:
+                # A retransmission of a result we are already working on; the
+                # in-flight handler will answer the client.
+                continue
             known = self._known_commits.get(key)
             decided = self.registers.reg_d.read(key)
             if known is None and decided is not BOTTOM and decided.outcome == COMMIT:
@@ -127,29 +177,44 @@ class ApplicationServer(Process):
                 # terminated intermediate result): just remind the client.
                 self.send(client, msg.result_message(j, decided))
                 continue
-            phase_start = self.now
-            winner = yield self.wait_for(self.registers.reg_a.write(key, self.name))
-            self.trace.record("as_phase", self.name, phase="regA_write", j=j, client=client,
-                              duration=self.now - phase_start)
-            if winner != self.name:
-                # Another server owns this result (Figure 5, lines 6-7); if it
-                # crashes the cleaning thread will take over.
-                continue
-            self.trace.record("as_claim", self.name, client=client, j=j,
-                              request_id=request.request_id)
-            result = yield from self._compute(key, request)
-            outcome = yield from self._prepare(key, result)
-            proposed = Decision(result=result, outcome=outcome)
-            phase_start = self.now
-            decision = yield self.wait_for(self.registers.reg_d.write(key, proposed))
-            self.trace.record("as_phase", self.name, phase="regD_write", j=j, client=client,
-                              duration=self.now - phase_start)
-            yield from self._terminate(key, decision, client)
+            self._inflight.add(key)
+            self.spawn(self._handle_request(key, request, client),
+                       name=f"as-handle:{client}:{j}")
 
-    def _compute(self, key: ResultKey, request: Request):
-        """The paper's ``compute()``: transient data manipulation on every database.
+    def _handle_request(self, key: ResultKey, request: Request, client: str):
+        """One result's life from claim to termination (Figure 5, lines 5-12)."""
+        j = key[1]
+        participants = self.participants_of(request)
+        phase_start = self.now
+        winner = yield self.wait_for(
+            self.registers.reg_a.write(key, claim_entry(self.name, participants)))
+        self.trace.record("as_phase", self.name, phase="regA_write", j=j, client=client,
+                          duration=self.now - phase_start)
+        claimant, claimed_participants = claim_parts(winner, self.db_server_names)
+        if claimant != self.name:
+            # Another server owns this result (Figure 5, lines 6-7); if it
+            # crashes the cleaning thread will take over.
+            self._inflight.discard(key)
+            return
+        participants = list(claimed_participants)
+        self.trace.record("as_claim", self.name, client=client, j=j,
+                          request_id=request.request_id,
+                          participants=list(participants))
+        result = yield from self._compute(key, request, participants)
+        outcome = yield from self._prepare(key, participants)
+        proposed = Decision(result=result, outcome=outcome)
+        phase_start = self.now
+        decision = yield self.wait_for(self.registers.reg_d.write(key, proposed))
+        self.trace.record("as_phase", self.name, phase="regD_write", j=j, client=client,
+                          duration=self.now - phase_start)
+        yield from self._terminate(key, decision, client, participants)
+        self._inflight.discard(key)
 
-        Sends the business logic to each database server and collects their
+    def _compute(self, key: ResultKey, request: Request, participants: list[str]):
+        """The paper's ``compute()``: transient data manipulation on every
+        participant database.
+
+        Sends the business logic to each participant and collects their
         answers (re-sending while a database is down).  The merged answer
         forms the result value; a failed computation (e.g. lock conflict)
         still yields a result -- the databases will then refuse to commit it,
@@ -158,13 +223,16 @@ class ApplicationServer(Process):
         client, j = key
         phase_start = self.now
         values: dict[str, Any] = {}
-        pending = set(self.db_server_names)
+        pending = set(participants)
         while pending:
             for db_name in pending:
                 self.send(db_name, msg.execute_message(key, request))
+            # Per-shard Ready tracking: only a recovery notification from one
+            # of *this* transaction's participants restarts the collection; a
+            # non-participant shard recovering is none of our business.
             deadline_matcher = any_of(
                 is_type_with(msg.EXECUTE_RESULT, j=key),
-                is_type(msg.READY),
+                from_senders(participants, is_type(msg.READY)),
             )
             remaining = set(pending)
             while remaining:
@@ -172,44 +240,36 @@ class ApplicationServer(Process):
                 if reply is TIMEOUT:
                     break
                 if reply.msg_type == msg.READY:
-                    # A database recovered; start its execution over.
+                    # A participant database recovered; start its execution over.
                     break
                 if reply.sender in remaining:
                     values[reply.sender] = reply["value"]
                     remaining.discard(reply.sender)
-            pending = set(self.db_server_names) - set(values)
-        merged = self._merge_values(values)
+            pending = set(participants) - set(values)
+        merged = self._merge_values(values, participants)
         result = Result(value=merged, request_id=request.request_id, computed_by=self.name)
         self.trace.record("as_compute", self.name, client=client, j=j,
-                          request_id=request.request_id, result=repr(merged))
+                          request_id=request.request_id, result=repr(merged),
+                          participants=list(participants))
         self.trace.record("as_phase", self.name, phase="compute", j=j, client=client,
                           duration=self.now - phase_start)
         return result
 
-    def _merge_values(self, values: dict[str, Any]) -> Any:
-        """Combine the per-database business values into one result value.
+    def _merge_values(self, values: dict[str, Any], participants: list[str]) -> Any:
+        """Combine the per-participant business values into one result value."""
+        return merge_participant_values(values, participants)
 
-        With a single database (the common case) the value passes through; with
-        several, identical answers collapse to one and divergent answers are
-        kept per database so the caller can see the disagreement.
-        """
-        if len(self.db_server_names) == 1:
-            return values[self.db_server_names[0]]
-        distinct = list(values.values())
-        if all(value == distinct[0] for value in distinct[1:]):
-            return distinct[0]
-        return values
-
-    def _prepare(self, key: ResultKey, result: Result):
-        """Figure 4's ``prepare()``: collect votes from every database server."""
+    def _prepare(self, key: ResultKey, participants: list[str]):
+        """Figure 4's ``prepare()``: collect votes from every participant."""
         client, j = key
         phase_start = self.now
         votes: dict[str, str] = {}
-        pending = set(self.db_server_names)
+        pending = set(participants)
         while pending:
             for db_name in pending:
-                self.send(db_name, msg.prepare_message(key))
-            matcher = any_of(is_type_with(msg.VOTE, j=key), is_type(msg.READY))
+                self.send(db_name, msg.prepare_message(key, tuple(participants)))
+            matcher = any_of(is_type_with(msg.VOTE, j=key),
+                             from_senders(participants, is_type(msg.READY)))
             remaining = set(pending)
             while remaining:
                 reply = yield self.receive(matcher, timeout=self.timing.prepare_retry)
@@ -224,7 +284,7 @@ class ApplicationServer(Process):
                 else:
                     votes[reply.sender] = reply["vote"]
                 remaining.discard(reply.sender)
-            pending = set(self.db_server_names) - set(votes)
+            pending = set(participants) - set(votes)
         outcome = COMMIT if all(v == VOTE_YES for v in votes.values()) else ABORT
         self.trace.record("as_prepare", self.name, client=client, j=j, outcome=outcome,
                           votes=dict(votes))
@@ -232,17 +292,20 @@ class ApplicationServer(Process):
                           duration=self.now - phase_start)
         return outcome
 
-    def _terminate(self, key: ResultKey, decision: Decision, client: str):
-        """Figure 4's ``terminate()``: drive the decision to every database, then
-        report the result to the client."""
+    def _terminate(self, key: ResultKey, decision: Decision, client: str,
+                   participants: list[str]):
+        """Figure 4's ``terminate()``: drive the decision to every participant,
+        then report the result to the client."""
         j = key[1]
         phase_start = self.now
         acked: set[str] = set()
-        while acked != set(self.db_server_names):
-            for db_name in set(self.db_server_names) - acked:
-                self.send(db_name, msg.decide_message(key, decision.outcome))
-            matcher = any_of(is_type_with(msg.ACK_DECIDE, j=key), is_type(msg.READY))
-            remaining = set(self.db_server_names) - acked
+        while acked != set(participants):
+            for db_name in set(participants) - acked:
+                self.send(db_name, msg.decide_message(key, decision.outcome,
+                                                      tuple(participants)))
+            matcher = any_of(is_type_with(msg.ACK_DECIDE, j=key),
+                             from_senders(participants, is_type(msg.READY)))
+            remaining = set(participants) - acked
             while remaining:
                 reply = yield self.receive(matcher, timeout=self.timing.decide_retry)
                 if reply is TIMEOUT:
@@ -277,13 +340,17 @@ class ApplicationServer(Process):
                 for key in self.registers.reg_a.known_indices():
                     if key in self._cleaned:
                         continue
-                    if self.registers.reg_a.read(key) != suspected:
+                    claimant, participants = claim_parts(
+                        self.registers.reg_a.read(key), self.db_server_names)
+                    if claimant != suspected:
                         continue
                     client, j = key
                     self.trace.record("as_clean", self.name, suspected=suspected,
-                                      client=client, j=j)
+                                      client=client, j=j,
+                                      participants=list(participants))
                     decision = yield self.wait_for(
                         self.registers.reg_d.write(key, ABORT_DECISION)
                     )
-                    yield from self._terminate(key, decision, client)
+                    yield from self._terminate(key, decision, client,
+                                               list(participants))
                     self._cleaned.add(key)

@@ -14,11 +14,15 @@ from typing import Any, Callable, Optional
 
 from repro.core import messages as msg
 from repro.core.timing import DatabaseTiming
-from repro.core.types import ABORT, COMMIT, Request, VOTE_NO, VOTE_YES
+from repro.core.types import ABORT, COMMIT, Request
 from repro.net.message import is_type
 from repro.sim.process import Process
 from repro.sim.scheduler import Simulator
-from repro.storage.kvstore import TransactionError, TransactionalKVStore
+from repro.storage.kvstore import (
+    ShardOwnershipError,
+    TransactionError,
+    TransactionalKVStore,
+)
 from repro.storage.locks import LockConflict
 from repro.storage.stable import StableStorage
 from repro.storage.xa import XAResource
@@ -42,19 +46,27 @@ class DatabaseServer(Process):
     timing:
         Per-phase costs; defaults reproduce the paper's baseline column.
     initial_data:
-        Initial committed database contents.
+        Initial committed database contents.  On a partitioned deployment the
+        builder passes only this shard's slice of the key space.
+    owns_key:
+        Optional ``key -> owned?`` predicate installed on the store; when
+        present, a transaction touching a foreign key aborts with a
+        :class:`~repro.storage.kvstore.ShardOwnershipError` instead of
+        silently diverging from the owning shard.
     """
 
     def __init__(self, sim: Simulator, name: str, app_server_names: list[str],
                  business_logic: BusinessLogicFactory,
                  timing: Optional[DatabaseTiming] = None,
-                 initial_data: Optional[dict[str, Any]] = None):
+                 initial_data: Optional[dict[str, Any]] = None,
+                 owns_key: Optional[Callable[[str], bool]] = None):
         super().__init__(sim, name)
         self.app_server_names = list(app_server_names)
         self.business_logic = business_logic
         self.timing = timing if timing is not None else DatabaseTiming()
         storage = StableStorage(f"{name}.disk", forced_write_latency=self.timing.forced_write)
-        self.store = TransactionalKVStore(name, storage=storage, initial_data=initial_data)
+        self.store = TransactionalKVStore(name, storage=storage, initial_data=initial_data,
+                                          owns_key=owns_key)
         self.resource = XAResource(self.store)
         # Cache of already-executed business-logic calls, keyed by result key.
         # Makes Execute idempotent under retransmission (volatile: an unprepared
@@ -97,6 +109,14 @@ class DatabaseServer(Process):
             except LockConflict as conflict:
                 ok = False
                 value = {"error": "lock_conflict", "key": conflict.key}
+            except ShardOwnershipError as misroute:
+                # The business logic touched a key this shard does not own --
+                # a routing bug (participant set narrower than the keys the
+                # request manipulates).  The transaction was aborted, so this
+                # shard will vote no and the whole transaction aborts.
+                ok = False
+                value = {"error": "shard_ownership", "key": misroute.key,
+                         "shard": self.name}
             except TransactionError as error:
                 # A re-execution of an already-terminated transaction (e.g. a
                 # stale retransmission): report it, the vote will say no.

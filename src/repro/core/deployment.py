@@ -16,6 +16,12 @@ from repro.consensus.synod import ConsensusHost
 from repro.core.appserver import ApplicationServer, RegisterPair
 from repro.core.client import Client, IssuedRequest
 from repro.core.dataserver import DatabaseServer
+from repro.core.sharding import (
+    KNOWN_PLACEMENTS,
+    PLACEMENT_REPLICATE,
+    Sharding,
+    validate_participants,
+)
 from repro.core.spec import SpecificationChecker, SpecReport, check_run
 from repro.core.timing import DatabaseTiming, ProtocolTiming
 from repro.core.types import Request
@@ -77,6 +83,7 @@ class DeploymentConfig:
     protocol_timing: ProtocolTiming = field(default_factory=ProtocolTiming)
     initial_data: dict[str, Any] = field(default_factory=dict)
     business_logic: Callable[[Request], Callable[[Any], Any]] = default_business_logic
+    placement: str = PLACEMENT_REPLICATE
 
     def __post_init__(self) -> None:
         if self.num_app_servers < 1 or self.num_db_servers < 1 or self.num_clients < 1:
@@ -85,6 +92,14 @@ class DeploymentConfig:
             raise ValueError(f"unknown register mode {self.register_mode!r}")
         if self.failure_detector not in (FD_ORACLE, FD_HEARTBEAT):
             raise ValueError(f"unknown failure detector mode {self.failure_detector!r}")
+        if self.placement not in KNOWN_PLACEMENTS:
+            raise ValueError(f"unknown placement {self.placement!r}; known: "
+                             f"{', '.join(KNOWN_PLACEMENTS)}")
+
+    @property
+    def sharding(self) -> Sharding:
+        """Key-placement map of the database tier under this config."""
+        return Sharding(tuple(self.db_server_names), self.placement)
 
     @property
     def client_names(self) -> list[str]:
@@ -108,6 +123,7 @@ class EtxDeployment:
         elif overrides:
             config = replace(config, **overrides)
         self.config = config
+        self.sharding = config.sharding
         self.sim = Simulator(seed=config.seed)
         self.network = Network(self.sim, latency=self._build_latency(),
                                loss_probability=config.loss_probability)
@@ -162,7 +178,9 @@ class EtxDeployment:
             server = DatabaseServer(self.sim, name, app_names,
                                     business_logic=config.business_logic,
                                     timing=config.db_timing,
-                                    initial_data=dict(config.initial_data))
+                                    initial_data=self.sharding.shard_data(
+                                        name, config.initial_data),
+                                    owns_key=self.sharding.owner_predicate(name))
             self.network.register(server)
             self.db_servers[name] = server
         for name in app_names:
@@ -234,6 +252,7 @@ class EtxDeployment:
 
     def issue(self, request: Request, client: Optional[str] = None) -> IssuedRequest:
         """Issue a request from the named (or first) client."""
+        validate_participants(request, self.config.db_server_names)
         target = self.clients[client] if client is not None else self.client
         return target.issue(request)
 

@@ -35,9 +35,14 @@ def result_message(j: int, decision: Decision) -> Message:
     return Message(RESULT, payload={"j": j, "decision": decision})
 
 
-def prepare_message(key: Any) -> Message:
-    """``[Prepare, j]`` from an application server to a database server."""
-    return Message(PREPARE, payload={"j": key})
+def prepare_message(key: Any, participants: tuple[str, ...] = ()) -> Message:
+    """``[Prepare, j]`` from an application server to a database server.
+
+    ``participants`` names the shards taking part in the commit of this
+    result (empty = every database); it rides along so a database can trace
+    and sanity-check which participant set it is voting within.
+    """
+    return Message(PREPARE, payload={"j": key, "participants": tuple(participants)})
 
 
 def vote_message(key: Any, vote: str) -> Message:
@@ -45,9 +50,14 @@ def vote_message(key: Any, vote: str) -> Message:
     return Message(VOTE, payload={"j": key, "vote": vote})
 
 
-def decide_message(key: Any, outcome: str) -> Message:
-    """``[Decide, j, outcome]`` from an application server to a database server."""
-    return Message(DECIDE, payload={"j": key, "outcome": outcome})
+def decide_message(key: Any, outcome: str,
+                   participants: tuple[str, ...] = ()) -> Message:
+    """``[Decide, j, outcome]`` from an application server to a database server.
+
+    Carries the same participant metadata as :func:`prepare_message`.
+    """
+    return Message(DECIDE, payload={"j": key, "outcome": outcome,
+                                    "participants": tuple(participants)})
 
 
 def ack_decide_message(key: Any) -> Message:

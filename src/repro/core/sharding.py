@@ -1,0 +1,184 @@
+"""Key placement: which database server (shard) owns which key.
+
+The paper's deployment already supports several database servers, but treats
+them as replicas of one logical database: every transaction is executed,
+voted on and decided at *all* of them, so adding databases adds coordination
+cost instead of capacity.  This module introduces the alternative reading --
+a **partitioned** data tier -- as plain data:
+
+* a :class:`Sharding` maps every storage key to its owning shard (database
+  server) under a *placement policy*;
+* the transaction path (application servers, baselines, spec checker) routes
+  each request to its **participant set**: the owners of the keys the request
+  touches, carried on :attr:`repro.core.types.Request.participants`;
+* the storage layer (:mod:`repro.storage.kvstore`) asserts that a shard only
+  ever manipulates keys it owns.
+
+Placement policies
+------------------
+
+``replicate``
+    The historical behaviour: every database owns every key, every request's
+    participant set is the full database tier.  This is the default and keeps
+    multi-database deployments byte-compatible with earlier versions.
+``hash``
+    A key belongs to ``shards[crc32(shard_key) % len(shards)]``.
+``mod``
+    Like ``hash`` but keyed on the trailing integer of the shard key
+    (``account:{17}`` -> shard ``17 % d``), giving a predictable layout for
+    index-structured key spaces; keys without a trailing integer fall back to
+    the CRC-32 rule.
+
+Shard keys use Redis-cluster-style *hash tags*: when a key contains a
+``{...}`` substring, only that substring is hashed, so a workload can colocate
+related keys (``flight:{PAR}:seats`` and ``hotel:{PAR}:rooms`` always land on
+the same shard).  Keys without a tag hash as a whole.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+PLACEMENT_REPLICATE = "replicate"
+PLACEMENT_HASH = "hash"
+PLACEMENT_MOD = "mod"
+
+KNOWN_PLACEMENTS = (PLACEMENT_REPLICATE, PLACEMENT_HASH, PLACEMENT_MOD)
+
+_HASH_TAG = re.compile(r"\{([^{}]+)\}")
+_TRAILING_INT = re.compile(r"(\d+)$")
+
+
+def shard_key(key: str) -> str:
+    """The part of ``key`` that placement hashes (its hash tag, if any)."""
+    match = _HASH_TAG.search(key)
+    return match.group(1) if match else key
+
+
+@dataclass(frozen=True)
+class Sharding:
+    """Key -> shard ownership for one deployment's database tier.
+
+    ``shards`` is the ordered tuple of database-server names; ``placement``
+    selects the policy (see the module docstring).  The object is immutable
+    and cheap, so every layer that needs routing decisions can hold its own
+    reference.
+    """
+
+    shards: tuple[str, ...]
+    placement: str = PLACEMENT_REPLICATE
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a sharding needs at least one shard")
+        if len(set(self.shards)) != len(self.shards):
+            raise ValueError(f"duplicate shard names in {self.shards!r}")
+        if self.placement not in KNOWN_PLACEMENTS:
+            raise ValueError(f"unknown placement {self.placement!r}; known: "
+                             f"{', '.join(KNOWN_PLACEMENTS)}")
+        object.__setattr__(self, "shards", tuple(self.shards))
+
+    # ------------------------------------------------------------- ownership
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether keys have a single owner (as opposed to full replication)."""
+        return self.placement != PLACEMENT_REPLICATE
+
+    def owner(self, key: str) -> Optional[str]:
+        """The single owning shard of ``key``, or ``None`` under replication."""
+        if not self.partitioned:
+            return None
+        return self.shards[self._index_of(key)]
+
+    def _index_of(self, key: str) -> int:
+        tag = shard_key(key)
+        if self.placement == PLACEMENT_MOD:
+            match = _TRAILING_INT.search(tag)
+            if match is not None:
+                return int(match.group(1)) % len(self.shards)
+        return zlib.crc32(tag.encode("utf-8")) % len(self.shards)
+
+    def owns(self, shard: str, key: str) -> bool:
+        """Whether ``shard`` holds (a copy of) ``key``."""
+        if not self.partitioned:
+            return shard in self.shards
+        return self.owner(key) == shard
+
+    def participants(self, keys: Iterable[str]) -> tuple[str, ...]:
+        """The participant set of a transaction touching ``keys``.
+
+        Returns the owners of the keys, in shard order -- or the empty tuple
+        under replication, which on :class:`~repro.core.types.Request` means
+        "every database" (the protocol's historical fan-out).
+        """
+        if not self.partitioned:
+            return ()
+        owners = {self.owner(key) for key in keys}
+        return tuple(shard for shard in self.shards if shard in owners)
+
+    # ------------------------------------------------------------------ data
+
+    def shard_data(self, shard: str, data: dict[str, Any]) -> dict[str, Any]:
+        """The slice of ``data`` that ``shard`` should hold initially."""
+        if not self.partitioned:
+            return dict(data)
+        return {key: value for key, value in data.items() if self.owner(key) == shard}
+
+    def owner_predicate(self, shard: str) -> Optional[Callable[[str], bool]]:
+        """A ``key -> owned?`` predicate for ``shard`` (``None`` = owns all).
+
+        Installed on the shard's :class:`~repro.storage.kvstore.TransactionalKVStore`
+        so misrouted reads/writes fail loudly instead of silently diverging.
+        """
+        if not self.partitioned:
+            return None
+        return lambda key: self.owner(key) == shard
+
+
+# -------------------------------------------------------- request routing
+
+# One implementation of the request->participants routing rules, shared by
+# the e-Transaction application server and the three comparison middle tiers
+# so partitioned-tier comparisons stay apples-to-apples by construction.
+
+
+def request_participants(request: Any, db_server_names: Sequence[str]) -> list[str]:
+    """The database servers taking part in ``request``'s transaction.
+
+    An empty :attr:`~repro.core.types.Request.participants` tuple means every
+    database; a non-empty one is filtered through ``db_server_names`` order so
+    all servers iterate participants identically.
+    """
+    if request.participants:
+        return [name for name in db_server_names if name in request.participants]
+    return list(db_server_names)
+
+
+def merge_participant_values(values: dict[str, Any],
+                             participants: Sequence[str]) -> Any:
+    """One business value out of the per-participant answers.
+
+    With a single participant (the common case on a partitioned tier) the
+    value passes through; with several, identical answers collapse to one and
+    divergent answers are kept per database so the caller can see each
+    shard's part.
+    """
+    if len(participants) == 1:
+        return values[participants[0]]
+    distinct = list(values.values())
+    if all(value == distinct[0] for value in distinct[1:]):
+        return distinct[0]
+    return values
+
+
+def validate_participants(request: Any, db_server_names: Sequence[str]) -> None:
+    """Reject a request naming participants outside the deployment."""
+    unknown = set(request.participants) - set(db_server_names)
+    if unknown:
+        raise ValueError(f"request {request.request_id} names unknown "
+                         f"participant(s) {sorted(unknown)}; this deployment "
+                         f"has databases {list(db_server_names)}")

@@ -1,20 +1,30 @@
 """Executable specification of the e-Transaction problem (Section 3).
 
-The checker consumes the structured trace of a run and verifies each property:
+The checker consumes the structured trace of a run and verifies each property.
+With a partitioned data tier, every intermediate result has a **participant
+set** -- the database servers its transaction touches, recorded by the
+computing application server in the ``as_compute`` trace event -- and the
+agreement/validity properties quantify over that set rather than over every
+database (on an unpartitioned deployment the two coincide):
 
 * **T.1** -- if the client issues a request then, unless it crashes, it
   eventually delivers a result.
 * **T.2** -- if any database server votes for a result, it eventually commits
   or aborts that result.
 * **A.1** -- no result is delivered by the client unless it is committed by
-  all database servers.
+  every *participant* database server.
 * **A.2** -- no database server commits two different results (for the same
   request).
 * **A.3** -- no two database servers decide differently on the same result.
 * **V.1** -- a delivered result was computed by an application server with,
   as a parameter, a request issued by the client.
-* **V.2** -- no database server commits a result unless all database servers
-  have voted yes for that result.
+* **V.2** -- no database server commits a result unless every *participant*
+  has voted yes for that result.
+* **S.1** -- participant confinement: no database server outside a result's
+  participant set executes or commits that result.  This is what makes the
+  participant set *exact*: routing must neither under-approximate (A.1/V.2
+  would catch a missing participant) nor over-approximate (S.1 catches a
+  spurious one).
 
 Termination properties are only meaningful if the run was given enough time
 and the correctness assumptions held (majority of application servers up,
@@ -74,6 +84,7 @@ class SpecificationChecker:
         self.trace = trace
         self.db_server_names = list(db_server_names)
         self.client_names = list(client_names)
+        self._participants_cache: Optional[dict[tuple, tuple[str, ...]]] = None
 
     # ------------------------------------------------------------------- check
 
@@ -86,6 +97,7 @@ class SpecificationChecker:
             ("A.3", self._check_a3),
             ("V.1", self._check_v1),
             ("V.2", self._check_v2),
+            ("S.1", self._check_s1),
         ]
         if check_termination:
             checks = [("T.1", self._check_t1), ("T.2", self._check_t2)] + checks
@@ -118,6 +130,22 @@ class SpecificationChecker:
                 return event.get("request_id")
         return None
 
+    def participants_of(self, key) -> tuple[str, ...]:
+        """The participant set of result ``key``.
+
+        Read from the computing server's ``as_compute`` event; results with no
+        recorded participant set (older traces, results that never reached the
+        compute phase) default to the full database tier.
+        """
+        if self._participants_cache is None:
+            cache: dict[tuple, tuple[str, ...]] = {}
+            for event in self.trace.select("as_compute"):
+                recorded = event.get("participants")
+                if recorded:
+                    cache[(event.get("client"), event.get("j"))] = tuple(recorded)
+            self._participants_cache = cache
+        return self._participants_cache.get(tuple(key), tuple(self.db_server_names))
+
     # ------------------------------------------------------------- termination
 
     def _check_t1(self) -> list[PropertyViolation]:
@@ -149,14 +177,14 @@ class SpecificationChecker:
         for client in self.client_names:
             for delivery in self.trace.select("client_deliver", client):
                 key = (client, delivery.get("j"))
-                for db in self.db_server_names:
+                for db in self.participants_of(key):
                     committed = [e for e in self._commits_by_db(db)
                                  if self._key_of(e) == key]
                     if not committed:
                         violations.append(PropertyViolation(
                             "A.1",
-                            f"client {client} delivered result {key} but database {db} "
-                            f"did not commit it"))
+                            f"client {client} delivered result {key} but participant "
+                            f"database {db} did not commit it"))
         return violations
 
     def _check_a2(self) -> list[PropertyViolation]:
@@ -230,14 +258,45 @@ class SpecificationChecker:
         for db in self.db_server_names:
             for event in self._commits_by_db(db):
                 key = self._key_of(event)
-                for other in self.db_server_names:
+                for other in self.participants_of(key):
                     yes_votes = [e for e in self.trace.select("db_vote", other, vote=VOTE_YES)
                                  if self._key_of(e) == key]
                     if not yes_votes:
                         violations.append(PropertyViolation(
                             "V.2",
-                            f"database {db} committed result {key} but database {other} "
-                            f"never voted yes for it"))
+                            f"database {db} committed result {key} but participant "
+                            f"{other} never voted yes for it"))
+        return violations
+
+    # ---------------------------------------------------------------- sharding
+
+    def _check_s1(self) -> list[PropertyViolation]:
+        """Participant confinement: work stays inside the participant set.
+
+        Aborts outside the set are tolerated (a cleaner that cannot know the
+        participants may conservatively abort everywhere, which is harmless:
+        aborting a transaction a database never saw installs a tombstone and
+        changes no data), but an *execution* or a *commit* at a non-participant
+        means the routing layer leaked work across shard boundaries.
+        """
+        violations = []
+        for db in self.db_server_names:
+            for event in self.trace.select("db_execute", db):
+                key = self._key_of(event)
+                participants = self.participants_of(key)
+                if db not in participants:
+                    violations.append(PropertyViolation(
+                        "S.1",
+                        f"database {db} executed result {key} outside its "
+                        f"participant set {list(participants)}"))
+            for event in self._commits_by_db(db):
+                key = self._key_of(event)
+                participants = self.participants_of(key)
+                if db not in participants:
+                    violations.append(PropertyViolation(
+                        "S.1",
+                        f"database {db} committed result {key} outside its "
+                        f"participant set {list(participants)}"))
         return violations
 
     # ----------------------------------------------------------------- helpers

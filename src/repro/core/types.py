@@ -43,12 +43,20 @@ class Request:
     """A client request (e.g. one travel booking or one account payment).
 
     ``operation`` and ``params`` are interpreted by the workload's business
-    logic; the protocol never looks inside them.
+    logic; the protocol never looks inside them.  ``participants`` is the set
+    of database servers (shards) the request touches: the empty tuple means
+    "every database" (the protocol's historical full fan-out), a non-empty
+    tuple restricts execution, voting and decision to exactly those shards --
+    the application servers route the whole commit protocol through it.
     """
 
     operation: str
     params: dict[str, Any] = field(default_factory=dict)
     request_id: str = field(default_factory=lambda: f"req-{next(_request_counter)}")
+    participants: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "participants", tuple(self.participants))
 
     def describe(self) -> str:
         """Short human-readable form used in traces and reports."""

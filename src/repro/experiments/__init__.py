@@ -9,6 +9,8 @@
 * :mod:`repro.experiments.ablations` -- E5/E7/E8: asynchrony of the
   replication scheme, forced-log cost sweep, replication-degree scaling.
 * :mod:`repro.experiments.fault_sweep` -- E6: correctness under random faults.
+* :mod:`repro.experiments.scaleout` -- E9: throughput vs database-tier size
+  for the partitioned data tier, at a fixed offered load.
 * :mod:`repro.experiments.calibration` -- the paper's measured numbers and the
   calibrated deployment builders shared by all of the above.
 """
@@ -20,6 +22,8 @@ from repro.experiments import (  # noqa: F401
     figure1,
     figure7,
     figure8,
+    scaleout,
 )
 
-__all__ = ["calibration", "figure1", "figure7", "figure8", "ablations", "fault_sweep"]
+__all__ = ["calibration", "figure1", "figure7", "figure8", "ablations",
+           "fault_sweep", "scaleout"]

@@ -37,7 +37,6 @@ from typing import Iterable, Optional
 from repro.net.message import Message, is_type
 from repro.net.network import Network
 from repro.sim.process import Process
-from repro.sim.scheduler import Simulator
 
 
 class FailureDetector:

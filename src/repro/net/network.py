@@ -121,6 +121,11 @@ class Network:
         message.sender = source
         message.destination = destination
         message.send_time = self.sim.now
+        # Re-stamp the identifier from the simulator-scoped counter: message
+        # ids appear in the trace, and a process-global counter would make
+        # otherwise identical runs differ depending on what ran earlier in
+        # the same interpreter.
+        message.msg_id = self.sim.next_message_id()
         self.stats.sent += 1
         self.stats.by_type_sent[message.msg_type] = (
             self.stats.by_type_sent.get(message.msg_type, 0) + 1

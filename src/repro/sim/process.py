@@ -32,11 +32,8 @@ class Thread:
     ``None`` after a sleep).
     """
 
-    _ids = 0
-
     def __init__(self, process: "Process", generator: ProtocolGenerator, name: str):
-        Thread._ids += 1
-        self.id = Thread._ids
+        self.id = process.sim.next_thread_id()
         self.process = process
         self.generator = generator
         self.name = name

@@ -85,6 +85,26 @@ class Simulator:
         self._events_processed = 0
         self._stopped = False
         self._rng_streams: dict[str, random.Random] = {}
+        self._thread_ids = 0
+        self._message_ids = 0
+
+    # ------------------------------------------------------------ id counters
+
+    def next_thread_id(self) -> int:
+        """Next process-thread identifier, scoped to this simulator.
+
+        Scoping the counters to the simulator (rather than module globals)
+        keeps back-to-back runs in one interpreter byte-identical: run N+1
+        starts from the same identifiers as run N did, regardless of what ran
+        before it.
+        """
+        self._thread_ids += 1
+        return self._thread_ids
+
+    def next_message_id(self) -> int:
+        """Next network-message identifier, scoped to this simulator."""
+        self._message_ids += 1
+        return self._message_ids
 
     # ------------------------------------------------------------------ RNG
 

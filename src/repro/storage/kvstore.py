@@ -38,6 +38,21 @@ class TransactionError(Exception):
     """An operation was applied to a transaction in an incompatible state."""
 
 
+class ShardOwnershipError(TransactionError):
+    """A transaction touched a key this shard does not own.
+
+    Raised when the store was built with an ownership predicate (a partitioned
+    deployment) and the business logic reads or writes a key that belongs to
+    another shard -- always a routing bug (the request's participant set did
+    not match the keys it touches), never a legitimate protocol state.
+    """
+
+    def __init__(self, shard: str, key: str):
+        super().__init__(f"shard {shard!r} does not own key {key!r}")
+        self.shard = shard
+        self.key = key
+
+
 @dataclass
 class Transaction:
     """In-memory descriptor of one transaction."""
@@ -52,11 +67,13 @@ class TransactionalKVStore:
     """A crash-recoverable key-value store with two-phase commitment."""
 
     def __init__(self, name: str, storage: Optional[StableStorage] = None,
-                 initial_data: Optional[dict[str, Any]] = None):
+                 initial_data: Optional[dict[str, Any]] = None,
+                 owns_key: Optional[Callable[[str], bool]] = None):
         self.name = name
         self.storage = storage if storage is not None else StableStorage(f"{name}.disk")
         self.wal = WriteAheadLog(self.storage)
         self.locks = LockManager()
+        self._owns_key = owns_key
         self._committed: dict[str, Any] = dict(initial_data or {})
         self._transactions: dict[TransactionId, Transaction] = {}
         if initial_data:
@@ -89,8 +106,18 @@ class TransactionalKVStore:
 
     # -------------------------------------------------------- data manipulation
 
+    def owns(self, key: str) -> bool:
+        """Whether this store is responsible for ``key`` (always true when the
+        deployment is not partitioned)."""
+        return self._owns_key is None or self._owns_key(key)
+
+    def _assert_owned(self, key: str) -> None:
+        if not self.owns(key):
+            raise ShardOwnershipError(self.name, key)
+
     def read(self, transaction_id: TransactionId, key: str, default: Any = None) -> Any:
         """Read ``key`` within the transaction (sees the transaction's own writes)."""
+        self._assert_owned(key)
         transaction = self._require(transaction_id, ACTIVE, PREPARED)
         transaction.reads.add(key)
         if key in transaction.writes:
@@ -99,6 +126,7 @@ class TransactionalKVStore:
 
     def write(self, transaction_id: TransactionId, key: str, value: Any) -> None:
         """Write ``key`` within the transaction; acquires the exclusive lock."""
+        self._assert_owned(key)
         transaction = self._require(transaction_id, ACTIVE)
         if not self.locks.acquire(transaction_id, key):
             raise LockConflict(key, self.locks.holder(key), transaction_id)

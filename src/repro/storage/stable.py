@@ -14,7 +14,7 @@ both protocol code and plain unit tests.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator
 
 
 class StorageStats:

@@ -11,7 +11,7 @@ so its I/O costs are accounted for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
 from repro.storage.stable import StableStorage
 

@@ -10,9 +10,9 @@ transaction manager queries after a resource restart.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Optional
+from typing import Any, Callable, Hashable
 
-from repro.storage.kvstore import TransactionalKVStore
+from repro.storage.kvstore import ShardOwnershipError, TransactionalKVStore
 from repro.storage.locks import LockConflict
 
 TransactionId = Hashable
@@ -41,6 +41,15 @@ class TransactionView:
         """Write ``key`` within the transaction (may raise ``LockConflict``)."""
         self._store.write(self.transaction_id, key, value)
 
+    def owns(self, key: str) -> bool:
+        """Whether the executing shard owns ``key``.
+
+        Shard-aware business logic guards each per-key block with this so a
+        cross-shard transaction applies only its local part on each
+        participant; on an unpartitioned deployment it is always true.
+        """
+        return self._store.owns(key)
+
 
 class XAResource:
     """One database server's resource manager (vote / decide / recover)."""
@@ -55,14 +64,17 @@ class XAResource:
 
         This is the transient data manipulation the paper abstracts behind
         ``compute()``: changes are made to the database but not committed.
-        A lock conflict aborts the transaction and re-raises; the caller (the
-        application server) treats it like any other failed computation.
+        A lock conflict -- or a shard-ownership violation in a partitioned
+        deployment -- aborts the transaction and re-raises; the caller (the
+        application server) treats it like any other failed computation, and
+        the abort guarantees this resource will vote no, so a misrouted
+        transaction can never half-commit.
         """
         self.store.begin(transaction_id)
         view = TransactionView(self.store, transaction_id)
         try:
             return logic(view)
-        except LockConflict:
+        except (LockConflict, ShardOwnershipError):
             self.store.abort(transaction_id)
             raise
 

@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, Union
 
-from repro.core.types import Request
+from repro.core.types import ABORT, COMMIT, Request
 from repro.metrics.percentiles import percentile as _interpolated_percentile
 
 ARRIVAL_POISSON = "poisson"
@@ -51,6 +51,21 @@ class RequestStream:
 
 
 @dataclass
+class DatabaseStatistics:
+    """Per-database (shard) outcome counters of one run.
+
+    ``commits``/``aborts`` count ``Decide`` outcomes applied at the database;
+    ``in_doubt`` is the number of transactions still prepared-but-undecided
+    when the measurement ended.  On a partitioned tier these make shard
+    imbalance visible without reading traces.
+    """
+
+    commits: int = 0
+    aborts: int = 0
+    in_doubt: int = 0
+
+
+@dataclass
 class RunStatistics:
     """Latency and throughput statistics of one load-generation run.
 
@@ -70,6 +85,7 @@ class RunStatistics:
     aborted_results: int = 0
     elapsed: float = 0.0
     by_client: dict[str, "RunStatistics"] = field(default_factory=dict)
+    by_database: dict[str, DatabaseStatistics] = field(default_factory=dict)
 
     @property
     def count(self) -> int:
@@ -227,7 +243,32 @@ class LoadGenerator:
             # crashed mid-run) still count as undelivered offered load.
             leaf.undelivered += planned_by_client[client] - len(issued_list)
             stats.merge(client, leaf)
+        self._collect_databases(deployment, stats)
         return stats
+
+    @staticmethod
+    def _collect_databases(deployment: Any, stats: RunStatistics) -> None:
+        """Fill the per-database commit/abort/in-doubt counters from the run.
+
+        Counts distinct *transactions*, not ``Decide`` applications: a lost
+        acknowledgement or a database recovery makes the protocol re-send the
+        same decision, and each re-application records another ``db_decide``
+        event.  A transaction that was first refused (abort) and later, after
+        re-execution, committed counts once, as a commit.
+        """
+        db_servers = getattr(deployment, "db_servers", None)
+        trace = getattr(deployment, "trace", None)
+        if not db_servers or trace is None:
+            return
+        for name, server in db_servers.items():
+            committed = {e.get("j") for e in trace.select("db_decide", name,
+                                                          outcome=COMMIT)}
+            aborted = {e.get("j") for e in trace.select("db_decide", name,
+                                                        outcome=ABORT)}
+            stats.by_database[name] = DatabaseStatistics(
+                commits=len(committed),
+                aborts=len(aborted - committed),
+                in_doubt=len(server.in_doubt()))
 
     def _latency_of(self, issued: Any) -> Optional[float]:
         """Which latency a delivered request contributes (shape-specific)."""

@@ -7,7 +7,7 @@ detector to show the protocol does not depend on oracle knowledge of crashes.
 
 import pytest
 
-from repro.core import DeploymentConfig, EtxDeployment, FD_HEARTBEAT, Request
+from repro.core import DeploymentConfig, EtxDeployment, FD_HEARTBEAT
 from repro.failure.injection import FaultSchedule
 from repro.workload.bank import BankWorkload
 

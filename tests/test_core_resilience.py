@@ -6,7 +6,6 @@ recovers, a temporary partition of the middle tier, and lossy links underneath
 the reliable-channel layer.
 """
 
-import pytest
 
 from repro.core import DeploymentConfig, EtxDeployment
 from repro.core.timing import ProtocolTiming

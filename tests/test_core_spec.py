@@ -31,7 +31,8 @@ def base_commit_trace(dbs=("d1", "d2")):
 def test_well_formed_trace_passes_all_properties():
     report = make_checker(base_commit_trace()).check()
     assert report.ok
-    assert set(report.checked_properties) == {"T.1", "T.2", "A.1", "A.2", "A.3", "V.1", "V.2"}
+    assert set(report.checked_properties) == {"T.1", "T.2", "A.1", "A.2", "A.3",
+                                              "V.1", "V.2", "S.1"}
 
 
 def test_t1_detects_undelivered_request():

@@ -6,7 +6,6 @@ from repro.net.message import Message, is_type
 from repro.net.network import Network
 from repro.sim.errors import ProcessNotRunning, ThreadError
 from repro.sim.process import Process
-from repro.sim.scheduler import Simulator
 from repro.sim.waits import TIMEOUT, SimFuture
 
 

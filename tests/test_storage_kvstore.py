@@ -10,7 +10,6 @@ from repro.storage.kvstore import (
     TransactionalKVStore,
 )
 from repro.storage.locks import LockConflict
-from repro.storage.stable import StableStorage
 from repro.storage.xa import OUTCOME_ABORT, OUTCOME_COMMIT, XAResource
 
 
