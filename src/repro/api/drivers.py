@@ -184,6 +184,7 @@ class EtxDriver(ProtocolDriver):
             initial_data=initial_data,
             business_logic=business_logic,
             placement=scenario.placement,
+            trace_retention=scenario.trace,
         )
         return EtxDeployment(config)
 
@@ -217,6 +218,7 @@ class _BaselineFamilyDriver(ProtocolDriver):
             initial_data=initial_data,
             business_logic=business_logic,
             placement=scenario.placement,
+            trace_retention=scenario.trace,
         )
 
     def build(self, scenario, *, business_logic, initial_data, db_timing,

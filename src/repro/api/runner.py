@@ -22,13 +22,16 @@ from repro.workload.generator import ClosedLoop, LoadGenerator, OpenLoop, RunSta
 
 
 def load_generator_for(scenario: Scenario,
-                       horizon_per_request: float = 1_000_000.0) -> LoadGenerator:
+                       horizon_per_request: float = 1_000_000.0,
+                       max_events: int = 5_000_000) -> LoadGenerator:
     """The load generator a scenario's ``rate``/``arrival``/``think`` ask for."""
     if scenario.rate > 0:
         return OpenLoop(rate=scenario.rate, arrival=scenario.arrival,
-                        horizon_per_request=horizon_per_request)
+                        horizon_per_request=horizon_per_request,
+                        max_events=max_events)
     return ClosedLoop(think_time=scenario.think_time,
-                      horizon_per_request=horizon_per_request)
+                      horizon_per_request=horizon_per_request,
+                      max_events=max_events)
 
 
 @dataclass
@@ -110,6 +113,7 @@ def run_scenario(scenario: Union[Scenario, str], requests: int = 1,
                  horizon_per_request: float = 1_000_000.0,
                  settle: float = 5_000.0,
                  check_termination: Optional[bool] = None,
+                 max_events: int = 5_000_000,
                  **build_overrides: Any) -> ScenarioResult:
     """Build ``scenario`` (a :class:`Scenario` or DSN string), run it, report.
 
@@ -132,7 +136,8 @@ def run_scenario(scenario: Union[Scenario, str], requests: int = 1,
     # byte-identical (the sweep executor relies on the same reset).
     reset_request_counter()
     system = build(scenario, **build_overrides)
-    generator = load_generator_for(scenario, horizon_per_request=horizon_per_request)
+    generator = load_generator_for(scenario, horizon_per_request=horizon_per_request,
+                                   max_events=max_events)
     statistics = generator.run(system, requests)
     requested = requests * scenario.num_clients
     if settle > 0:
@@ -145,12 +150,16 @@ def run_scenario(scenario: Union[Scenario, str], requests: int = 1,
     # The component breakdown explains *protocol* latency, so it gets the
     # service latency -- for open loops the client-observed mean also
     # contains queueing at the client, which is load, not protocol cost.
+    # The trace-derived components come from the streaming accumulator the
+    # deployment subscribed at build time, so no post-hoc trace scan happens
+    # here (and ``trace=ring:N``/``off`` scenarios still get a breakdown).
     breakdown = breakdown_from_run(
         protocol=scenario.protocol,
         trace=system.trace,
         timing=system.db_timing,
         mean_latency=statistics.mean_service_latency,
         samples=statistics.count,
+        components=getattr(system, "latency_components", None),
     )
     return ScenarioResult(
         scenario=scenario,

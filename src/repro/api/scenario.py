@@ -38,6 +38,7 @@ from repro.core.deployment import DeploymentConfig
 from repro.core.sharding import KNOWN_PLACEMENTS, PLACEMENT_REPLICATE, Sharding
 from repro.core.timing import ProtocolTiming
 from repro.failure.injection import FaultSchedule
+from repro.sim.tracing import parse_retention
 
 REGISTER_CONSENSUS = "consensus"
 REGISTER_LOCAL = "local"
@@ -211,6 +212,7 @@ _QUERY_PARAMS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "timing": ("timing", str),
     "placement": ("placement", str),
     "xshard": ("xshard", float),
+    "trace": ("trace", str),
 }
 
 _HOST_TOKEN = re.compile(r"([adc])(\d+)")
@@ -260,6 +262,11 @@ class Scenario:
     rate: float = 0.0
     arrival: str = ARRIVAL_POISSON
     think_time: float = 0.0
+    # Trace retention: ``full`` stores every event (post-hoc queries see the
+    # whole history), ``ring:N`` keeps the last N events (a flight recorder
+    # with bounded memory), ``off`` stores nothing.  Spec checking and run
+    # statistics stream off the event bus, so they work under all three.
+    trace: str = "full"
     faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -304,6 +311,10 @@ class Scenario:
                                 "(placement=hash or placement=mod); under "
                                 "replication every request already involves "
                                 "every database")
+        try:
+            parse_retention(self.trace)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
         object.__setattr__(self, "faults", tuple(self.faults))
         known = set(self.app_server_names + self.db_server_names + self.client_names)
         for fault in self.faults:

@@ -24,16 +24,19 @@ from repro.core.sharding import (
     request_participants,
     validate_participants,
 )
-from repro.core.spec import SpecReport, check_run
+from repro.core.spec import SpecMonitor, SpecReport
 from repro.core.timing import DatabaseTiming, ProtocolTiming
 from repro.core.types import VOTE_YES, Decision, Request
 from repro.failure.detectors import PerfectFailureDetector
 from repro.failure.injection import FaultSchedule
+from repro.metrics.latency import LatencyComponentStream
+from repro.metrics.stream import DatabaseOutcomeStream
 from repro.net.latency import PerLinkLatency, three_tier_latency
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.sim.process import Process
 from repro.sim.scheduler import Simulator
+from repro.sim.tracing import parse_retention
 
 COMMIT_ONE_PHASE = "CommitOnePhase"
 ACK_COMMIT = "AckCommit"
@@ -149,6 +152,7 @@ class BaselineConfig:
     initial_data: dict[str, Any] = field(default_factory=dict)
     business_logic: Callable[[Request], Callable[[Any], Any]] = None  # type: ignore[assignment]
     placement: str = PLACEMENT_REPLICATE
+    trace_retention: str = "full"
 
     def __post_init__(self) -> None:
         if self.business_logic is None:
@@ -160,6 +164,7 @@ class BaselineConfig:
         if self.placement not in KNOWN_PLACEMENTS:
             raise ValueError(f"unknown placement {self.placement!r}; known: "
                              f"{', '.join(KNOWN_PLACEMENTS)}")
+        parse_retention(self.trace_retention)  # fail fast on bad policies
 
     @property
     def sharding(self) -> Sharding:
@@ -192,6 +197,14 @@ class BaseThreeTierDeployment:
         self.config = config
         self.sharding = config.sharding
         self.sim = Simulator(seed=config.seed)
+        self.sim.trace.set_retention(config.trace_retention)
+        # Streaming observers subscribe before any process runs, so they see
+        # the complete event stream regardless of the retention policy.
+        self.spec_monitor = SpecMonitor.attach(
+            self.sim.trace, config.db_server_names, config.client_names)
+        self.db_outcomes = DatabaseOutcomeStream(
+            self.sim.trace, config.db_server_names)
+        self.latency_components = LatencyComponentStream(self.sim.trace)
         self.network = Network(self.sim, latency=self._build_latency(),
                                loss_probability=config.loss_probability)
         self.failure_detector = PerfectFailureDetector(self.network)
@@ -274,12 +287,11 @@ class BaseThreeTierDeployment:
         return issued
 
     def check_spec(self, check_termination: bool = True) -> SpecReport:
-        """Check the e-Transaction properties over the trace.
+        """Check the e-Transaction properties of the run so far.
 
         The baselines are *not expected* to satisfy all of them under faults --
         that is the paper's argument; the checker quantifies which ones break
-        and when.
+        and when.  Answered by the online :class:`~repro.core.spec.SpecMonitor`
+        (byte-identical to the post-hoc :func:`~repro.core.spec.check_run`).
         """
-        return check_run(self.trace, self.config.db_server_names,
-                         self.config.client_names,
-                         check_termination=check_termination)
+        return self.spec_monitor.report(check_termination=check_termination)

@@ -12,6 +12,7 @@ Usage (any of)::
     python -m repro figure1
     python -m repro ablations
     python -m repro fault-sweep --runs 20
+    python -m repro soak --requests 100000
     python -m repro quickstart
 
 ``run`` executes any scenario DSN (scheme = protocol: ``etx``, ``2pc``,
@@ -30,7 +31,7 @@ from typing import Optional, Sequence
 
 from repro import api
 from repro.core import Request
-from repro.experiments import fault_sweep, figure1, figure7, figure8, scaleout
+from repro.experiments import fault_sweep, figure1, figure7, figure8, scaleout, soak
 from repro.experiments.ablations import asynchrony_sweep, log_cost_sweep, scaling_sweep
 
 
@@ -181,6 +182,27 @@ def _cmd_scaleout(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    try:
+        dsn = args.dsn if args.dsn is not None else soak.DEFAULT_SOAK_DSN
+        scenario = api.Scenario.from_dsn(dsn)
+        if args.seed is not None:
+            scenario = scenario.with_(seed=_seed(args))
+        report = soak.run(scenario, requests=args.requests,
+                          checkpoints=args.checkpoints)
+    except (api.ScenarioError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        print(f"BENCH json written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     result = fault_sweep.run(num_runs=args.runs, seed=_seed(args),
                              allow_client_crash=args.client_crashes)
@@ -261,6 +283,20 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--workers", type=int, default=1,
                        help="worker processes for the grid")
     scale.set_defaults(func=_cmd_scaleout)
+
+    soak_cmd = sub.add_parser(
+        "soak", help="sustained open-loop run, spec-checked online, with "
+                     "bounded observability memory (trace=ring:N/off)")
+    soak_cmd.add_argument("dsn", nargs="?", default=None,
+                          help="open-loop scenario DSN (default: the standard "
+                               "sharded soak deployment)")
+    soak_cmd.add_argument("--requests", type=int, default=100_000,
+                          help="total offered requests (default 100000)")
+    soak_cmd.add_argument("--checkpoints", type=int, default=20,
+                          help="observability samples taken during the run")
+    soak_cmd.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the machine-readable report here")
+    soak_cmd.set_defaults(func=_cmd_soak)
 
     sweep = sub.add_parser("fault-sweep", help="random fault schedules, spec-checked")
     sweep.add_argument("--runs", type=int, default=10)

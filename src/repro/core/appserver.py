@@ -126,6 +126,7 @@ class ApplicationServer(Process):
         self._known_commits: dict[ResultKey, Decision] = {}
         self._cleaned: set[ResultKey] = set()
         self._inflight: set[ResultKey] = set()
+        self._terminated: set[ResultKey] = set()
 
     # --------------------------------------------------------------- lifecycle
 
@@ -139,8 +140,27 @@ class ApplicationServer(Process):
         self._known_commits = {}
         self._cleaned = set()
         self._inflight = set()
+        self._terminated = set()
         if self.consensus_host is not None:
             self.consensus_host.on_crash()
+
+    # ---------------------------------------------------------------- delivery
+
+    _STALE_WHEN_TERMINATED = frozenset((msg.EXECUTE_RESULT, msg.VOTE, msg.ACK_DECIDE))
+
+    def deliver(self, message: Any) -> None:
+        """Drop per-result replies that arrive after the result terminated.
+
+        Retransmissions (execute/prepare/decide retries) keep producing
+        duplicate replies that can land long after ``terminate()`` finished;
+        no receive will ever consume them, and dropping a message is
+        indistinguishable from network loss in the fair-lossy channel model.
+        Without this, a long run's mailbox grows with its history.
+        """
+        if getattr(message, "msg_type", None) in self._STALE_WHEN_TERMINATED \
+                and message.payload.get("j") in self._terminated:
+            return
+        super().deliver(message)
 
     # ----------------------------------------------------------------- routing
 
@@ -325,6 +345,12 @@ class ApplicationServer(Process):
         self.send(client, msg.result_message(j, decision))
         self.trace.record("as_result_sent", self.name, client=client, j=j,
                           outcome=decision.outcome)
+        # The result is terminated: any retransmitted votes / execute results /
+        # acknowledgements still buffered under its key are dead weight now
+        # (client requests are keyed by the bare ``j``, so they are untouched),
+        # and late arrivals for it are dropped at delivery (see deliver()).
+        self._terminated.add(key)
+        self.discard_buffered(key)
 
     # --------------------------------------------------------- cleaning thread
 

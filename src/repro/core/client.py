@@ -177,6 +177,9 @@ class Client(Process):
                                   computed_by=decision.result.computed_by,
                                   value=repr(decision.result.value))
                 issued.future.resolve(decision.result)
+                # Duplicate Result messages for this (terminated) identifier
+                # may still be buffered from the broadcast path; drop them.
+                self.discard_buffered(j)
                 return
             issued.aborted_results.append(j)
             self.trace.record("client_retry", self.name, j=j,

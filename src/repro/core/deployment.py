@@ -22,7 +22,7 @@ from repro.core.sharding import (
     Sharding,
     validate_participants,
 )
-from repro.core.spec import SpecificationChecker, SpecReport, check_run
+from repro.core.spec import SpecificationChecker, SpecMonitor, SpecReport
 from repro.core.timing import DatabaseTiming, ProtocolTiming
 from repro.core.types import Request
 from repro.failure.detectors import (
@@ -30,12 +30,15 @@ from repro.failure.detectors import (
     HeartbeatFailureDetector,
 )
 from repro.failure.injection import FaultSchedule
+from repro.metrics.latency import LatencyComponentStream
+from repro.metrics.stream import DatabaseOutcomeStream
 from repro.net.latency import PerLinkLatency, three_tier_latency
 from repro.net.network import Network
 from repro.net.reliable import ReliableChannelLayer
 from repro.registers.consensus_backed import ConsensusRegisterArray
 from repro.registers.local import LocalRegisterArray, LocalRegisterStore
 from repro.sim.scheduler import Simulator
+from repro.sim.tracing import parse_retention
 
 REGISTER_CONSENSUS = "consensus"
 REGISTER_LOCAL = "local"
@@ -84,6 +87,7 @@ class DeploymentConfig:
     initial_data: dict[str, Any] = field(default_factory=dict)
     business_logic: Callable[[Request], Callable[[Any], Any]] = default_business_logic
     placement: str = PLACEMENT_REPLICATE
+    trace_retention: str = "full"
 
     def __post_init__(self) -> None:
         if self.num_app_servers < 1 or self.num_db_servers < 1 or self.num_clients < 1:
@@ -95,6 +99,7 @@ class DeploymentConfig:
         if self.placement not in KNOWN_PLACEMENTS:
             raise ValueError(f"unknown placement {self.placement!r}; known: "
                              f"{', '.join(KNOWN_PLACEMENTS)}")
+        parse_retention(self.trace_retention)  # fail fast on bad policies
 
     @property
     def sharding(self) -> Sharding:
@@ -125,6 +130,14 @@ class EtxDeployment:
         self.config = config
         self.sharding = config.sharding
         self.sim = Simulator(seed=config.seed)
+        self.sim.trace.set_retention(config.trace_retention)
+        # Streaming observers subscribe before any process runs, so they see
+        # the complete event stream regardless of the retention policy.
+        self.spec_monitor = SpecMonitor.attach(
+            self.sim.trace, config.db_server_names, config.client_names)
+        self.db_outcomes = DatabaseOutcomeStream(
+            self.sim.trace, config.db_server_names)
+        self.latency_components = LatencyComponentStream(self.sim.trace)
         self.network = Network(self.sim, latency=self._build_latency(),
                                loss_probability=config.loss_probability)
         self.clients: dict[str, Client] = {}
@@ -274,12 +287,21 @@ class EtxDeployment:
     # -------------------------------------------------------------------- spec
 
     def spec_checker(self) -> SpecificationChecker:
-        """A specification checker bound to this run's trace."""
+        """A post-hoc specification checker bound to this run's stored trace.
+
+        Needs ``full`` retention; prefer :attr:`spec_monitor` (the online
+        checker), which works under any retention policy.
+        """
         return SpecificationChecker(self.trace, self.config.db_server_names,
                                     self.config.client_names)
 
     def check_spec(self, check_termination: bool = True) -> SpecReport:
-        """Check the e-Transaction properties over the current trace."""
-        return check_run(self.trace, self.config.db_server_names,
-                         self.config.client_names,
-                         check_termination=check_termination)
+        """Check the e-Transaction properties of the run so far.
+
+        Answered by the online :class:`~repro.core.spec.SpecMonitor`, which
+        has been folding the event stream in since the deployment was built
+        -- byte-identical to replaying the full trace through
+        :func:`~repro.core.spec.check_run`, but independent of trace
+        retention and O(transactions) instead of O(events squared).
+        """
+        return self.spec_monitor.report(check_termination=check_termination)

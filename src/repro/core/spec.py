@@ -1,6 +1,24 @@
 """Executable specification of the e-Transaction problem (Section 3).
 
-The checker consumes the structured trace of a run and verifies each property.
+Two checkers verify the same properties:
+
+* :class:`SpecificationChecker` (and its :func:`check_run` wrapper) is the
+  historical **post-hoc** checker: it replays the complete stored trace after
+  the run.  It needs ``full`` trace retention and time proportional to the
+  trace, but is the executable definition of the properties.
+* :class:`SpecMonitor` is the **online** checker: it subscribes to the trace
+  event bus, folds every event into per-transaction state machines as it
+  happens, emits eagerly-certain violations immediately, and retires
+  completed transactions.  Its :meth:`~SpecMonitor.report` reproduces the
+  post-hoc verdict byte-for-byte (same violations, same order, same checked
+  properties) without ever storing a trace event, so it works under
+  ``ring:N``/``off`` retention and over arbitrarily long runs.  Memory is
+  O(in-flight transactions) for the heavy per-key machinery, plus id-sized
+  bookkeeping that grows with the run's transactions and its decide/execute
+  applications (key references kept so duplicate violations reproduce
+  exactly) -- bytes per entry, never the stored-trace's payload-carrying
+  event objects.
+
 With a partitioned data tier, every intermediate result has a **participant
 set** -- the database servers its transaction touches, recorded by the
 computing application server in the ``as_compute`` trace event -- and the
@@ -34,10 +52,10 @@ databases eventually up); the caller states this with ``check_termination``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.core.types import ABORT, COMMIT, VOTE_YES
-from repro.sim.tracing import TraceRecorder
+from repro.sim.tracing import TraceEvent, TraceRecorder
 
 
 @dataclass
@@ -76,8 +94,83 @@ class SpecReport:
         return "\n".join(lines)
 
 
+# Violation constructors shared by the post-hoc checker and the online
+# monitor, so the two can never drift apart in wording.
+
+
+def _t1_violation(client: str, request_id: Any) -> PropertyViolation:
+    return PropertyViolation(
+        "T.1", f"client {client} issued {request_id} but never delivered a result")
+
+
+def _t2_violation(db: str, key: tuple) -> PropertyViolation:
+    return PropertyViolation(
+        "T.2", f"database {db} voted yes for result {key} but never decided it")
+
+
+def _a1_violation(client: str, key: tuple, db: str) -> PropertyViolation:
+    return PropertyViolation(
+        "A.1",
+        f"client {client} delivered result {key} but participant "
+        f"database {db} did not commit it")
+
+
+def _a2_violation(db: str, keys: set, request_id: Any) -> PropertyViolation:
+    return PropertyViolation(
+        "A.2",
+        f"database {db} committed {len(keys)} different results "
+        f"{sorted(keys)} for request {request_id}")
+
+
+def _a3_violation(key: tuple, committed_dbs: list, yes_aborted: list) -> PropertyViolation:
+    return PropertyViolation(
+        "A.3",
+        f"result {key}: committed at {committed_dbs} but aborted at "
+        f"{yes_aborted} which had voted yes")
+
+
+def _v1_uncomputed_violation(client: str, result_request: Any) -> PropertyViolation:
+    return PropertyViolation(
+        "V.1",
+        f"client {client} delivered a result for {result_request} that no "
+        f"application server computed")
+
+
+def _v1_unissued_violation(client: str, result_request: Any) -> PropertyViolation:
+    return PropertyViolation(
+        "V.1",
+        f"client {client} delivered a result for {result_request} that it "
+        f"never issued")
+
+
+def _v2_violation(db: str, key: tuple, other: str) -> PropertyViolation:
+    return PropertyViolation(
+        "V.2",
+        f"database {db} committed result {key} but participant "
+        f"{other} never voted yes for it")
+
+
+def _s1_executed_violation(db: str, key: tuple, participants: tuple) -> PropertyViolation:
+    return PropertyViolation(
+        "S.1",
+        f"database {db} executed result {key} outside its "
+        f"participant set {list(participants)}")
+
+
+def _s1_committed_violation(db: str, key: tuple, participants: tuple) -> PropertyViolation:
+    return PropertyViolation(
+        "S.1",
+        f"database {db} committed result {key} outside its "
+        f"participant set {list(participants)}")
+
+
+def _key_of_value(key: Any) -> tuple:
+    """Normalise an event's ``j`` payload into a result key tuple."""
+    return tuple(key) if isinstance(key, (list, tuple)) else (None, key)
+
+
 class SpecificationChecker:
-    """Checks the e-Transaction properties over a recorded trace."""
+    """Checks the e-Transaction properties over a recorded trace (post hoc)."""
 
     def __init__(self, trace: TraceRecorder, db_server_names: list[str],
                  client_names: list[str]):
@@ -156,8 +249,7 @@ class SpecificationChecker:
             issued = {e.get("request_id") for e in self.trace.select("client_issue", client)}
             delivered = self._delivered_request_ids(client)
             for request_id in issued - delivered:
-                violations.append(PropertyViolation(
-                    "T.1", f"client {client} issued {request_id} but never delivered a result"))
+                violations.append(_t1_violation(client, request_id))
         return violations
 
     def _check_t2(self) -> list[PropertyViolation]:
@@ -166,8 +258,7 @@ class SpecificationChecker:
             voted = {self._key_of(e) for e in self.trace.select("db_vote", db, vote=VOTE_YES)}
             decided = {self._key_of(e) for e in self.trace.select("db_decide", db)}
             for key in voted - decided:
-                violations.append(PropertyViolation(
-                    "T.2", f"database {db} voted yes for result {key} but never decided it"))
+                violations.append(_t2_violation(db, key))
         return violations
 
     # --------------------------------------------------------------- agreement
@@ -181,10 +272,7 @@ class SpecificationChecker:
                     committed = [e for e in self._commits_by_db(db)
                                  if self._key_of(e) == key]
                     if not committed:
-                        violations.append(PropertyViolation(
-                            "A.1",
-                            f"client {client} delivered result {key} but participant "
-                            f"database {db} did not commit it"))
+                        violations.append(_a1_violation(client, key, db))
         return violations
 
     def _check_a2(self) -> list[PropertyViolation]:
@@ -199,10 +287,7 @@ class SpecificationChecker:
                 committed_by_request.setdefault(request_id, set()).add(key)
             for request_id, keys in committed_by_request.items():
                 if len(keys) > 1:
-                    violations.append(PropertyViolation(
-                        "A.2",
-                        f"database {db} committed {len(keys)} different results "
-                        f"{sorted(keys)} for request {request_id}"))
+                    violations.append(_a2_violation(db, keys, request_id))
         return violations
 
     def _check_a3(self) -> list[PropertyViolation]:
@@ -226,10 +311,7 @@ class SpecificationChecker:
                 yes_aborted = [db for db in aborted_only
                                if self.trace.count("db_vote", db, j=key, vote=VOTE_YES) > 0]
                 if yes_aborted:
-                    violations.append(PropertyViolation(
-                        "A.3",
-                        f"result {key}: committed at {committed_dbs} but aborted at "
-                        f"{yes_aborted} which had voted yes"))
+                    violations.append(_a3_violation(key, committed_dbs, yes_aborted))
         return violations
 
     # ----------------------------------------------------------------- validity
@@ -242,15 +324,9 @@ class SpecificationChecker:
             for delivery in self.trace.select("client_deliver", client):
                 result_request = delivery.get("result_request_id")
                 if result_request not in computed:
-                    violations.append(PropertyViolation(
-                        "V.1",
-                        f"client {client} delivered a result for {result_request} that no "
-                        f"application server computed"))
+                    violations.append(_v1_uncomputed_violation(client, result_request))
                 if result_request not in issued:
-                    violations.append(PropertyViolation(
-                        "V.1",
-                        f"client {client} delivered a result for {result_request} that it "
-                        f"never issued"))
+                    violations.append(_v1_unissued_violation(client, result_request))
         return violations
 
     def _check_v2(self) -> list[PropertyViolation]:
@@ -262,10 +338,7 @@ class SpecificationChecker:
                     yes_votes = [e for e in self.trace.select("db_vote", other, vote=VOTE_YES)
                                  if self._key_of(e) == key]
                     if not yes_votes:
-                        violations.append(PropertyViolation(
-                            "V.2",
-                            f"database {db} committed result {key} but participant "
-                            f"{other} never voted yes for it"))
+                        violations.append(_v2_violation(db, key, other))
         return violations
 
     # ---------------------------------------------------------------- sharding
@@ -285,34 +358,376 @@ class SpecificationChecker:
                 key = self._key_of(event)
                 participants = self.participants_of(key)
                 if db not in participants:
-                    violations.append(PropertyViolation(
-                        "S.1",
-                        f"database {db} executed result {key} outside its "
-                        f"participant set {list(participants)}"))
+                    violations.append(_s1_executed_violation(db, key, participants))
             for event in self._commits_by_db(db):
                 key = self._key_of(event)
                 participants = self.participants_of(key)
                 if db not in participants:
-                    violations.append(PropertyViolation(
-                        "S.1",
-                        f"database {db} committed result {key} outside its "
-                        f"participant set {list(participants)}"))
+                    violations.append(_s1_committed_violation(db, key, participants))
         return violations
 
     # ----------------------------------------------------------------- helpers
 
     @staticmethod
     def _key_of(event) -> tuple:
-        key = event.get("j")
-        return tuple(key) if isinstance(key, (list, tuple)) else (None, key)
+        return _key_of_value(event.get("j"))
 
 
 def check_run(trace: TraceRecorder, db_server_names: list[str],
               client_names: list[str], check_termination: bool = True) -> SpecReport:
-    """Check the e-Transaction properties of one run in a single call.
+    """Check the e-Transaction properties of one run post hoc, in one call.
 
-    Shared by every deployment's ``check_spec`` so the protocol stacks are
-    judged by exactly the same checker wiring.
+    Requires ``full`` trace retention; this is the reference implementation
+    the online :class:`SpecMonitor` is tested for byte-identical verdicts
+    against.
     """
     checker = SpecificationChecker(trace, db_server_names, client_names)
     return checker.check(check_termination=check_termination)
+
+
+# --------------------------------------------------------------------------
+# Online monitor
+# --------------------------------------------------------------------------
+
+SPEC_CATEGORIES = ("crash", "recover", "client_issue", "client_deliver",
+                   "as_compute", "db_vote", "db_decide", "db_execute")
+"""Trace categories the online monitor consumes."""
+
+
+class SpecMonitor:
+    """Online e-Transaction specification checker fed by the trace event bus.
+
+    Subscribe with :meth:`attach` (or pass an already-built recorder to the
+    constructor and call :meth:`attach` yourself).  The monitor keeps
+
+    * per-transaction state machines (participants, votes, per-database
+      decision outcomes, pending commits) that are **retired** once the
+      transaction is terminally resolved -- delivered and decided everywhere
+      it needs to be -- so this part of the state is O(in-flight);
+    * compact id-level bookkeeping (issued/delivered/computed request-id
+      sets, per-database voted/decided key sets and commit/execute key
+      sequences) that the final report needs to reproduce the post-hoc
+      verdict exactly.  This part is small tuples and strings -- the sets
+      grow with the number of transactions, the commit/execute sequences
+      with the number of decide/execute applications (so duplicate
+      violations replay byte-identically) -- a few bytes per entry versus
+      the hundreds per stored, payload-carrying trace event.
+
+    Violations that are already certain mid-run (a second commit for the same
+    request, work outside the participant set, a delivery of an uncomputed
+    result) are appended to :attr:`live_violations` and passed to the
+    ``on_violation`` callback the moment the offending event arrives.  The
+    authoritative verdict is :meth:`report`, which evaluates every property
+    exactly as :func:`check_run` would over the full trace.
+    """
+
+    def __init__(self, db_server_names: list[str], client_names: list[str],
+                 on_violation: Optional[Callable[[PropertyViolation], None]] = None):
+        self.db_server_names = list(db_server_names)
+        self.client_names = list(client_names)
+        self.on_violation = on_violation
+        self.live_violations: list[PropertyViolation] = []
+        self._unsubscribers: list[Callable[[], None]] = []
+        # crash / recover ---------------------------------------------------
+        self._last_crash: dict[str, float] = {}
+        self._last_recover: dict[str, float] = {}
+        # clients -----------------------------------------------------------
+        self._issued: dict[str, set] = {c: set() for c in self.client_names}
+        self._delivered_ids: dict[str, set] = {c: set() for c in self.client_names}
+        self._deliveries: dict[str, list[tuple]] = {c: [] for c in self.client_names}
+        # computation -------------------------------------------------------
+        self._computed: set = set()
+        self._participants: dict[tuple, tuple[str, ...]] = {}
+        self._result_request: dict[tuple, Any] = {}
+        # databases ---------------------------------------------------------
+        self._voted_yes: dict[str, set] = {d: set() for d in self.db_server_names}
+        self._decided: dict[str, set] = {d: set() for d in self.db_server_names}
+        self._decide_outcomes: dict[str, dict[tuple, set]] = \
+            {d: {} for d in self.db_server_names}
+        self._commits: dict[str, list[tuple]] = {d: [] for d in self.db_server_names}
+        self._executes: dict[str, list[tuple]] = {d: [] for d in self.db_server_names}
+        # per-db request-id -> committed keys, for the eager A.2 check.
+        self._a2_index: dict[str, dict[Any, set]] = {d: {} for d in self.db_server_names}
+        # in-flight transaction tracking ------------------------------------
+        self._pending_decides: dict[tuple, set] = {}
+        self._pending_commits: dict[tuple, set] = {}
+        self._retired = 0
+
+    # ----------------------------------------------------------- subscription
+
+    @classmethod
+    def attach(cls, trace: TraceRecorder, db_server_names: list[str],
+               client_names: list[str],
+               on_violation: Optional[Callable[[PropertyViolation], None]] = None
+               ) -> "SpecMonitor":
+        """Create a monitor and subscribe it to ``trace``'s event bus."""
+        monitor = cls(db_server_names, client_names, on_violation=on_violation)
+        handlers = {
+            "crash": monitor._on_crash,
+            "recover": monitor._on_recover,
+            "client_issue": monitor._on_client_issue,
+            "client_deliver": monitor._on_client_deliver,
+            "as_compute": monitor._on_as_compute,
+            "db_vote": monitor._on_db_vote,
+            "db_decide": monitor._on_db_decide,
+            "db_execute": monitor._on_db_execute,
+        }
+        for category, handler in handlers.items():
+            monitor._unsubscribers.append(trace.subscribe(category, handler))
+        return monitor
+
+    def detach(self) -> None:
+        """Unsubscribe from the trace bus (the accumulated state stays)."""
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers.clear()
+
+    # -------------------------------------------------------------- telemetry
+
+    @property
+    def in_flight(self) -> int:
+        """Transactions begun but not yet terminally resolved.
+
+        A transaction may be waiting for decides and for post-delivery
+        commits at once, so the two pending tables are counted as a union.
+        """
+        return len(self._pending_decides.keys() | self._pending_commits.keys())
+
+    @property
+    def retired(self) -> int:
+        """Transactions whose per-key machinery has been retired."""
+        return self._retired
+
+    # ---------------------------------------------------------- event folding
+
+    def _emit(self, violation: PropertyViolation) -> None:
+        self.live_violations.append(violation)
+        if self.on_violation is not None:
+            self.on_violation(violation)
+
+    def _on_crash(self, event: TraceEvent) -> None:
+        self._last_crash[event.process] = event.time
+
+    def _on_recover(self, event: TraceEvent) -> None:
+        self._last_recover[event.process] = event.time
+
+    def _crashed_forever(self, process: str) -> bool:
+        last_crash = self._last_crash.get(process)
+        if last_crash is None:
+            return False
+        last_recover = self._last_recover.get(process)
+        return last_recover is None or last_recover < last_crash
+
+    def _on_client_issue(self, event: TraceEvent) -> None:
+        issued = self._issued.get(event.process)
+        if issued is not None:
+            issued.add(event.get("request_id"))
+
+    def _on_client_deliver(self, event: TraceEvent) -> None:
+        client = event.process
+        if client not in self._delivered_ids:
+            return
+        self._delivered_ids[client].add(event.get("request_id"))
+        result_request = event.get("result_request_id")
+        self._deliveries[client].append((event.get("j"), result_request))
+        # V.1, eagerly certain: computation always precedes delivery.
+        if result_request not in self._computed:
+            self._emit(_v1_uncomputed_violation(client, result_request))
+        if result_request not in self._issued[client]:
+            self._emit(_v1_unissued_violation(client, result_request))
+        # Arm A.1: the delivery is only safe once every participant committed.
+        key = (client, event.get("j"))
+        missing = {db for db in self.participants_of(key)
+                   if COMMIT not in self._decide_outcomes.get(db, {}).get(key, ())}
+        if missing:
+            self._pending_commits[key] = missing
+        else:
+            self._retire(key)
+
+    def _on_as_compute(self, event: TraceEvent) -> None:
+        self._computed.add(event.get("request_id"))
+        key = (event.get("client"), event.get("j"))
+        recorded = event.get("participants")
+        if recorded:
+            self._participants[key] = tuple(recorded)
+        self._result_request.setdefault(key, event.get("request_id"))
+        self._pending_decides.setdefault(key, set()).update(self.participants_of(key))
+
+    def _on_db_vote(self, event: TraceEvent) -> None:
+        if event.get("vote") != VOTE_YES:
+            return
+        voted = self._voted_yes.get(event.process)
+        if voted is not None:
+            voted.add(_key_of_value(event.get("j")))
+
+    def _on_db_execute(self, event: TraceEvent) -> None:
+        db = event.process
+        if db not in self._executes:
+            return
+        key = _key_of_value(event.get("j"))
+        self._executes[db].append(key)
+        participants = self.participants_of(key)
+        if key in self._participants and db not in participants:
+            self._emit(_s1_executed_violation(db, key, participants))
+
+    def _on_db_decide(self, event: TraceEvent) -> None:
+        db = event.process
+        if db not in self._decided:
+            return
+        key = _key_of_value(event.get("j"))
+        outcome = event.get("outcome")
+        self._decided[db].add(key)
+        self._decide_outcomes[db].setdefault(key, set()).add(outcome)
+        pending = self._pending_decides.get(key)
+        if pending is not None:
+            pending.discard(db)
+            if not pending and key not in self._pending_commits:
+                del self._pending_decides[key]
+        if outcome != COMMIT:
+            return
+        self._commits[db].append(key)
+        participants = self.participants_of(key)
+        # S.1, eagerly certain once the participant set is on record.
+        if key in self._participants and db not in participants:
+            self._emit(_s1_committed_violation(db, key, participants))
+        # A.2, eagerly certain: two different committed results, same request.
+        request_id = self._result_request.get(key)
+        if request_id is not None:
+            committed_keys = self._a2_index[db].setdefault(request_id, set())
+            if key not in committed_keys:
+                committed_keys.add(key)
+                if len(committed_keys) > 1:
+                    self._emit(_a2_violation(db, committed_keys, request_id))
+        # Disarm A.1 for this participant.
+        missing = self._pending_commits.get(key)
+        if missing is not None:
+            missing.discard(db)
+            if not missing:
+                del self._pending_commits[key]
+                self._retire(key)
+
+    def _retire(self, key: tuple) -> None:
+        """Drop the in-flight machinery of a terminally resolved transaction."""
+        self._pending_decides.pop(key, None)
+        self._retired += 1
+
+    # ----------------------------------------------------------------- report
+
+    def participants_of(self, key) -> tuple[str, ...]:
+        """The participant set of result ``key`` (default: every database)."""
+        recorded = self._participants.get(tuple(key))
+        return recorded if recorded else tuple(self.db_server_names)
+
+    def report(self, check_termination: bool = True) -> SpecReport:
+        """The authoritative verdict over everything observed so far.
+
+        Property-by-property identical to what :func:`check_run` computes from
+        a complete stored trace, including violation order.
+        """
+        report = SpecReport()
+        checks = [
+            ("A.1", self._report_a1),
+            ("A.2", self._report_a2),
+            ("A.3", self._report_a3),
+            ("V.1", self._report_v1),
+            ("V.2", self._report_v2),
+            ("S.1", self._report_s1),
+        ]
+        if check_termination:
+            checks = [("T.1", self._report_t1), ("T.2", self._report_t2)] + checks
+        for name, check in checks:
+            report.checked_properties.append(name)
+            report.violations.extend(check())
+        return report
+
+    def _report_t1(self) -> list[PropertyViolation]:
+        violations = []
+        for client in self.client_names:
+            if self._crashed_forever(client):
+                continue  # "unless it crashes"
+            for request_id in self._issued[client] - self._delivered_ids[client]:
+                violations.append(_t1_violation(client, request_id))
+        return violations
+
+    def _report_t2(self) -> list[PropertyViolation]:
+        violations = []
+        for db in self.db_server_names:
+            for key in self._voted_yes[db] - self._decided[db]:
+                violations.append(_t2_violation(db, key))
+        return violations
+
+    def _report_a1(self) -> list[PropertyViolation]:
+        violations = []
+        for client in self.client_names:
+            for j, _result_request in self._deliveries[client]:
+                key = (client, j)
+                for db in self.participants_of(key):
+                    if COMMIT not in self._decide_outcomes.get(db, {}).get(key, ()):
+                        violations.append(_a1_violation(client, key, db))
+        return violations
+
+    def _report_a2(self) -> list[PropertyViolation]:
+        violations = []
+        for db in self.db_server_names:
+            committed_by_request: dict[Any, set] = {}
+            for key in self._commits[db]:
+                request_id = self._result_request.get(key)
+                if request_id is None:
+                    continue
+                committed_by_request.setdefault(request_id, set()).add(key)
+            for request_id, keys in committed_by_request.items():
+                if len(keys) > 1:
+                    violations.append(_a2_violation(db, keys, request_id))
+        return violations
+
+    def _report_a3(self) -> list[PropertyViolation]:
+        violations = []
+        outcomes: dict[tuple, dict[str, set]] = {}
+        for db in self.db_server_names:
+            for key, values in self._decide_outcomes[db].items():
+                outcomes.setdefault(key, {})[db] = values
+        for key, per_db in outcomes.items():
+            final_outcomes = set()
+            for db, values in per_db.items():
+                final_outcomes.add(COMMIT if COMMIT in values else ABORT)
+            if final_outcomes == {COMMIT, ABORT}:
+                committed_dbs = [db for db, v in per_db.items() if COMMIT in v]
+                aborted_only = [db for db, v in per_db.items() if COMMIT not in v]
+                yes_aborted = [db for db in aborted_only
+                               if key in self._voted_yes[db]]
+                if yes_aborted:
+                    violations.append(_a3_violation(key, committed_dbs, yes_aborted))
+        return violations
+
+    def _report_v1(self) -> list[PropertyViolation]:
+        violations = []
+        for client in self.client_names:
+            issued = self._issued[client]
+            for _j, result_request in self._deliveries[client]:
+                if result_request not in self._computed:
+                    violations.append(_v1_uncomputed_violation(client, result_request))
+                if result_request not in issued:
+                    violations.append(_v1_unissued_violation(client, result_request))
+        return violations
+
+    def _report_v2(self) -> list[PropertyViolation]:
+        violations = []
+        for db in self.db_server_names:
+            for key in self._commits[db]:
+                for other in self.participants_of(key):
+                    if key not in self._voted_yes.get(other, ()):
+                        violations.append(_v2_violation(db, key, other))
+        return violations
+
+    def _report_s1(self) -> list[PropertyViolation]:
+        violations = []
+        for db in self.db_server_names:
+            for key in self._executes[db]:
+                participants = self.participants_of(key)
+                if db not in participants:
+                    violations.append(_s1_executed_violation(db, key, participants))
+            for key in self._commits[db]:
+                participants = self.participants_of(key)
+                if db not in participants:
+                    violations.append(_s1_committed_violation(db, key, participants))
+        return violations

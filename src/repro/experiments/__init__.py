@@ -11,6 +11,8 @@
 * :mod:`repro.experiments.fault_sweep` -- E6: correctness under random faults.
 * :mod:`repro.experiments.scaleout` -- E9: throughput vs database-tier size
   for the partitioned data tier, at a fixed offered load.
+* :mod:`repro.experiments.soak` -- E10: sustained open-loop load, online
+  spec-checked, with measured flat observability memory.
 * :mod:`repro.experiments.calibration` -- the paper's measured numbers and the
   calibrated deployment builders shared by all of the above.
 """
@@ -23,7 +25,8 @@ from repro.experiments import (  # noqa: F401
     figure7,
     figure8,
     scaleout,
+    soak,
 )
 
 __all__ = ["calibration", "figure1", "figure7", "figure8", "ablations",
-           "fault_sweep", "scaleout"]
+           "fault_sweep", "scaleout", "soak"]

@@ -16,7 +16,7 @@ from typing import Optional
 from repro import api
 from repro.api import sweep as sweep_api
 from repro.experiments import calibration
-from repro.metrics.steps import CommunicationProfile, StepComparison, profile_from_trace
+from repro.metrics.steps import CommunicationProfile, StepComparison, StreamingProfile
 
 
 @dataclass
@@ -71,12 +71,18 @@ class Figure7Report:
 
 def _profile_stack(job: tuple[str, api.Scenario]
                    ) -> tuple[str, CommunicationProfile, Optional[float]]:
-    """One sweep job: run one failure-free request, extract the profile."""
+    """One sweep job: run one failure-free request, stream out the profile.
+
+    The profile accumulates over the event bus while the run executes
+    (subscribed right after build), so the extraction works under any trace
+    retention policy instead of re-scanning a fully stored trace.
+    """
     label, scenario = job
     system = api.build(scenario)
+    streaming = StreamingProfile(system.trace, label)
     issued = system.run_request(system.standard_request())
     latency = issued.latency if issued.delivered else None
-    return label, profile_from_trace(system.trace, label), latency
+    return label, streaming.detach(), latency
 
 
 def run(seed: int = 0, workers: int = 1) -> Figure7Report:

@@ -1,8 +1,14 @@
-"""Measurement: percentiles, latency-component accounting and step profiles."""
+"""Measurement: percentiles, latency-component accounting and step profiles.
+
+Every accumulator exists in two forms: a **streaming** one subscribed to the
+trace event bus at build time (works under any trace retention policy) and a
+**post-hoc** one that re-scans a fully stored trace (the historical path,
+still used by small replay-style experiments)."""
 
 from repro.metrics.latency import (
     COMPONENT_ORDER,
     LatencyBreakdown,
+    LatencyComponentStream,
     LatencyTable,
     breakdown_from_run,
 )
@@ -12,20 +18,25 @@ from repro.metrics.steps import (
     CommunicationProfile,
     Step,
     StepComparison,
+    StreamingProfile,
     profile_from_trace,
 )
+from repro.metrics.stream import DatabaseOutcomeStream
 
 __all__ = [
     "percentile",
     "summarise",
     "SUMMARY_FRACTIONS",
     "LatencyBreakdown",
+    "LatencyComponentStream",
     "LatencyTable",
     "breakdown_from_run",
     "COMPONENT_ORDER",
     "CommunicationProfile",
     "Step",
     "StepComparison",
+    "StreamingProfile",
     "profile_from_trace",
     "PROTOCOL_MESSAGE_TYPES",
+    "DatabaseOutcomeStream",
 ]

@@ -54,9 +54,63 @@ class LatencyBreakdown:
         return row
 
 
+class LatencyComponentStream:
+    """Streaming accumulator of the trace-derived latency components.
+
+    Subscribes to ``as_prepare``/``as_phase``/``tm_log`` and maintains the
+    running mean durations :func:`breakdown_from_run` otherwise re-scans the
+    stored trace for.  Attach at build time (the deployments do) and pass to
+    ``breakdown_from_run(..., components=stream)``; works under any trace
+    retention policy.
+    """
+
+    _PHASES = ("regA_write", "regD_write")
+    _LOGS = ("start", "outcome")
+
+    def __init__(self, trace: TraceRecorder):
+        self.prepare_events = 0
+        self._sums: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+        self._unsubscribers = [
+            trace.subscribe("as_prepare", self._on_prepare),
+            trace.subscribe("as_phase", self._on_phase),
+            trace.subscribe("tm_log", self._on_log),
+        ]
+
+    def _on_prepare(self, event) -> None:
+        self.prepare_events += 1
+
+    def _accumulate(self, bucket: str, event) -> None:
+        self._sums[bucket] = self._sums.get(bucket, 0.0) + event.get("duration", 0.0)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+
+    def _on_phase(self, event) -> None:
+        phase = event.get("phase")
+        if phase in self._PHASES:
+            self._accumulate(f"phase:{phase}", event)
+
+    def _on_log(self, event) -> None:
+        which = event.get("which")
+        if which in self._LOGS:
+            self._accumulate(f"log:{which}", event)
+
+    def mean(self, bucket: str) -> float:
+        """Mean duration of one accumulator bucket (0 when empty)."""
+        count = self._counts.get(bucket, 0)
+        return self._sums.get(bucket, 0.0) / count if count else 0.0
+
+    def detach(self) -> None:
+        """Stop consuming events (the accumulated means stay readable)."""
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers.clear()
+
+
 def breakdown_from_run(protocol: str, trace: TraceRecorder, timing: DatabaseTiming,
                        mean_latency: float, samples: int,
-                       committed_requests: Optional[int] = None) -> LatencyBreakdown:
+                       committed_requests: Optional[int] = None,
+                       components: Optional[LatencyComponentStream] = None
+                       ) -> LatencyBreakdown:
     """Build a :class:`LatencyBreakdown` for one protocol run.
 
     Parameters
@@ -64,7 +118,8 @@ def breakdown_from_run(protocol: str, trace: TraceRecorder, timing: DatabaseTimi
     protocol:
         Label: ``"baseline"``, ``"AR"``, ``"2PC"`` or ``"PB"``.
     trace:
-        The run's trace (used for the replication/log components).
+        The run's trace (used for the replication/log components when no
+        streaming accumulator is supplied; requires ``full`` retention then).
     timing:
         The database timing configuration used by the run.
     mean_latency:
@@ -74,34 +129,46 @@ def breakdown_from_run(protocol: str, trace: TraceRecorder, timing: DatabaseTimi
     committed_requests:
         Denominator for per-request averaging of trace durations; defaults to
         ``samples``.
+    components:
+        Optional :class:`LatencyComponentStream` subscribed at build time;
+        when given, the trace is not scanned at all.
     """
     denominator = committed_requests if committed_requests else max(samples, 1)
-    components = {
+    breakdown_components = {
         "start": timing.start,
         "end": timing.end,
         "commit": timing.commit_cpu + timing.forced_write,
         "SQL": timing.sql,
     }
-    prepare_events = trace.select("as_prepare")
-    components["prepare"] = (timing.prepare_cpu + timing.forced_write) if prepare_events else 0.0
+    if components is not None:
+        prepared = components.prepare_events > 0
+        reg_a = components.mean("phase:regA_write")
+        reg_d = components.mean("phase:regD_write")
+        log_start = components.mean("log:start")
+        log_outcome = components.mean("log:outcome")
+    else:
+        prepared = bool(trace.first("as_prepare"))
+        reg_a = _mean_duration(trace, "as_phase", phase="regA_write")
+        reg_d = _mean_duration(trace, "as_phase", phase="regD_write")
+        log_start = _mean_duration(trace, "tm_log", which="start")
+        log_outcome = _mean_duration(trace, "tm_log", which="outcome")
+    breakdown_components["prepare"] = \
+        (timing.prepare_cpu + timing.forced_write) if prepared else 0.0
+    breakdown_components["log-start"] = reg_a if reg_a > 0 else log_start
+    breakdown_components["log-outcome"] = reg_d if reg_d > 0 else log_outcome
 
-    reg_a = _mean_duration(trace, "as_phase", phase="regA_write")
-    reg_d = _mean_duration(trace, "as_phase", phase="regD_write")
-    log_start = _mean_duration(trace, "tm_log", which="start")
-    log_outcome = _mean_duration(trace, "tm_log", which="outcome")
-    components["log-start"] = reg_a if reg_a > 0 else log_start
-    components["log-outcome"] = reg_d if reg_d > 0 else log_outcome
-
-    named = sum(components.values())
-    components["other"] = max(mean_latency - named, 0.0)
-    return LatencyBreakdown(protocol=protocol, components=components,
+    named = sum(breakdown_components.values())
+    breakdown_components["other"] = max(mean_latency - named, 0.0)
+    return LatencyBreakdown(protocol=protocol, components=breakdown_components,
                             total=mean_latency, samples=denominator)
 
 
 def _mean_duration(trace: TraceRecorder, category: str, **filters) -> float:
-    events = trace.select(category, **filters)
-    durations = [e.get("duration", 0.0) for e in events]
-    return sum(durations) / len(durations) if durations else 0.0
+    total = count = 0
+    for event in trace.select(category, **filters):
+        total += event.get("duration", 0.0)
+        count += 1
+    return total / count if count else 0.0
 
 
 @dataclass

@@ -98,7 +98,11 @@ class CommunicationProfile:
 def profile_from_trace(trace: TraceRecorder, label: str,
                        include_types: Iterable[str] = PROTOCOL_MESSAGE_TYPES,
                        start: float = 0.0, end: Optional[float] = None) -> CommunicationProfile:
-    """Build a :class:`CommunicationProfile` from a run's trace."""
+    """Build a :class:`CommunicationProfile` from a run's *stored* trace.
+
+    Needs ``full`` retention; for a profile that works under any retention
+    policy subscribe a :class:`StreamingProfile` before the run instead.
+    """
     allowed = set(include_types)
     profile = CommunicationProfile(label=label)
     for event in trace.select("msg_send"):
@@ -123,6 +127,50 @@ def profile_from_trace(trace: TraceRecorder, label: str,
             profile.register_writes.append((event.time, event.process, f"{instance[0]}[{instance[1]}]"))
     profile.steps.sort(key=lambda step: step.time)
     return profile
+
+
+class StreamingProfile:
+    """Streaming builder of a :class:`CommunicationProfile`.
+
+    Subscribes to the ``msg_send``/``consensus_decide`` bus categories and
+    folds each event in as it happens, producing the same profile
+    :func:`profile_from_trace` would extract from a fully retained trace --
+    but independent of the retention policy.  Attach *before* the run
+    (typically right after building the deployment).
+    """
+
+    def __init__(self, trace: TraceRecorder, label: str,
+                 include_types: Iterable[str] = PROTOCOL_MESSAGE_TYPES):
+        self._allowed = set(include_types)
+        self.profile = CommunicationProfile(label=label)
+        self._unsubscribers = [
+            trace.subscribe("msg_send", self._on_send),
+            trace.subscribe("consensus_decide", self._on_consensus_decide),
+        ]
+
+    def _on_send(self, event) -> None:
+        msg_type = event.get("msg_type")
+        profile = self.profile
+        profile.total_messages += 1
+        if msg_type == "Consensus":
+            profile.consensus_messages += 1
+        if msg_type in self._allowed:
+            profile.steps.append(Step(time=event.time, sender=event.process,
+                                      receiver=event.get("destination", "?"),
+                                      msg_type=msg_type))
+
+    def _on_consensus_decide(self, event) -> None:
+        instance = event.get("instance")
+        if isinstance(instance, tuple) and len(instance) == 2:
+            self.profile.register_writes.append(
+                (event.time, event.process, f"{instance[0]}[{instance[1]}]"))
+
+    def detach(self) -> "CommunicationProfile":
+        """Stop consuming events and return the accumulated profile."""
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers.clear()
+        return self.profile
 
 
 @dataclass

@@ -66,6 +66,38 @@ class Message:
         )
 
 
+# Matchers built by the helpers below carry two *hint* attributes the process
+# layer uses to index receive-blocked threads and the mailbox:
+#
+# * ``msg_types`` -- the frozenset of message types the matcher could accept;
+# * ``msg_corr``  -- per accepted type, either :data:`ANY_CORRELATION` or the
+#   frozenset of ``j`` payload values (the protocol's correlation id) the
+#   matcher requires.  A thread waiting for ``Vote`` with ``j=key`` is indexed
+#   under ``("Vote", key)``, so delivering a vote consults exactly the threads
+#   of that transaction instead of every in-flight handler.
+#
+# Both hints must be *sound*: a matcher must reject every message outside
+# them.  Hand-written matcher functions without the attributes are treated as
+# wildcards (checked against everything).
+
+ANY_CORRELATION = object()
+"""Correlation hint meaning "any ``j`` value" for a message type."""
+
+
+def matcher_types(matcher: Optional[Callable[[Any], bool]]) -> Optional[frozenset[str]]:
+    """The message-type hint of ``matcher`` (``None`` = could match any type)."""
+    if matcher is None:
+        return None
+    return getattr(matcher, "msg_types", None)
+
+
+def matcher_correlation(matcher: Optional[Callable[[Any], bool]]) -> Optional[dict]:
+    """The per-type correlation hint of ``matcher`` (``None`` = no hint)."""
+    if matcher is None:
+        return None
+    return getattr(matcher, "msg_corr", None)
+
+
 def is_type(*msg_types: str) -> Callable[[Any], bool]:
     """Matcher accepting any message whose ``msg_type`` is in ``msg_types``."""
     allowed = set(msg_types)
@@ -73,7 +105,17 @@ def is_type(*msg_types: str) -> Callable[[Any], bool]:
     def matcher(message: Any) -> bool:
         return isinstance(message, Message) and message.msg_type in allowed
 
+    matcher.msg_types = frozenset(allowed)
+    matcher.msg_corr = {t: ANY_CORRELATION for t in allowed}
     return matcher
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
 
 
 def is_type_with(msg_type: str, **expected: Any) -> Callable[[Any], bool]:
@@ -82,11 +124,25 @@ def is_type_with(msg_type: str, **expected: Any) -> Callable[[Any], bool]:
     Example: ``is_type_with("Vote", j=3)`` matches vote messages for result 3.
     """
 
-    def matcher(message: Any) -> bool:
-        if not isinstance(message, Message) or message.msg_type != msg_type:
-            return False
-        return all(message.payload.get(key) == value for key, value in expected.items())
+    if len(expected) == 1:
+        # The overwhelmingly common shape (e.g. ``j=key``): avoid building a
+        # generator per probe on the delivery hot path.
+        (key, value), = expected.items()
 
+        def matcher(message: Any) -> bool:
+            return (isinstance(message, Message) and message.msg_type == msg_type
+                    and message.payload.get(key) == value)
+    else:
+        def matcher(message: Any) -> bool:
+            if not isinstance(message, Message) or message.msg_type != msg_type:
+                return False
+            return all(message.payload.get(k) == v for k, v in expected.items())
+
+    matcher.msg_types = frozenset((msg_type,))
+    correlation = expected.get("j", ANY_CORRELATION)
+    matcher.msg_corr = {msg_type: frozenset((correlation,))
+                        if correlation is not ANY_CORRELATION and _hashable(correlation)
+                        else ANY_CORRELATION}
     return matcher
 
 
@@ -94,8 +150,29 @@ def any_of(*matchers: Callable[[Any], bool]) -> Callable[[Any], bool]:
     """Matcher accepting a message accepted by any of ``matchers``."""
 
     def matcher(message: Any) -> bool:
-        return any(m(message) for m in matchers)
+        for m in matchers:
+            if m(message):
+                return True
+        return False
 
+    hints = [matcher_types(m) for m in matchers]
+    if all(hint is not None for hint in hints):
+        matcher.msg_types = frozenset().union(*hints)
+        merged: dict = {}
+        for m, types in zip(matchers, hints):
+            corr = matcher_correlation(m) or {}
+            # A type the inner matcher accepts without a correlation entry
+            # (msg_types-only hint) must stay reachable: it merges as ANY.
+            for msg_type in types:
+                value = corr.get(msg_type, ANY_CORRELATION)
+                existing = merged.get(msg_type)
+                if value is ANY_CORRELATION or existing is ANY_CORRELATION:
+                    merged[msg_type] = ANY_CORRELATION
+                elif existing is None:
+                    merged[msg_type] = value
+                else:
+                    merged[msg_type] = existing | value
+        matcher.msg_corr = merged
     return matcher
 
 
@@ -109,4 +186,10 @@ def from_senders(senders: Iterable[str],
             return False
         return True if inner is None else inner(message)
 
+    hint = matcher_types(inner)
+    if hint is not None:
+        matcher.msg_types = hint
+        corr = matcher_correlation(inner)
+        if corr is not None:
+            matcher.msg_corr = corr
     return matcher

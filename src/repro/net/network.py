@@ -9,6 +9,7 @@ which is what the communication-step metrics (Figures 1 and 7) consume.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Iterable, Optional
 
 from repro.net.latency import FixedLatency, LatencyModel
@@ -66,6 +67,10 @@ class Network:
         self._partition_groups: list[set[str]] = []
         self._rng = sim.rng("network")
         self.trace_messages = True
+        # Bound once and reused: scheduling a delivery per message must not
+        # re-create the bound method (and, when message tracing is off, not
+        # render a per-message f-string event name either).
+        self._deliver_bound = self._deliver
 
     # ----------------------------------------------------------- registration
 
@@ -130,38 +135,45 @@ class Network:
         self.stats.by_type_sent[message.msg_type] = (
             self.stats.by_type_sent.get(message.msg_type, 0) + 1
         )
-        if self.trace_messages:
-            self.sim.trace.record(
+        trace = self.sim.trace
+        # One bus probe gates everything message tracing would pay for:
+        # building the sorted payload-key list, the event objects, and the
+        # per-message f-string event names below.
+        tracing = self.trace_messages and trace.wants("msg_send")
+        if tracing:
+            trace.record(
                 "msg_send", source,
                 msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
                 payload_keys=sorted(message.payload),
             )
         if self._partitioned(source, destination):
             self.stats.dropped_partition += 1
-            if self.trace_messages:
-                self.sim.trace.record(
+            if self.trace_messages and trace.wants("msg_drop"):
+                trace.record(
                     "msg_drop", source, reason="partition",
                     msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
                 )
             return
         if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
             self.stats.dropped_loss += 1
-            if self.trace_messages:
-                self.sim.trace.record(
+            if self.trace_messages and trace.wants("msg_drop"):
+                trace.record(
                     "msg_drop", source, reason="loss",
                     msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
                 )
             return
         delay = self.latency.sample(self._rng, source, destination)
-        self.sim.schedule(delay, lambda: self._deliver(message, destination),
-                          name=f"deliver:{message.msg_type}->{destination}")
+        name = f"deliver:{message.msg_type}->{destination}" if tracing else "deliver"
+        self.sim.schedule(delay, partial(self._deliver_bound, message, destination),
+                          name=name)
 
     def _deliver(self, message: Message, destination_name: str) -> None:
+        trace = self.sim.trace
         destination = self.processes.get(destination_name)
         if destination is None or not destination.up:
             self.stats.dropped_dest_down += 1
-            if self.trace_messages:
-                self.sim.trace.record(
+            if self.trace_messages and trace.wants("msg_drop"):
+                trace.record(
                     "msg_drop", destination_name, reason="destination_down",
                     msg_type=message.msg_type, msg_id=message.msg_id, sender=message.sender,
                 )
@@ -170,8 +182,8 @@ class Network:
         self.stats.by_type_delivered[message.msg_type] = (
             self.stats.by_type_delivered.get(message.msg_type, 0) + 1
         )
-        if self.trace_messages:
-            self.sim.trace.record(
+        if self.trace_messages and trace.wants("msg_deliver"):
+            trace.record(
                 "msg_deliver", destination_name,
                 msg_type=message.msg_type, sender=message.sender, msg_id=message.msg_id,
             )

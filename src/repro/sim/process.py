@@ -23,6 +23,9 @@ from repro.sim.waits import TIMEOUT, Receive, SimFuture, Sleep, Wait, WaitFuture
 
 ProtocolGenerator = Generator[Wait, Any, Any]
 
+_UNKEYED = object()
+"""Mailbox correlation bucket for messages without a usable ``j`` payload."""
+
 
 class Thread:
     """A single coroutine of protocol logic hosted on a process.
@@ -44,6 +47,13 @@ class Thread:
         self._pending_future: Optional[SimFuture] = None
         self._pending_future_callback: Optional[Callable[[Any], None]] = None
         self._wait_token = 0
+        # Event names are only read by humans debugging a run; building them
+        # per wait with f-strings was measurable on the hot path, so they are
+        # rendered once per thread.
+        base = f"{process.name}/{name}"
+        self._timer_name = base + ":timer"
+        self._mailbox_name = base + ":mailbox"
+        self._future_name = base + ":future"
 
     # ----------------------------------------------------------------- state
 
@@ -65,7 +75,9 @@ class Thread:
         if self._pending_timer is not None:
             self._pending_timer.cancel()
             self._pending_timer = None
-        self._pending_receive = None
+        if self._pending_receive is not None:
+            self.process._unregister_waiter(self, self._pending_receive)
+            self._pending_receive = None
         if self._pending_future is not None and self._pending_future_callback is not None:
             self._pending_future.discard_callback(self._pending_future_callback)
         self._pending_future = None
@@ -90,10 +102,12 @@ class Thread:
         except StopIteration:
             self.finished = True
             self.alive = False
+            self.process._note_thread_finished()
             return
         except Exception as exc:  # surface protocol bugs loudly
             self.finished = True
             self.alive = False
+            self.process._note_thread_finished()
             self.process.trace.record(
                 "thread_error", self.process.name, thread=self.name, error=repr(exc)
             )
@@ -120,7 +134,7 @@ class Thread:
                 self.resume(result)
 
         self._pending_timer = self.process.sim.schedule(
-            delay, fire, name=f"{self.process.name}/{self.name}:timer"
+            delay, fire, name=self._timer_name
         )
 
     def _handle_receive(self, wait: Receive) -> None:
@@ -135,10 +149,11 @@ class Thread:
                     self.resume(message)
 
             self._pending_timer = self.process.sim.call_soon(
-                deliver, name=f"{self.process.name}/{self.name}:mailbox"
+                deliver, name=self._mailbox_name
             )
             return
         self._pending_receive = wait
+        self.process._register_waiter(self, wait)
         if wait.timeout is not None:
             self._arm_timer(wait.timeout, result=TIMEOUT)
 
@@ -152,7 +167,7 @@ class Thread:
         if wait.future.resolved:
             self._pending_timer = self.process.sim.call_soon(
                 lambda: on_resolve(wait.future.value),
-                name=f"{self.process.name}/{self.name}:future",
+                name=self._future_name,
             )
             return
         self._pending_future = wait.future
@@ -178,8 +193,27 @@ class Process:
         self.name = name
         self.up = True
         self.crash_count = 0
-        self._mailbox: deque[Any] = deque()
+        # The mailbox is bucketed by message type and then by the ``j``
+        # correlation id: a receive whose matcher carries the hints (see
+        # ``repro.net.message``) only scans the buckets it could match, so
+        # messages nobody will ever consume (stale retransmitted votes and
+        # acknowledgements of already-terminated transactions) stop taxing
+        # every later receive.  Sequence numbers preserve the global arrival
+        # order; buckets emptied by a take are deleted so wildcard scans stay
+        # proportional to the *live* backlog.
+        self._mailbox: dict[Any, dict[Any, deque[tuple[int, Any]]]] = {}
+        self._mailbox_seq = 0
+        self._mailbox_count = 0
         self._threads: list[Thread] = []
+        # Threads blocked on a receive, indexed by what their matcher could
+        # accept: by (message type, correlation id) when the matcher pins a
+        # ``j`` value, by message type when it accepts any ``j``, and as
+        # wildcards when it carries no hint.  Delivery consults only the
+        # matching buckets instead of scanning every hosted thread.
+        self._kv_waiters: dict[tuple, dict[int, Thread]] = {}
+        self._typed_waiters: dict[str, dict[int, Thread]] = {}
+        self._wildcard_waiters: dict[int, Thread] = {}
+        self._finished_threads = 0
         self._transport: Optional[Any] = None  # installed by repro.net.Network
         self._started = False
 
@@ -204,7 +238,7 @@ class Process:
     @property
     def mailbox_size(self) -> int:
         """Number of buffered, not-yet-consumed messages."""
-        return len(self._mailbox)
+        return self._mailbox_count
 
     def rng(self, stream: Optional[str] = None):
         """Deterministic random stream scoped to this process."""
@@ -277,47 +311,216 @@ class Process:
             payload = message.copy() if hasattr(message, "copy") and callable(message.copy) else message
             self.send(destination, payload)
 
+    def _waiter_buckets(self, wait: Receive):
+        """The index buckets a blocked receive belongs to (created lazily)."""
+        matcher = wait.matcher
+        if matcher is None:
+            yield self._wildcard_waiters
+            return
+        correlation = getattr(matcher, "msg_corr", None)
+        types = getattr(matcher, "msg_types", None)
+        if correlation is not None:
+            # Types accepted by the matcher but absent from the correlation
+            # hint (msg_types-only annotations) index as any-correlation.
+            for msg_type in (types if types is not None else correlation):
+                values = correlation.get(msg_type)
+                if isinstance(values, frozenset):
+                    for value in values:
+                        yield self._kv_waiters.setdefault((msg_type, value), {})
+                else:  # ANY_CORRELATION or no entry for this type
+                    yield self._typed_waiters.setdefault(msg_type, {})
+            return
+        if types is None:
+            yield self._wildcard_waiters
+            return
+        for msg_type in types:
+            yield self._typed_waiters.setdefault(msg_type, {})
+
+    def _register_waiter(self, thread: Thread, wait: Receive) -> None:
+        """Index a thread that just blocked on a receive."""
+        for bucket in self._waiter_buckets(wait):
+            bucket[thread.id] = thread
+
+    def _unregister_waiter(self, thread: Thread, wait: Receive) -> None:
+        """Drop a thread from the waiter index (wait satisfied or cancelled)."""
+        for bucket in self._waiter_buckets(wait):
+            bucket.pop(thread.id, None)
+
+    def _note_thread_finished(self) -> None:
+        """Called by a thread whose coroutine ran to completion."""
+        self._finished_threads += 1
+
     def deliver(self, message: Any) -> None:
         """Deliver a message to this process (called by the network).
 
         Messages arriving at a crashed process are dropped; otherwise the
         message either resumes a thread blocked on a matching receive or is
-        buffered in the mailbox.
+        buffered in the mailbox.  Only waiters indexed under the message's
+        type (plus wildcard waiters) are consulted; ties between threads are
+        broken by spawn order, matching the historical full scan.
         """
         if not self.up:
             return
-        finished = 0
-        for thread in self._threads:
-            if not thread.alive:
-                finished += 1
-                continue
+        msg_type = getattr(message, "msg_type", None)
+        candidates: list[tuple[int, Thread]] = []
+        payload = getattr(message, "payload", None)
+        if isinstance(payload, dict) and self._kv_waiters:
+            correlation = payload.get("j")
+            try:
+                keyed = self._kv_waiters.get((msg_type, correlation))
+            except TypeError:  # unhashable correlation value
+                keyed = None
+            if keyed:
+                candidates.extend(keyed.items())
+        typed = self._typed_waiters.get(msg_type)
+        if typed:
+            candidates.extend(typed.items())
+        if self._wildcard_waiters:
+            candidates.extend(self._wildcard_waiters.items())
+        if len(candidates) > 1:
+            candidates.sort(key=lambda item: item[0])
+        for _, thread in candidates:
             wait = thread.waiting_on_receive
             if wait is not None and wait.matches(message):
                 thread.resume(message)
                 return
         # Long-lived processes spawn short-lived threads (one per request);
-        # prune the dead ones now and then so delivery stays proportional to
-        # the number of *live* threads, not to the run's total history.
-        if finished > 32 and finished > len(self._threads) // 2:
+        # prune the dead ones now and then so the thread list stays
+        # proportional to the number of *live* threads, not to the run's
+        # total history.
+        if self._finished_threads > 32 and \
+                self._finished_threads > len(self._threads) // 2:
             self._threads = [t for t in self._threads if t.alive or not t.finished]
-        self._mailbox.append(message)
+            self._finished_threads = 0
+        self._mailbox_seq += 1
+        correlation = payload.get("j") if isinstance(payload, dict) else _UNKEYED
+        by_corr = self._mailbox.setdefault(msg_type, {})
+        try:
+            bucket = by_corr.get(correlation)
+        except TypeError:  # unhashable correlation value
+            correlation = _UNKEYED
+            bucket = by_corr.get(correlation)
+        if bucket is None:
+            bucket = by_corr[correlation] = deque()
+        bucket.append((self._mailbox_seq, message))
+        self._mailbox_count += 1
+
+    def _mailbox_buckets(self, wait: Receive) -> list[tuple[dict, Any, deque]]:
+        """The non-empty mailbox buckets ``wait`` could take a message from.
+
+        Each entry is ``(parent_dict, correlation_key, bucket)`` so an
+        emptied bucket can be deleted after a take.
+        """
+        matcher = wait.matcher
+        candidates: list[tuple[dict, Any, deque]] = []
+
+        def all_of(by_corr: dict) -> None:
+            candidates.extend((by_corr, corr, bucket)
+                              for corr, bucket in by_corr.items() if bucket)
+
+        if matcher is None:
+            for by_corr in self._mailbox.values():
+                all_of(by_corr)
+            return candidates
+        correlation = getattr(matcher, "msg_corr", None)
+        types = getattr(matcher, "msg_types", None)
+        if correlation is not None:
+            # Types accepted by the matcher but absent from the correlation
+            # hint (msg_types-only annotations) scan as any-correlation.
+            for msg_type in (types if types is not None else correlation):
+                by_corr = self._mailbox.get(msg_type)
+                if not by_corr:
+                    continue
+                values = correlation.get(msg_type)
+                if isinstance(values, frozenset):
+                    for value in values:
+                        bucket = by_corr.get(value)
+                        if bucket:
+                            candidates.append((by_corr, value, bucket))
+                else:  # ANY_CORRELATION or no entry for this type
+                    all_of(by_corr)
+            return candidates
+        if types is None:
+            for by_corr in self._mailbox.values():
+                all_of(by_corr)
+            return candidates
+        for msg_type in types:
+            by_corr = self._mailbox.get(msg_type)
+            if by_corr:
+                all_of(by_corr)
+        return candidates
+
+    def discard_buffered(self, correlation: Any) -> int:
+        """Drop every buffered message whose ``j`` payload equals ``correlation``.
+
+        Protocol code calls this when a transaction terminates: retransmitted
+        replies (votes, acknowledgements, execute results) keyed by a result
+        that is already terminated can never be consumed again, and dropping
+        a buffered message is indistinguishable from network loss in the
+        paper's fair-lossy channel model.  Keeps long runs' mailbox memory
+        proportional to the in-flight work instead of the run's history.
+        """
+        dropped = 0
+        for by_corr in self._mailbox.values():
+            bucket = by_corr.pop(correlation, None)
+            if bucket:
+                dropped += len(bucket)
+        self._mailbox_count -= dropped
+        return dropped
 
     def _take_from_mailbox(self, wait: Receive) -> Optional[Any]:
-        """Remove and return the first buffered message matching ``wait``."""
-        mailbox = self._mailbox
-        if not mailbox:
+        """Remove and return the first buffered message matching ``wait``.
+
+        "First" means global arrival order (the sequence number), exactly as
+        with the historical single-queue mailbox -- only the scan is now
+        restricted to the buckets the matcher could accept.
+        """
+        if not self._mailbox_count:
             return None
-        # Fast path: a receive usually consumes the oldest buffered message
-        # (FIFO traffic), and popleft is O(1) where ``del deque[index]`` is
-        # O(n) -- this is the hot path of high-rate runs.
-        if wait.matches(mailbox[0]):
-            return mailbox.popleft()
-        for index in range(1, len(mailbox)):
-            message = mailbox[index]
-            if wait.matches(message):
-                del mailbox[index]
-                return message
-        return None
+        buckets = self._mailbox_buckets(wait)
+        if not buckets:
+            return None
+        if len(buckets) == 1:
+            by_corr, corr, bucket = buckets[0]
+            # Fast path: a receive usually consumes the oldest buffered
+            # message (FIFO traffic), and popleft is O(1) where
+            # ``del deque[index]`` is O(n).
+            if wait.matches(bucket[0][1]):
+                message = bucket.popleft()[1]
+            else:
+                message = None
+                for index in range(1, len(bucket)):
+                    candidate = bucket[index][1]
+                    if wait.matches(candidate):
+                        del bucket[index]
+                        message = candidate
+                        break
+                if message is None:
+                    return None
+            if not bucket:
+                del by_corr[corr]
+            self._mailbox_count -= 1
+            return message
+        # Several candidate buckets: pick the matching message with the
+        # smallest sequence number.  Buckets are sequence-ascending, so each
+        # scan stops at the first match or once past the best found so far.
+        best: Optional[tuple[int, dict, Any, deque, int]] = None
+        for by_corr, corr, bucket in buckets:
+            for index, (seq, message) in enumerate(bucket):
+                if best is not None and seq > best[0]:
+                    break
+                if wait.matches(message):
+                    best = (seq, by_corr, corr, bucket, index)
+                    break
+        if best is None:
+            return None
+        _, by_corr, corr, bucket, index = best
+        message = bucket[index][1]
+        del bucket[index]
+        if not bucket:
+            del by_corr[corr]
+        self._mailbox_count -= 1
+        return message
 
     # ------------------------------------------------------- crash / recover
 
@@ -330,7 +533,12 @@ class Process:
         for thread in self._threads:
             thread.kill()
         self._threads.clear()
+        self._kv_waiters.clear()
+        self._typed_waiters.clear()
+        self._wildcard_waiters.clear()
+        self._finished_threads = 0
         self._mailbox.clear()
+        self._mailbox_count = 0
         self.on_crash()
         self.trace.record("crash", self.name)
 

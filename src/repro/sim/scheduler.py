@@ -80,7 +80,9 @@ class Simulator:
         self.seed = seed
         self.trace = trace if trace is not None else TraceRecorder(clock=lambda: self.now)
         self.trace.bind_clock(lambda: self.now)
-        self._queue: list[ScheduledEvent] = []
+        # The heap holds (time, seq, event) tuples so ordering uses C-level
+        # tuple comparison instead of a Python __lt__ per sift step.
+        self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = 0
         self._events_processed = 0
         self._stopped = False
@@ -125,7 +127,7 @@ class Simulator:
             raise InvalidScheduling(f"negative delay {delay!r} for event {name!r}")
         event = ScheduledEvent(self.now + delay, self._seq, callback, name)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None], name: str = "event") -> ScheduledEvent:
@@ -143,7 +145,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(1 for _, _, e in self._queue if not e.cancelled)
 
     @property
     def events_processed(self) -> int:
@@ -153,7 +155,7 @@ class Simulator:
     def step(self) -> bool:
         """Run the next scheduled event.  Returns ``False`` if the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = heapq.heappop(self._queue)[2]
             if event.cancelled:
                 continue
             self.now = event.time
@@ -171,7 +173,7 @@ class Simulator:
         """
         processed = 0
         while self._queue:
-            event = self._queue[0]
+            event = self._queue[0][2]
             if event.cancelled:
                 heapq.heappop(self._queue)
                 continue
@@ -202,7 +204,7 @@ class Simulator:
         if predicate():
             return True
         while self._queue:
-            event = self._queue[0]
+            event = self._queue[0][2]
             if event.cancelled:
                 heapq.heappop(self._queue)
                 continue

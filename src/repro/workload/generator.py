@@ -166,12 +166,17 @@ class LoadGenerator:
         Virtual-time budget per planned request; the run stops at
         ``start + horizon_per_request * total_requests`` even if some
         requests never delivered.
+    max_events:
+        Simulator-callback budget of the run (the livelock guard); soak runs
+        with hundreds of thousands of requests need more than the default.
     """
 
     def __init__(self, clients: Union[None, int, Sequence[str]] = None,
-                 horizon_per_request: float = 1_000_000.0):
+                 horizon_per_request: float = 1_000_000.0,
+                 max_events: int = 5_000_000):
         self.clients = clients
         self.horizon_per_request = horizon_per_request
+        self.max_events = max_events
 
     # ------------------------------------------------------------------ plan
 
@@ -255,10 +260,26 @@ class LoadGenerator:
         same decision, and each re-application records another ``db_decide``
         event.  A transaction that was first refused (abort) and later, after
         re-execution, committed counts once, as a commit.
+
+        Deployments that attached a
+        :class:`~repro.metrics.stream.DatabaseOutcomeStream` at build time
+        (all the built-in ones do) are read from that streaming accumulator;
+        otherwise the counters fall back to scanning the stored trace, which
+        requires ``full`` retention.
         """
         db_servers = getattr(deployment, "db_servers", None)
+        if not db_servers:
+            return
+        outcomes = getattr(deployment, "db_outcomes", None)
+        if outcomes is not None:
+            for name, server in db_servers.items():
+                stats.by_database[name] = DatabaseStatistics(
+                    commits=outcomes.commits(name),
+                    aborts=outcomes.aborts(name),
+                    in_doubt=len(server.in_doubt()))
+            return
         trace = getattr(deployment, "trace", None)
-        if not db_servers or trace is None:
+        if trace is None:
             return
         for name, server in db_servers.items():
             committed = {e.get("j") for e in trace.select("db_decide", name,
@@ -285,8 +306,10 @@ class ClosedLoop(LoadGenerator):
 
     def __init__(self, clients: Union[None, int, Sequence[str]] = None,
                  think_time: float = 0.0,
-                 horizon_per_request: float = 1_000_000.0):
-        super().__init__(clients=clients, horizon_per_request=horizon_per_request)
+                 horizon_per_request: float = 1_000_000.0,
+                 max_events: int = 5_000_000):
+        super().__init__(clients=clients, horizon_per_request=horizon_per_request,
+                         max_events=max_events)
         if think_time < 0:
             raise ValueError(f"negative think time: {think_time}")
         self.think_time = think_time
@@ -331,7 +354,8 @@ class ClosedLoop(LoadGenerator):
             issue_next(client)
         if total:
             sim.run_until(lambda: done[0] >= total,
-                          until=start + self.horizon_per_request * total)
+                          until=start + self.horizon_per_request * total,
+                          max_events=self.max_events)
         return self._collect(deployment, start, issued_by_client, planned)
 
 
@@ -362,8 +386,10 @@ class OpenLoop(LoadGenerator):
     def __init__(self, rate: float, arrival: str = ARRIVAL_POISSON,
                  clients: Union[None, int, Sequence[str]] = None,
                  drain: bool = True,
-                 horizon_per_request: float = 1_000_000.0):
-        super().__init__(clients=clients, horizon_per_request=horizon_per_request)
+                 horizon_per_request: float = 1_000_000.0,
+                 max_events: int = 5_000_000):
+        super().__init__(clients=clients, horizon_per_request=horizon_per_request,
+                         max_events=max_events)
         if rate <= 0:
             raise ValueError(f"open-loop rate must be positive, got {rate}")
         if arrival not in ARRIVAL_PROCESSES:
@@ -416,7 +442,8 @@ class OpenLoop(LoadGenerator):
         if total:
             deadline = (start + self.horizon_per_request * total) if self.drain \
                 else start + clock
-            sim.run_until(lambda: done[0] >= total, until=deadline)
+            sim.run_until(lambda: done[0] >= total, until=deadline,
+                          max_events=self.max_events)
         return self._collect(deployment, start, issued_by_client, planned)
 
     def _latency_of(self, issued: Any) -> Optional[float]:

@@ -275,3 +275,114 @@ def test_send_without_transport_raises(sim):
     process = Process(sim, "orphan")
     with pytest.raises(ProcessNotRunning):
         process.send("nowhere", Message("Ping"))
+
+
+# ------------------------------------------------- waiter / mailbox indexing
+
+
+def test_delivery_prefers_earlier_spawned_thread_on_tie(sim):
+    """Two threads waiting on the same matcher: spawn order breaks the tie,
+    exactly as the historical full thread scan did."""
+    network, a, b = make_pair(sim)
+    got = []
+
+    def wants(label):
+        message = yield b.receive(is_type("Ping"))
+        got.append((label, message["n"]))
+
+    b.spawn(wants("first"))
+    b.spawn(wants("second"))
+    # The second thread re-blocks "after" the first in wall-clock terms, but
+    # spawn order must still win for the first message.
+    a.send("b", Message("Ping", payload={"n": 1}))
+    a.send("b", Message("Ping", payload={"n": 2}))
+    sim.run()
+    assert got == [("first", 1), ("second", 2)]
+
+
+def test_correlated_receive_only_gets_its_own_key(sim):
+    """is_type_with(j=...) waiters are indexed by correlation id."""
+    from repro.net.message import is_type_with
+
+    network, a, b = make_pair(sim)
+    got = {}
+
+    def handler(key):
+        message = yield b.receive(is_type_with("Vote", j=key))
+        got[key] = message["v"]
+
+    for key in ("k1", "k2", "k3"):
+        b.spawn(handler(key))
+    a.send("b", Message("Vote", payload={"j": "k2", "v": 2}))
+    a.send("b", Message("Vote", payload={"j": "k3", "v": 3}))
+    a.send("b", Message("Vote", payload={"j": "k1", "v": 1}))
+    sim.run()
+    assert got == {"k1": 1, "k2": 2, "k3": 3}
+
+
+def test_mailbox_preserves_arrival_order_across_type_buckets(sim):
+    """An any_of receive takes the globally oldest matching message even
+    though the mailbox is bucketed by type and correlation id."""
+    from repro.net.message import any_of, is_type_with
+
+    network, a, b = make_pair(sim)
+    a.send("b", Message("Beta", payload={"j": 9, "n": 1}))
+    a.send("b", Message("Alpha", payload={"j": 9, "n": 2}))
+    a.send("b", Message("Beta", payload={"j": 9, "n": 3}))
+    sim.run()
+    assert b.mailbox_size == 3
+    taken = []
+
+    def drain():
+        for _ in range(3):
+            message = yield b.receive(any_of(is_type_with("Alpha", j=9),
+                                             is_type_with("Beta", j=9)))
+            taken.append((message.msg_type, message["n"]))
+
+    b.spawn(drain())
+    sim.run()
+    assert taken == [("Beta", 1), ("Alpha", 2), ("Beta", 3)]
+    assert b.mailbox_size == 0
+
+
+def test_any_of_with_types_only_inner_matcher_stays_reachable(sim):
+    """An inner matcher annotated with msg_types but no msg_corr must still
+    be indexed (as any-correlation) when combined through any_of."""
+    from repro.net.message import any_of, is_type_with
+
+    network, a, b = make_pair(sim)
+    got = []
+
+    def probe(m):
+        return m.msg_type == "Probe"
+
+    probe.msg_types = frozenset({"Probe"})  # hand annotation, no msg_corr
+
+    def handler():
+        message = yield b.receive(any_of(is_type_with("Vote", j=1), probe))
+        got.append(message.msg_type)
+
+    b.spawn(handler())
+    a.send("b", Message("Probe"))
+    sim.run()
+    assert got == ["Probe"]
+
+
+def test_custom_matcher_without_hints_still_works(sim):
+    """A hand-written matcher (no msg_types hint) is a wildcard: it scans the
+    whole mailbox and is consulted for every delivery."""
+    network, a, b = make_pair(sim)
+    got = []
+    a.send("b", Message("Odd", payload={"n": 1}))
+    sim.run()
+
+    def picky():
+        message = yield b.receive(lambda m: m.get("n", 0) % 2 == 1)
+        got.append(message["n"])
+        message = yield b.receive(lambda m: m.get("n", 0) % 2 == 0)
+        got.append(message["n"])
+
+    b.spawn(picky())
+    a.send("b", Message("Even", payload={"n": 2}))
+    sim.run()
+    assert got == [1, 2]

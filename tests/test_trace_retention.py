@@ -1,0 +1,164 @@
+"""Trace retention policies and the event bus.
+
+``full``/``ring:N``/``off`` retention bound what the recorder *stores*;
+everything that matters -- online spec checking, per-database statistics,
+latency components -- streams off the bus and must keep working when the
+stored trace is truncated or absent.
+"""
+
+import pytest
+
+from repro import api
+from repro.sim.scheduler import Simulator
+from repro.sim.tracing import TraceRecorder, parse_retention
+from repro.workload.generator import ClosedLoop
+
+SHARDED = "etx://a3.d2.c2?seed=5&workload=bank&placement=hash&xshard=0.5"
+
+
+# ----------------------------------------------------------------- recorder
+
+
+def test_parse_retention_accepts_the_three_policies():
+    assert parse_retention("full") == ("full", None)
+    assert parse_retention("off") == ("off", None)
+    assert parse_retention("ring:128") == ("ring", 128)
+    for bad in ("ring:0", "ring:x", "some", "ring:"):
+        with pytest.raises(ValueError):
+            parse_retention(bad)
+
+
+def test_ring_retention_keeps_only_the_suffix():
+    trace = TraceRecorder(retention="ring:3")
+    for n in range(10):
+        trace.record("tick", n=n)
+    assert len(trace) == 3
+    assert [e.get("n") for e in trace] == [7, 8, 9]
+    assert trace.retention == "ring:3"
+
+
+def test_off_retention_stores_nothing_and_skips_event_construction():
+    trace = TraceRecorder(retention="off")
+    assert trace.record("tick", n=1) is None  # not even constructed
+    assert len(trace) == 0
+    assert not trace.wants("tick")
+
+
+def test_subscribers_see_events_under_any_retention():
+    for retention in ("full", "ring:2", "off"):
+        trace = TraceRecorder(retention=retention)
+        seen = []
+        unsubscribe = trace.subscribe("tick", lambda e: seen.append(e.get("n")))
+        for n in range(5):
+            trace.record("tick", n=n)
+            trace.record("other", n=n)  # not subscribed
+        assert seen == [0, 1, 2, 3, 4], retention
+        assert trace.wants("tick")
+        unsubscribe()
+        trace.record("tick", n=99)
+        assert seen[-1] == 4  # unsubscribed callbacks stop firing
+
+
+def test_wants_reflects_storage_and_subscription():
+    trace = TraceRecorder(retention="off")
+    assert not trace.wants("msg_send")
+    unsubscribe = trace.subscribe("msg_send", lambda e: None)
+    assert trace.wants("msg_send")
+    unsubscribe()
+    assert not trace.wants("msg_send")
+    trace.set_retention("full")
+    assert trace.wants("msg_send")  # stored now
+    trace.enabled = False
+    assert not trace.wants("msg_send")
+
+
+def test_between_uses_the_time_order():
+    sim = Simulator()
+    for t in (1.0, 2.0, 5.0, 5.0, 9.0):
+        sim.schedule(t, lambda: sim.trace.record("tick"))
+    sim.run()
+    assert len(sim.trace.between(2.0, 5.0)) == 3
+    assert len(sim.trace.between(9.5, 10.0)) == 0
+    assert len(sim.trace.between(0.0, 100.0)) == 5
+
+
+def test_between_survives_out_of_order_extend():
+    """extend() makes no ordering promise; between() must stay correct."""
+    from repro.sim.tracing import TraceEvent
+
+    trace = TraceRecorder()
+    trace.extend([TraceEvent(5.0, "a", "p"), TraceEvent(1.0, "b", "p")])
+    assert [e.category for e in trace.between(0.0, 2.0)] == ["b"]
+    trace.clear()
+    trace.extend([TraceEvent(1.0, "c", "p"), TraceEvent(2.0, "d", "p")])
+    assert [e.category for e in trace.between(1.5, 2.5)] == ["d"]
+
+
+# -------------------------------------------------------------- deployments
+
+
+@pytest.mark.parametrize("retention", ["ring:400", "off"])
+def test_spec_and_statistics_work_with_truncated_trace(retention):
+    """A sharded multi-client run under bounded retention still gets the
+    full online verdict, per-database statistics and latency breakdown."""
+    result = api.run_scenario(f"{SHARDED}&trace={retention}", requests=3)
+    assert result.delivered == 6
+    assert result.spec.ok, result.spec.summary()
+    assert result.spec.checked_properties  # the monitor really checked
+    assert set(result.statistics.by_database) == {"d1", "d2"}
+    assert sum(db.commits for db in result.statistics.by_database.values()) \
+        >= result.delivered
+    # The regA/regD component means stream off the bus, so the breakdown is
+    # populated even though the events backing it were never stored.
+    assert result.breakdown.component("log-start") > 0
+
+
+def test_ring_retention_bounds_stored_events_mid_run():
+    scenario = api.Scenario.from_dsn(f"{SHARDED}&trace=ring:250")
+    system = api.build(scenario)
+    ClosedLoop().run(system, 4)
+    assert len(system.trace) <= 250
+    assert system.check_spec().ok
+
+
+def test_off_retention_stores_no_events_at_all():
+    scenario = api.Scenario.from_dsn(f"{SHARDED}&trace=off")
+    system = api.build(scenario)
+    ClosedLoop().run(system, 4)
+    assert len(system.trace) == 0
+    assert system.check_spec().ok
+
+
+def test_retention_does_not_change_the_verdict_or_the_numbers():
+    """full vs ring vs off: same deliveries, same verdict, same statistics."""
+    results = {}
+    for retention in ("full", "ring:300", "off"):
+        result = api.run_scenario(f"{SHARDED}&trace={retention}", requests=3)
+        results[retention] = result
+    baseline = results["full"]
+    for retention, result in results.items():
+        assert result.delivered == baseline.delivered, retention
+        assert result.spec.summary() == baseline.spec.summary(), retention
+        assert result.statistics.latencies == baseline.statistics.latencies, retention
+        assert {name: (db.commits, db.aborts)
+                for name, db in result.statistics.by_database.items()} == \
+            {name: (db.commits, db.aborts)
+             for name, db in baseline.statistics.by_database.items()}, retention
+        assert result.breakdown.as_row() == baseline.breakdown.as_row(), retention
+
+
+def test_bad_retention_policy_is_rejected_at_the_dsn_layer():
+    with pytest.raises(api.ScenarioError):
+        api.Scenario.from_dsn("etx://a3.d1.c1?trace=ring:0")
+    with pytest.raises(api.ScenarioError):
+        api.Scenario.from_dsn("etx://a3.d1.c1?trace=sometimes")
+
+
+def test_trace_dsn_param_round_trips_and_sweeps():
+    scenario = api.Scenario.from_dsn("etx://a3.d1.c1?trace=ring:1000")
+    assert api.Scenario.from_dsn(scenario.to_dsn()) == scenario
+    sweep = api.Sweep.over("etx://a3.d1.c1?workload=bank",
+                           trace=["full", "ring:500", "off"])
+    dsns = [s.to_dsn() for s in sweep.expand()]
+    assert len(dsns) == 3
+    assert any("trace=ring:500" in dsn for dsn in dsns)
