@@ -48,8 +48,12 @@ from repro.api.scenario import (
     Scenario,
     ScenarioError,
     default_app_servers,
+    faults_from_text,
+    faults_to_text,
     known_schemes,
+    load_fault_sidecar,
     register_scheme,
+    schedule_to_specs,
 )
 from repro.api.workloads import (
     ShardContext,
@@ -63,6 +67,10 @@ __all__ = [
     "Scenario",
     "FaultSpec",
     "ScenarioError",
+    "schedule_to_specs",
+    "faults_to_text",
+    "faults_from_text",
+    "load_fault_sidecar",
     "known_schemes",
     "register_scheme",
     "default_app_servers",

@@ -28,16 +28,24 @@ rejected, as in database DSNs).
 
 from __future__ import annotations
 
+import json
 import re
-from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Optional, Sequence
 from urllib.parse import parse_qsl
 
 from repro.baselines.common import BaselineConfig
 from repro.core.deployment import DeploymentConfig
 from repro.core.sharding import KNOWN_PLACEMENTS, PLACEMENT_REPLICATE, Sharding
 from repro.core.timing import ProtocolTiming
-from repro.failure.injection import FaultSchedule
+from repro.failure import injection
+from repro.failure.injection import (
+    FaultAction,
+    FaultSchedule,
+    validate_downtime,
+    validate_partition_groups,
+    validate_suspicion,
+)
 from repro.sim.tracing import parse_retention
 
 REGISTER_CONSENSUS = "consensus"
@@ -98,7 +106,7 @@ def _format_number(value: float) -> str:
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One DSN-expressible fault: ``kind@time:target[:extra...]``.
+    """One DSN-expressible fault: ``kind@time[:target[:extra...]]``.
 
     Tokens::
 
@@ -106,20 +114,62 @@ class FaultSpec:
         recover@500:a1                    recover a1 at t=500
         crash_for@600:d2:800              crash d2 at t=600 for 800 ms
         false_suspicion@15:a2:a1:200      a2 falsely suspects a1 for 200 ms
+        partition@100:a1~a2|d1            split {a1,a2} from {d1} at t=100
+        heal@300                          heal any partition at t=300
+
+    Partition groups are ``|``-separated, members ``~``-separated (``~`` and
+    ``|`` survive URL query parsing unescaped; ``+`` would decode to a
+    space).  Processes named in no group form an implicit extra group.
     """
 
     kind: str
     time: float
-    target: str
+    target: str = ""
     downtime: float = 0.0
     observer: str = ""
     duration: float = 0.0
+    groups: tuple[tuple[str, ...], ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind not in ("crash", "recover", "crash_for", "false_suspicion"):
+        if self.kind not in ("crash", "recover", "crash_for", "false_suspicion",
+                             "partition", "heal"):
             raise ScenarioError(f"unknown fault kind {self.kind!r}")
         if self.time < 0:
             raise ScenarioError("fault time must be non-negative")
+        object.__setattr__(self, "groups",
+                           tuple(tuple(group) for group in self.groups))
+        if self.groups and self.kind != "partition":
+            raise ScenarioError(f"fault kind {self.kind!r} takes no groups")
+        if self.kind in ("partition", "heal"):
+            if self.target:
+                raise ScenarioError(f"fault kind {self.kind!r} takes no target")
+        elif not self.target:
+            raise ScenarioError(f"fault kind {self.kind!r} needs a target")
+        # Inapplicable scalars are rejected, not silently dropped: a
+        # FaultSpec('crash', ..., downtime=500) almost certainly meant
+        # crash_for, and to_token() would lose the field.
+        inapplicable = []
+        if self.downtime and self.kind != "crash_for":
+            inapplicable.append("downtime")
+        if self.kind != "false_suspicion":
+            if self.observer:
+                inapplicable.append("observer")
+            if self.duration:
+                inapplicable.append("duration")
+        if inapplicable:
+            raise ScenarioError(f"fault kind {self.kind!r} takes no "
+                                f"{', '.join(inapplicable)}")
+        # Kind-specific scalar rules live in repro.failure.injection, shared
+        # with FaultAction so the two validation layers cannot drift apart.
+        try:
+            if self.kind == "partition":
+                validate_partition_groups(list(self.groups))
+            elif self.kind == "crash_for":
+                validate_downtime(self.downtime)
+            elif self.kind == "false_suspicion":
+                validate_suspicion(self.observer, self.target, self.duration)
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
 
     @classmethod
     def from_token(cls, token: str) -> "FaultSpec":
@@ -127,7 +177,7 @@ class FaultSpec:
         match = re.fullmatch(r"([a-z_]+)@([^:]+)((?::[^:]+)*)", token)
         if match is None:
             raise ScenarioError(f"malformed fault token {token!r} "
-                                "(expected kind@time:target[:extra])")
+                                "(expected kind@time[:target[:extra]])")
         kind, time_text, tail = match.groups()
         args = tail.lstrip(":").split(":") if tail else []
         try:
@@ -145,9 +195,39 @@ class FaultSpec:
                 observer, target, duration = args
                 return cls(kind, time, target, observer=observer,
                            duration=float(duration))
+            if kind == "partition":
+                (layout,) = args
+                groups = tuple(tuple(filter(None, group.split("~")))
+                               for group in layout.split("|"))
+                return cls(kind, time, groups=groups)
+            if kind == "heal":
+                if args:
+                    raise ValueError("heal takes no arguments")
+                return cls(kind, time)
+        except ScenarioError:
+            raise  # a specific validation message (overlap, duration, ...)
         except ValueError:
             raise ScenarioError(f"malformed fault token {token!r} for kind {kind!r}") from None
         raise ScenarioError(f"unknown fault kind {kind!r}")
+
+    @classmethod
+    def from_action(cls, action: "FaultAction") -> "FaultSpec":
+        """The DSN-expressible form of one :class:`FaultAction`."""
+        if action.kind in (injection.CRASH, injection.RECOVER):
+            return cls(action.kind, action.time, action.target)
+        if action.kind == injection.CRASH_FOR:
+            return cls(action.kind, action.time, action.target,
+                       downtime=action.params["downtime"])
+        if action.kind == injection.FALSE_SUSPICION:
+            return cls(action.kind, action.time, action.target,
+                       observer=action.params["observer"],
+                       duration=action.params["duration"])
+        if action.kind == injection.PARTITION:
+            return cls(action.kind, action.time,
+                       groups=tuple(tuple(g) for g in action.params["groups"]))
+        if action.kind == injection.HEAL:
+            return cls(injection.HEAL, action.time)
+        raise ValueError(f"fault kind {action.kind!r} has no DSN form")
 
     def to_token(self) -> str:
         """The ``fault=`` query value for this fault."""
@@ -156,6 +236,11 @@ class FaultSpec:
             return f"{head}:{self.target}"
         if self.kind == "crash_for":
             return f"{head}:{self.target}:{_format_number(self.downtime)}"
+        if self.kind == "partition":
+            layout = "|".join("~".join(group) for group in self.groups)
+            return f"{head}:{layout}"
+        if self.kind == "heal":
+            return head
         return (f"{head}:{self.observer}:{self.target}:"
                 f"{_format_number(self.duration)}")
 
@@ -167,12 +252,72 @@ class FaultSpec:
             schedule.recover(self.time, self.target)
         elif self.kind == "crash_for":
             schedule.crash_for(self.time, self.target, downtime=self.downtime)
+        elif self.kind == "partition":
+            schedule.partition(self.time, *self.groups)
+        elif self.kind == "heal":
+            schedule.heal(self.time)
         else:
             schedule.false_suspicion(self.time, self.observer, self.target,
                                      duration=self.duration)
 
+    @property
+    def named_processes(self) -> tuple[str, ...]:
+        """Every process name this fault mentions (for validation)."""
+        names = [name for name in (self.target, self.observer) if name]
+        for group in self.groups:
+            names.extend(group)
+        return tuple(names)
+
+
+def schedule_to_specs(schedule: FaultSchedule) -> tuple[FaultSpec, ...]:
+    """A :class:`FaultSchedule`'s actions as DSN-expressible fault specs."""
+    return tuple(FaultSpec.from_action(action) for action in schedule)
+
+
+def faults_to_text(faults: Sequence[FaultSpec]) -> str:
+    """Serialise fault specs as the comma-separated ``faults=`` value."""
+    return ",".join(spec.to_token() for spec in faults)
+
+
+def faults_from_text(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a ``faults=`` value: comma-separated tokens or an ``@file`` ref.
+
+    ``;`` is accepted as an alternative token separator: contexts that
+    already split values on commas (the CLI's ``--axis name=v1,v2`` grammar)
+    can carry a whole multi-fault schedule as one value with semicolons.
+    A value starting with ``@`` names a sidecar JSON file (written next to
+    long counterexamples) holding either a list of fault tokens or an object
+    with a ``"faults"`` key; everything else is parsed in place.
+    """
+    text = text.strip()
+    if text.startswith("@"):
+        return load_fault_sidecar(text[1:])
+    return tuple(FaultSpec.from_token(token)
+                 for token in filter(None, (t.strip()
+                                            for t in re.split(r"[,;]", text))))
+
+
+def load_fault_sidecar(path: str) -> tuple[FaultSpec, ...]:
+    """Load a ``.faults.json`` sidecar written for a long fault schedule."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ScenarioError(f"cannot read fault sidecar {path!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"malformed fault sidecar {path!r}: {exc}") from None
+    tokens = payload.get("faults") if isinstance(payload, dict) else payload
+    if not isinstance(tokens, list) or not all(isinstance(t, str) for t in tokens):
+        raise ScenarioError(f"fault sidecar {path!r} must hold a list of fault "
+                            "tokens (or an object with a 'faults' list)")
+    return tuple(FaultSpec.from_token(token) for token in tokens)
+
 
 # ----------------------------------------------------------------- scenario
+
+# Above this many faults, ``to_dsn`` switches from repeated ``fault=`` tokens
+# to the single ``faults=`` list parameter.
+_FAULT_LIST_THRESHOLD = 3
 
 _TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
 _FALSE_WORDS = frozenset({"0", "false", "no", "off"})
@@ -318,10 +463,10 @@ class Scenario:
         object.__setattr__(self, "faults", tuple(self.faults))
         known = set(self.app_server_names + self.db_server_names + self.client_names)
         for fault in self.faults:
-            for role, name in (("target", fault.target), ("observer", fault.observer)):
-                if name and name not in known:
+            for name in fault.named_processes:
+                if name not in known:
                     raise ScenarioError(
-                        f"fault {fault.to_token()!r} names unknown {role} "
+                        f"fault {fault.to_token()!r} names unknown process "
                         f"{name!r}; this scenario has processes "
                         f"{', '.join(sorted(known))}")
 
@@ -362,10 +507,17 @@ class Scenario:
     @staticmethod
     def _parse_query(query: str, values: dict[str, Any]) -> None:
         faults: list[FaultSpec] = []
+        fault_list: Optional[tuple[FaultSpec, ...]] = None
         seen: dict[str, str] = {}
         for key, raw in parse_qsl(query, keep_blank_values=True):
             if key == "fault":
                 faults.append(FaultSpec.from_token(raw))
+                continue
+            if key == "faults":
+                if fault_list is not None:
+                    raise ScenarioError("ambiguous DSN: parameter 'faults' "
+                                        "given twice")
+                fault_list = faults_from_text(raw)
                 continue
             if key in seen:
                 raise ScenarioError(
@@ -375,7 +527,7 @@ class Scenario:
             if key not in _QUERY_PARAMS:
                 raise ScenarioError(
                     f"unknown DSN parameter {key!r}; known parameters: "
-                    f"{', '.join(sorted(_QUERY_PARAMS))}, fault")
+                    f"{', '.join(sorted(_QUERY_PARAMS))}, fault, faults")
             field_name, parser = _QUERY_PARAMS[key]
             if field_name in values:
                 raise ScenarioError(
@@ -385,8 +537,13 @@ class Scenario:
                 values[field_name] = parser(raw)
             except ValueError as exc:
                 raise ScenarioError(f"bad value for {key!r}: {exc}") from None
+        if faults and fault_list is not None:
+            raise ScenarioError("ambiguous DSN: both repeated 'fault' tokens "
+                                "and a 'faults' list given; use one form")
         if faults:
             values["faults"] = tuple(faults)
+        elif fault_list is not None:
+            values["faults"] = fault_list
 
     def to_dsn(self) -> str:
         """Serialise to the canonical DSN (omitting default-valued parameters)."""
@@ -407,7 +564,13 @@ class Scenario:
             else:
                 text = str(value)
             parts.append(f"{key}={text}")
-        parts.extend(f"fault={fault.to_token()}" for fault in self.faults)
+        # Short schedules read best as repeated fault= tokens; campaign-sized
+        # ones collapse into one faults= list so the DSN stays a single
+        # copy-pastable parameter.  Both forms parse to the same scenario.
+        if len(self.faults) > _FAULT_LIST_THRESHOLD:
+            parts.append(f"faults={faults_to_text(self.faults)}")
+        else:
+            parts.extend(f"fault={fault.to_token()}" for fault in self.faults)
         query = "&".join(parts)
         return f"{self.protocol}://{host}" + (f"?{query}" if query else "")
 

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar, Union
 
 from repro.api.runner import ScenarioResult, run_scenario
-from repro.api.scenario import _QUERY_PARAMS, Scenario, ScenarioError
+from repro.api.scenario import _QUERY_PARAMS, Scenario, ScenarioError, faults_from_text
 from repro.core.types import reset_request_counter
 
 _JobT = TypeVar("_JobT")
@@ -62,6 +62,15 @@ def resolve_axis_field(name: str) -> str:
             f"({', '.join(sorted(_SCENARIO_FIELDS))}) or DSN parameters "
             f"({', '.join(sorted(_AXIS_ALIASES))})")
     return field_name
+
+
+def _coerce_axis_value(field_name: str, value: Any) -> Any:
+    """Parse axis shorthands: a ``faults`` axis accepts fault-list strings
+    (the ``faults=`` DSN grammar), so whole fault schedules sweep as easily
+    as numeric knobs."""
+    if field_name == "faults" and isinstance(value, str):
+        return faults_from_text(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -112,9 +121,12 @@ class Sweep:
             for name, value in zip(names, point):
                 if isinstance(value, Mapping):
                     scenario = scenario.with_(
-                        **{resolve_axis_field(k): v for k, v in value.items()})
+                        **{resolve_axis_field(k): _coerce_axis_value(
+                            resolve_axis_field(k), v) for k, v in value.items()})
                 else:
-                    scenario = scenario.with_(**{resolve_axis_field(name): value})
+                    field_name = resolve_axis_field(name)
+                    scenario = scenario.with_(
+                        **{field_name: _coerce_axis_value(field_name, value)})
             scenarios.append(scenario)
         return scenarios
 

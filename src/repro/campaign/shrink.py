@@ -1,0 +1,180 @@
+"""Counterexample shrinking: greedy delta debugging over fault schedules.
+
+:func:`shrink_sequence` is a generic, deterministic shrinker: given a
+sequence of items and an *oracle* (``True`` = "still interesting", i.e. the
+schedule still violates), it first removes as many items as possible
+(chunked removal halving down to single items, repeated to a fixpoint), then
+simplifies each surviving item with the given *reducers* (also to a
+fixpoint), then proves 1-minimality with a final single-removal pass.
+
+Guarantees (the unit tests pin them down):
+
+* **minimality** -- no single item of the result can be removed without the
+  oracle turning false (within the check budget);
+* **idempotence** -- shrinking an already-shrunk sequence is a no-op;
+* **determinism** -- same input, same oracle, same reducers => same result,
+  regardless of how often or where it runs.
+
+:func:`atom_reducers` supplies the fault-domain reducers the campaign uses:
+round times to the coarsest grid that still violates, shorten and round
+durations, and merge partition groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Sequence, TypeVar
+
+from repro.campaign.adversarial import ATOM_PARTITION, FaultAtom
+
+ItemT = TypeVar("ItemT")
+
+Oracle = Callable[[tuple], bool]
+Reducer = Callable[[ItemT], Iterator[ItemT]]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The shrunk sequence plus how many oracle checks it cost."""
+
+    items: tuple
+    checks: int
+    exhausted: bool = False  # True when the check budget cut the search short
+
+
+def shrink_sequence(items: Sequence[ItemT], oracle: Oracle,
+                    reducers: Sequence[Reducer] = (),
+                    max_checks: int = 256) -> ShrinkResult:
+    """Greedily shrink ``items`` while ``oracle`` stays true.
+
+    ``oracle`` is never called on the input itself (the caller asserts it is
+    interesting) nor on an empty sequence.  Checks beyond ``max_checks`` are
+    treated as "not interesting", which keeps the result valid (every kept
+    transformation was verified) but possibly non-minimal; ``exhausted``
+    reports that.
+    """
+    current = tuple(items)
+    checks = 0
+    exhausted = False
+    seen: dict[tuple, bool] = {}
+
+    def check(candidate: tuple) -> bool:
+        nonlocal checks, exhausted
+        # The fixpoint loops re-try previously rejected candidates; memoise
+        # so duplicates consume neither budget nor oracle runs (items may be
+        # unhashable for exotic callers, then every check is live).
+        try:
+            cached = seen.get(candidate)
+        except TypeError:
+            cached = None
+        if cached is not None:
+            return cached
+        if checks >= max_checks:
+            exhausted = True
+            return False
+        checks += 1
+        verdict = bool(oracle(candidate))
+        try:
+            seen[candidate] = verdict
+        except TypeError:
+            pass
+        return verdict
+
+    def removal_pass(seq: tuple) -> tuple:
+        """Chunked removal, halving chunk sizes, to a fixpoint."""
+        changed = True
+        while changed and len(seq) > 1:
+            changed = False
+            chunk = len(seq) // 2
+            while chunk >= 1:
+                start = 0
+                while start + chunk <= len(seq) and len(seq) > 1:
+                    candidate = seq[:start] + seq[start + chunk:]
+                    if candidate and check(candidate):
+                        seq = candidate
+                        changed = True
+                    else:
+                        start += chunk
+                chunk //= 2
+        return seq
+
+    def reduce_pass(seq: tuple) -> tuple:
+        """Per-item simplification with the reducers, to a fixpoint."""
+        if not reducers:
+            return seq
+        progress = True
+        while progress:
+            progress = False
+            for index in range(len(seq)):
+                accepted = True
+                while accepted:
+                    accepted = False
+                    for reducer in reducers:
+                        for variant in reducer(seq[index]):
+                            if variant == seq[index]:
+                                continue
+                            candidate = seq[:index] + (variant,) + seq[index + 1:]
+                            if check(candidate):
+                                seq = candidate
+                                progress = True
+                                accepted = True
+                                break
+                        if accepted:
+                            break
+        return seq
+
+    previous = None
+    while previous != current:
+        previous = current
+        current = removal_pass(current)
+        current = reduce_pass(current)
+    return ShrinkResult(items=current, checks=checks, exhausted=exhausted)
+
+
+# ------------------------------------------------------------ fault reducers
+
+
+def _round_value(value: float, digits: int) -> float:
+    return float(round(value, digits))
+
+
+def reduce_atom_time(atom: FaultAtom) -> Iterator[FaultAtom]:
+    """Round the atom's time to the coarsest grid (100 ms, 10 ms, 1 ms)."""
+    for digits in (-2, -1, 0):
+        rounded = _round_value(atom.time, digits)
+        if rounded >= 0:
+            yield replace(atom, time=rounded)
+
+
+def reduce_atom_duration(atom: FaultAtom) -> Iterator[FaultAtom]:
+    """Shorten and round the atom's duration (downtime / window / suspicion).
+
+    Candidates are strictly shorter than the current duration: together with
+    the halving step, a round-up could otherwise cycle (50 -> 100 -> 50).
+    """
+    if not atom.duration:
+        return
+    candidates = [_round_value(atom.duration, -2), _round_value(atom.duration, -1),
+                  _round_value(atom.duration, 0)]
+    if atom.duration / 2 >= 1.0:  # keep shrunk durations on a sane grid
+        candidates.append(atom.duration / 2)
+    for candidate in candidates:
+        if 0 < candidate < atom.duration:
+            yield replace(atom, duration=float(candidate))
+
+
+def reduce_partition_groups(atom: FaultAtom) -> Iterator[FaultAtom]:
+    """Merge a partition's named groups (fewer, coarser cuts shrink first)."""
+    if atom.kind != ATOM_PARTITION or len(atom.groups) <= 1:
+        return
+    # Merge the last two named groups into one.
+    merged = atom.groups[:-2] + (atom.groups[-2] + atom.groups[-1],)
+    yield replace(atom, groups=merged)
+    # Or drop the last named group entirely (its members join the implicit
+    # rest).
+    yield replace(atom, groups=atom.groups[:-1])
+
+
+def atom_reducers() -> tuple[Reducer, ...]:
+    """The fault-domain reducers the campaign shrinks with."""
+    return (reduce_atom_time, reduce_atom_duration, reduce_partition_groups)

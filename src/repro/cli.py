@@ -29,7 +29,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro import api
+from repro import api, campaign
 from repro.core import Request
 from repro.experiments import fault_sweep, figure1, figure7, figure8, scaleout, soak
 from repro.experiments.ablations import asynchrony_sweep, log_cost_sweep, scaling_sweep
@@ -203,6 +203,73 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _artifact_name(example: campaign.Counterexample, index: int) -> str:
+    scenario = example.scenario()
+    if example.kind == "certificate":
+        return f"{scenario.protocol}-certificate-{index + 1}.json"
+    signature = example.provenance.get("signature") or ["violation"]
+    slug = "-".join(p.lower().replace(".", "") for p in signature)
+    return f"{scenario.protocol}-{slug}.json"
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        scenario = api.Scenario.from_dsn(args.dsn)
+        if args.seed is not None:
+            scenario = scenario.with_(seed=_seed(args))
+        budget = campaign.CampaignBudget(
+            max_runs=args.budget, population=args.population,
+            stop_after=args.stop_after, shrink_checks=args.shrink_checks,
+            horizon=args.horizon, settle=args.settle)
+        report = campaign.run_campaign(scenario, budget=budget,
+                                       seed=args.campaign_seed,
+                                       workers=args.workers)
+    except (api.ScenarioError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.out:
+        import os
+
+        try:
+            os.makedirs(args.out, exist_ok=True)
+            written = []
+            for index, example in enumerate(report.counterexamples
+                                            + report.certificates):
+                path = os.path.join(args.out, _artifact_name(example, index))
+                written.append(example.save(path))
+        except OSError as error:
+            # The search results are already printed above; the write
+            # failure must not traceback over them.
+            print(f"error: cannot write artifacts: {error}", file=sys.stderr)
+            return 2
+        print(f"\n{len(written)} artifact(s) written to {args.out}")
+    if args.expect == "violation":
+        return 0 if report.counterexamples else 1
+    if args.expect == "clean":
+        return 0 if report.clean else 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        if "://" in args.source:
+            # A scenario DSN (possibly referencing a faults=@sidecar): treat
+            # it as a certificate claim -- the run must be spec-clean.
+            example = campaign.Counterexample(
+                dsn=args.source, kind="certificate",
+                requests=args.requests, horizon=args.horizon,
+                settle=args.settle)
+            result = campaign.replay(example)
+        else:
+            result = campaign.replay(args.source)
+    except (api.ScenarioError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    return 0 if result.matches else 1
+
+
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     result = fault_sweep.run(num_runs=args.runs, seed=_seed(args),
                              allow_client_crash=args.client_crashes)
@@ -303,6 +370,51 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--client-crashes", action="store_true",
                        help="let the client crash too (at-most-once runs)")
     sweep.set_defaults(func=_cmd_fault_sweep)
+
+    camp = sub.add_parser(
+        "campaign", help="adversarial fault-space search: window-targeted "
+                         "schedules, spec-checked, counterexamples shrunk")
+    camp.add_argument("dsn", help="base scenario DSN (its faults are ignored; "
+                                  "the campaign generates its own)")
+    camp.add_argument("--budget", type=int, default=200,
+                      help="max search evaluations (default 200)")
+    camp.add_argument("--population", type=int, default=12,
+                      help="schedules per generation (default 12)")
+    camp.add_argument("--stop-after", type=int, default=2,
+                      help="distinct violation signatures before the search "
+                           "stops early (default 2)")
+    camp.add_argument("--shrink-checks", type=int, default=60,
+                      help="oracle re-runs allowed per counterexample shrink")
+    camp.add_argument("--horizon", type=float, default=120_000.0,
+                      help="virtual-ms horizon per request (default 120000)")
+    camp.add_argument("--settle", type=float, default=20_000.0,
+                      help="virtual ms of cleanup time after the last delivery")
+    camp.add_argument("--workers", type=int, default=1,
+                      help="worker processes for each generation (default 1)")
+    camp.add_argument("--campaign-seed", type=int, default=0,
+                      help="master seed of the schedule search (default 0)")
+    camp.add_argument("--out", default=None, metavar="DIR",
+                      help="write counterexample/certificate artifacts here")
+    camp.add_argument("--expect", choices=["violation", "clean"], default=None,
+                      help="exit non-zero unless the campaign found a "
+                           "violation / stayed clean (for CI)")
+    camp.set_defaults(func=_cmd_campaign)
+
+    rep = sub.add_parser(
+        "replay", help="re-run a saved campaign artifact (or assert a DSN "
+                       "runs spec-clean) deterministically")
+    rep.add_argument("source", help="a .json artifact path, or a scenario DSN "
+                                    "to assert clean")
+    rep.add_argument("--requests", type=int, default=1,
+                     help="requests per client (bare-DSN replays only; an "
+                          "artifact replays with its recorded parameters)")
+    rep.add_argument("--horizon", type=float, default=120_000.0,
+                     help="virtual-ms horizon per request (bare-DSN replays "
+                          "only)")
+    rep.add_argument("--settle", type=float, default=20_000.0,
+                     help="virtual ms of post-delivery cleanup time "
+                          "(bare-DSN replays only)")
+    rep.set_defaults(func=_cmd_replay)
     return parser
 
 

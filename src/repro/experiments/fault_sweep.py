@@ -51,21 +51,13 @@ class FaultSweepResult:
 
 
 def fault_specs(schedule: FaultSchedule) -> tuple[api.FaultSpec, ...]:
-    """A :class:`FaultSchedule`'s actions as DSN-expressible fault specs."""
-    specs: list[api.FaultSpec] = []
-    for action in schedule:
-        if action.kind in (injection.CRASH, injection.RECOVER):
-            specs.append(api.FaultSpec(action.kind, action.time, action.target))
-        elif action.kind == injection.CRASH_FOR:
-            specs.append(api.FaultSpec(action.kind, action.time, action.target,
-                                       downtime=action.params["downtime"]))
-        elif action.kind == injection.FALSE_SUSPICION:
-            specs.append(api.FaultSpec(action.kind, action.time, action.target,
-                                       observer=action.params["observer"],
-                                       duration=action.params["duration"]))
-        else:
-            raise ValueError(f"fault kind {action.kind!r} has no DSN form")
-    return tuple(specs)
+    """A :class:`FaultSchedule`'s actions as DSN-expressible fault specs.
+
+    Every fault kind (including partitions and heals) now has a DSN form;
+    this is :func:`repro.api.schedule_to_specs`, kept under its historical
+    name for the experiment harnesses.
+    """
+    return api.schedule_to_specs(schedule)
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.failure.detectors import EventuallyPerfectFailureDetector
 from repro.net.network import Network
@@ -28,15 +28,77 @@ FALSE_SUSPICION = "false_suspicion"
 
 _VALID_KINDS = {CRASH, RECOVER, CRASH_FOR, PARTITION, HEAL, FALSE_SUSPICION}
 
+# Kind -> the exact ``params`` keys it takes.  Anything else is a typo that
+# used to surface as a ``KeyError`` deep inside ``apply``; now it is rejected
+# at construction time.
+_PARAM_KEYS = {
+    CRASH: frozenset(),
+    RECOVER: frozenset(),
+    CRASH_FOR: frozenset({"downtime"}),
+    PARTITION: frozenset({"groups"}),
+    HEAL: frozenset(),
+    FALSE_SUSPICION: frozenset({"observer", "duration"}),
+}
+
+
+def validate_downtime(downtime: Any) -> None:
+    """Check a ``crash_for`` downtime (shared by FaultAction and FaultSpec)."""
+    if not isinstance(downtime, (int, float)) or isinstance(downtime, bool) \
+            or downtime <= 0:
+        raise ValueError(f"crash_for needs a positive numeric 'downtime', "
+                         f"got {downtime!r}")
+
+
+def validate_suspicion(observer: Any, target: str, duration: Any) -> None:
+    """Check false-suspicion parameters (shared by FaultAction and FaultSpec)."""
+    if not isinstance(observer, str) or not observer:
+        raise ValueError("false_suspicion needs an 'observer' process")
+    if observer == target:
+        raise ValueError("false_suspicion observer and target must differ")
+    if not isinstance(duration, (int, float)) or isinstance(duration, bool) \
+            or duration <= 0:
+        raise ValueError(f"false_suspicion needs a positive numeric "
+                         f"'duration', got {duration!r}")
+
+
+def validate_partition_groups(groups: Any) -> list[list[str]]:
+    """Check a partition's group layout and return it normalised.
+
+    Groups must be a non-empty sequence of non-empty process-name groups with
+    no name appearing twice (within one group or across groups): an
+    overlapping layout is ambiguous -- :meth:`Network.partition` routes by the
+    first group containing the sender -- and previously only misbehaved mid-run.
+    """
+    if not isinstance(groups, (list, tuple)) or not groups:
+        raise ValueError("partition needs at least one non-empty group")
+    normalised: list[list[str]] = []
+    seen: set[str] = set()
+    for group in groups:
+        if not isinstance(group, (list, tuple, set, frozenset)) or not group:
+            raise ValueError("partition groups must be non-empty name sequences")
+        members = sorted(group) if isinstance(group, (set, frozenset)) else list(group)
+        for name in members:
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"bad process name in partition group: {name!r}")
+            if name in seen:
+                raise ValueError(f"process {name!r} appears in two partition "
+                                 "groups (overlapping layouts are ambiguous)")
+            seen.add(name)
+        normalised.append(members)
+    return normalised
+
 
 @dataclass
 class FaultAction:
     """One scheduled fault.
 
     ``kind`` is one of the module-level constants.  ``target`` is the process
-    name (or, for partitions, unused).  ``params`` carries kind-specific data:
-    ``downtime`` for :data:`CRASH_FOR`, ``groups`` for :data:`PARTITION`,
-    ``observer``/``duration`` for :data:`FALSE_SUSPICION`.
+    name (or, for partitions and heals, unused).  ``params`` carries
+    kind-specific data: ``downtime`` for :data:`CRASH_FOR`, ``groups`` for
+    :data:`PARTITION`, ``observer``/``duration`` for :data:`FALSE_SUSPICION`.
+    Kind-specific requirements are validated eagerly here, so a malformed
+    action fails at construction with a clear message instead of blowing up
+    mid-run inside ``apply``.
     """
 
     time: float
@@ -49,6 +111,25 @@ class FaultAction:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.time < 0:
             raise ValueError("fault time must be non-negative")
+        unknown = set(self.params) - _PARAM_KEYS[self.kind]
+        if unknown:
+            raise ValueError(f"fault kind {self.kind!r} does not take params "
+                             f"{sorted(unknown)}")
+        if self.kind in (CRASH, RECOVER, CRASH_FOR, FALSE_SUSPICION):
+            if not self.target:
+                raise ValueError(f"fault kind {self.kind!r} needs a target process")
+        elif self.target:
+            raise ValueError(f"fault kind {self.kind!r} takes no target "
+                             f"(got {self.target!r})")
+        if self.kind == CRASH_FOR:
+            validate_downtime(self.params.get("downtime"))
+        elif self.kind == PARTITION:
+            if "groups" not in self.params:
+                raise ValueError("partition needs a 'groups' param")
+            self.params["groups"] = validate_partition_groups(self.params["groups"])
+        elif self.kind == FALSE_SUSPICION:
+            validate_suspicion(self.params.get("observer"), self.target,
+                               self.params.get("duration"))
 
 
 class FaultSchedule:
@@ -101,6 +182,17 @@ class FaultSchedule:
 
     def __iter__(self):
         return iter(sorted(self.actions, key=lambda a: a.time))
+
+    def __eq__(self, other: object) -> bool:
+        """Schedules are equal when they apply the same actions in time order.
+
+        Like other mutable value-equality containers (``list``, ``dict``),
+        schedules are therefore unhashable; key by an immutable form (the
+        DSN fault specs, or ``tuple(schedule.describe())``) instead.
+        """
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return list(self) == list(other)
 
     # ----------------------------------------------------------------- apply
 

@@ -96,8 +96,16 @@ class Network:
         """Split the network into the given groups; cross-group messages drop.
 
         Processes not named in any group form an implicit extra group.
+        Overlapping groups and unknown process names are rejected up front:
+        routing picks the first group containing the sender, so an overlap
+        would silently give asymmetric connectivity.
         """
-        named = [set(g) for g in groups]
+        from repro.failure.injection import validate_partition_groups
+
+        named = [set(g) for g in validate_partition_groups(list(groups))]
+        for name in set().union(*named):
+            if name not in self.processes:
+                raise ValueError(f"partition names unknown process {name!r}")
         rest = set(self.processes) - set().union(*named) if named else set()
         if rest:
             named.append(rest)

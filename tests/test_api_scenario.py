@@ -160,10 +160,12 @@ def test_api_reexports_the_scenario_surface():
 
 
 def test_faults_naming_unknown_processes_are_rejected():
-    with pytest.raises(ScenarioError, match="unknown target 'a9'"):
+    with pytest.raises(ScenarioError, match="unknown process 'a9'"):
         Scenario.from_dsn("etx://a3.d1.c1?fault=crash@10:a9")
-    with pytest.raises(ScenarioError, match="unknown observer"):
+    with pytest.raises(ScenarioError, match="unknown process 'a7'"):
         Scenario.from_dsn("etx://a3?fault=false_suspicion@15:a7:a1:200")
+    with pytest.raises(ScenarioError, match="unknown process 'd9'"):
+        Scenario.from_dsn("etx://a3.d1?fault=partition@10:a1~d9")
     # valid targets in any tier parse fine
     assert Scenario.from_dsn("etx://a3.d1.c1?fault=crash@10:c1")
     assert Scenario.from_dsn("etx://a3.d2?fault=crash_for@10:d2:50")

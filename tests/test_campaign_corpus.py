@@ -1,0 +1,56 @@
+"""Replay the committed counterexample corpus on every CI run.
+
+``tests/corpus/`` holds the shrunk counterexamples the fault campaigns found
+for the three comparison protocols (which *should* violate under the right
+faults) and clean-pass certificates for the e-Transaction protocol.  Each
+artifact records the exact violation strings its run must (re)produce;
+replaying them pins the protocols' failure modes -- and etx's absence of one
+-- as permanent, deterministic regression tests.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.campaign import Counterexample, replay
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ARTIFACTS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def _artifact_id(path: str) -> str:
+    return os.path.basename(path)
+
+
+def test_corpus_is_present_and_covers_the_protocols():
+    assert ARTIFACTS, "the committed corpus must not be empty"
+    by_protocol: dict[str, set] = {}
+    for path in ARTIFACTS:
+        example = Counterexample.load(path)
+        by_protocol.setdefault(example.scenario().protocol, set()).add(example.kind)
+    # The three comparison protocols each have a violation on file; the
+    # e-Transaction protocol has clean-pass certificates.
+    assert "violation" in by_protocol.get("baseline", set())
+    assert "violation" in by_protocol.get("2pc", set())
+    assert "violation" in by_protocol.get("pb", set())
+    assert "certificate" in by_protocol.get("etx", set())
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=_artifact_id)
+def test_corpus_artifact_replays_deterministically(path):
+    result = replay(path)
+    assert result.matches, result.summary()
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=_artifact_id)
+def test_corpus_violations_are_small_and_well_formed(path):
+    example = Counterexample.load(path)
+    scenario = example.scenario()
+    if example.kind == "violation":
+        # The shrinker's contract: a handful of fault actions at most.
+        assert 1 <= len(scenario.fault_schedule()) <= 4
+        assert example.violations
+    else:
+        assert not example.violations
+    assert example.provenance.get("campaign_seed") is not None

@@ -1,0 +1,117 @@
+"""Shrinker unit tests on synthetic oracles: minimality, idempotence,
+determinism -- no simulator involved."""
+
+from dataclasses import replace
+
+from repro.campaign import FaultAtom, shrink_sequence
+from repro.campaign.adversarial import ATOM_PARTITION
+from repro.campaign.shrink import (
+    atom_reducers,
+    reduce_atom_duration,
+    reduce_atom_time,
+    reduce_partition_groups,
+)
+
+
+def subset_oracle(required):
+    """Interesting iff every required item survives."""
+    return lambda candidate: set(required) <= set(candidate)
+
+
+def test_shrink_removes_everything_not_required():
+    result = shrink_sequence(range(1, 9), subset_oracle({2, 5}))
+    assert result.items == (2, 5)
+    assert not result.exhausted
+
+
+def test_shrink_result_is_one_minimal():
+    items = list(range(12))
+    oracle = subset_oracle({0, 3, 7, 11})
+    result = shrink_sequence(items, oracle)
+    for index in range(len(result.items)):
+        candidate = result.items[:index] + result.items[index + 1:]
+        assert not oracle(candidate), "a single item was still removable"
+
+
+def test_shrink_is_idempotent():
+    oracle = subset_oracle({"b", "e"})
+    first = shrink_sequence(list("abcdefg"), oracle)
+    second = shrink_sequence(first.items, oracle)
+    assert second.items == first.items
+
+
+def test_shrink_is_deterministic_across_repeated_runs():
+    oracle = lambda candidate: sum(candidate) >= 10  # noqa: E731
+    runs = [shrink_sequence([1, 9, 2, 8, 3, 7], oracle) for _ in range(3)]
+    assert len({run.items for run in runs}) == 1
+    assert len({run.checks for run in runs}) == 1
+
+
+def test_shrink_respects_the_check_budget():
+    calls = []
+
+    def oracle(candidate):
+        calls.append(candidate)
+        return True
+
+    result = shrink_sequence(range(40), oracle, max_checks=3)
+    assert len(calls) == 3
+    assert result.exhausted
+    assert result.checks == 3
+    # Every accepted transformation was verified, so the result is still
+    # interesting -- just not minimal (40 -> 20 -> 10 -> 5 within budget).
+    assert len(result.items) == 5
+
+
+def test_shrink_with_reducers_simplifies_surviving_items():
+    # Items are numbers; the oracle needs one item >= 100; the reducer rounds
+    # down to the nearest hundred.
+    def reducer(value):
+        if value % 100:
+            yield value - value % 100
+
+    def oracle(candidate):
+        return any(v >= 100 for v in candidate)
+
+    result = shrink_sequence([37, 250, 14], oracle, reducers=(reducer,))
+    assert result.items == (200,)
+
+
+def test_shrink_reducer_idempotence_on_atoms():
+    atoms = (FaultAtom("crash", 213.7731, "a1"),
+             FaultAtom("crash_for", 467.21, "d1", duration=133.33))
+
+    def oracle(candidate):
+        return any(a.kind == "crash_for" for a in candidate)
+
+    first = shrink_sequence(atoms, oracle, reducers=atom_reducers())
+    second = shrink_sequence(first.items, oracle, reducers=atom_reducers())
+    assert first.items == second.items
+    (survivor,) = first.items
+    assert survivor.kind == "crash_for"
+    assert survivor.time == round(survivor.time, 0)  # time landed on a grid
+
+
+def test_time_reducer_rounds_to_coarsest_grids():
+    atom = FaultAtom("crash", 234.567, "a1")
+    times = [variant.time for variant in reduce_atom_time(atom)]
+    assert times == [200.0, 230.0, 235.0]
+
+
+def test_duration_reducer_only_proposes_strictly_shorter():
+    atom = FaultAtom("crash_for", 10.0, "d1", duration=50.0)
+    for variant in reduce_atom_duration(atom):
+        assert 0 < variant.duration < 50.0
+    # A 1 ms duration is the floor: nothing shorter is proposed.
+    floor = FaultAtom("crash_for", 10.0, "d1", duration=1.0)
+    assert list(reduce_atom_duration(floor)) == []
+
+
+def test_partition_group_reducer_merges_and_drops():
+    atom = FaultAtom(ATOM_PARTITION, 5.0, duration=40.0,
+                     groups=(("a1",), ("a2",), ("d1",)))
+    variants = list(reduce_partition_groups(atom))
+    assert replace(atom, groups=(("a1",), ("a2", "d1"))) in variants
+    assert replace(atom, groups=(("a1",), ("a2",))) in variants
+    single = FaultAtom(ATOM_PARTITION, 5.0, duration=40.0, groups=(("a1",),))
+    assert list(reduce_partition_groups(single)) == []

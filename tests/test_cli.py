@@ -136,3 +136,62 @@ def test_sweep_command_applies_the_global_seed(capsys):
     captured = capsys.readouterr().out
     assert status == 0
     assert "seed=3" in captured
+
+
+def test_campaign_command_finds_and_writes_artifacts(tmp_path, capsys):
+    status = main(["campaign", "baseline://a1.d1.c1?workload=bank&timing=paper&seed=3",
+                   "--budget", "8", "--population", "8", "--stop-after", "1",
+                   "--shrink-checks", "20", "--horizon", "60000",
+                   "--settle", "10000", "--out", str(tmp_path),
+                   "--expect", "violation"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "counterexample(s), shrunk" in captured
+    artifacts = list(tmp_path.glob("*.json"))
+    assert artifacts, "campaign --out must write artifacts"
+    replay_status = main(["replay", str(artifacts[0])])
+    replayed = capsys.readouterr().out
+    assert replay_status == 0
+    assert "reproduced" in replayed
+
+
+def test_campaign_command_expect_clean_gates_on_violations(capsys):
+    status = main(["campaign", "etx://a3.d1.c1?workload=bank&timing=paper&seed=3&detect=10",
+                   "--budget", "6", "--population", "6",
+                   "--horizon", "60000", "--settle", "10000",
+                   "--expect", "clean"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "none found" in captured
+
+
+def test_replay_command_asserts_a_bare_dsn_is_clean(capsys):
+    status = main(["replay", "etx://a3.d1.c1?workload=bank&seed=7",
+                   "--horizon", "60000", "--settle", "5000"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "clean pass confirmed" in captured
+
+
+def test_replay_command_rejects_missing_artifacts(capsys):
+    status = main(["replay", "no/such/artifact.json"])
+    captured = capsys.readouterr()
+    assert status == 2
+    assert "error:" in captured.err
+
+
+def test_replay_command_routes_sidecar_dsns_to_the_scenario_path(tmp_path, capsys):
+    """A DSN whose faults live in a @sidecar ends in .json but is not an
+    artifact file; routing is by '://', not by suffix."""
+    from repro import api
+    from repro.campaign import write_sidecar
+
+    scenario = api.Scenario.from_dsn(
+        "etx://a3.d1.c1?workload=bank&seed=7&detect=10"
+        "&faults=partition@250:c1,heal@300")
+    dsn = write_sidecar(scenario, str(tmp_path / "x.faults.json"))
+    assert dsn.endswith(".json")
+    status = main(["replay", dsn, "--horizon", "60000", "--settle", "5000"])
+    captured = capsys.readouterr().out
+    assert status == 0
+    assert "clean pass confirmed" in captured

@@ -72,6 +72,69 @@ def test_negative_fault_time_rejected():
         FaultAction(-1.0, "crash", "a")
 
 
+def test_crash_for_requires_a_positive_numeric_downtime():
+    with pytest.raises(ValueError, match="downtime"):
+        FaultAction(1.0, "crash_for", "d1")  # missing entirely
+    with pytest.raises(ValueError, match="downtime"):
+        FaultAction(1.0, "crash_for", "d1", {"downtime": 0.0})
+    with pytest.raises(ValueError, match="downtime"):
+        FaultAction(1.0, "crash_for", "d1", {"downtime": "soon"})
+    with pytest.raises(ValueError, match="downtime"):
+        FaultAction(1.0, "crash_for", "d1", {"downtime": True})
+    assert FaultAction(1.0, "crash_for", "d1", {"downtime": 5.0})
+
+
+def test_partition_groups_validated_eagerly():
+    with pytest.raises(ValueError, match="groups"):
+        FaultAction(1.0, "partition")  # no groups at all
+    with pytest.raises(ValueError, match="non-empty"):
+        FaultAction(1.0, "partition", params={"groups": []})
+    with pytest.raises(ValueError, match="non-empty"):
+        FaultAction(1.0, "partition", params={"groups": [["a"], []]})
+    with pytest.raises(ValueError, match="two partition groups"):
+        FaultAction(1.0, "partition", params={"groups": [["a", "b"], ["b"]]})
+    with pytest.raises(ValueError, match="two partition groups"):
+        FaultAction(1.0, "partition", params={"groups": [["a", "a"]]})
+    assert FaultAction(1.0, "partition", params={"groups": [["a"], ["b"]]})
+
+
+def test_overlapping_partition_rejected_by_the_network_too():
+    sim, network, procs = build(["a", "b"])
+    with pytest.raises(ValueError, match="two partition groups"):
+        network.partition(["a", "b"], ["b"])
+    with pytest.raises(ValueError, match="unknown process"):
+        network.partition(["a"], ["ghost"])
+
+
+def test_false_suspicion_params_validated_eagerly():
+    with pytest.raises(ValueError, match="observer"):
+        FaultAction(1.0, "false_suspicion", "b", {"duration": 5.0})
+    with pytest.raises(ValueError, match="must differ"):
+        FaultAction(1.0, "false_suspicion", "b",
+                    {"observer": "b", "duration": 5.0})
+    with pytest.raises(ValueError, match="duration"):
+        FaultAction(1.0, "false_suspicion", "b", {"observer": "a"})
+    with pytest.raises(ValueError, match="duration"):
+        FaultAction(1.0, "false_suspicion", "b",
+                    {"observer": "a", "duration": -3.0})
+
+
+def test_target_requirements_validated_eagerly():
+    with pytest.raises(ValueError, match="needs a target"):
+        FaultAction(1.0, "crash")
+    with pytest.raises(ValueError, match="takes no target"):
+        FaultAction(1.0, "heal", "a")
+    with pytest.raises(ValueError, match="takes no target"):
+        FaultAction(1.0, "partition", "a", {"groups": [["b"]]})
+
+
+def test_unknown_params_rejected_eagerly():
+    with pytest.raises(ValueError, match="does not take params"):
+        FaultAction(1.0, "crash", "a", {"downtime": 5.0})
+    with pytest.raises(ValueError, match="does not take params"):
+        FaultAction(1.0, "crash_for", "d1", {"downtime": 5.0, "grace": 1.0})
+
+
 def test_schedule_iterates_in_time_order():
     schedule = FaultSchedule().crash(30.0, "b").crash(10.0, "a").recover(20.0, "a")
     times = [action.time for action in schedule]

@@ -63,3 +63,48 @@ def test_run_scenario_resets_request_ids():
     second = api.run_scenario(DSN, requests=1)
     assert first.statistics.latencies == second.statistics.latencies
     assert first.summary() == second.summary()
+
+
+# --------------------------------------------------------------- campaigns
+
+
+CAMPAIGN_DSN = "baseline://a1.d1.c1?workload=bank&timing=paper&seed=3"
+
+
+def _campaign_fingerprint(workers: int) -> tuple:
+    """Everything a campaign produced, as comparable plain data."""
+    from repro.campaign import CampaignBudget, run_campaign
+
+    report = run_campaign(
+        CAMPAIGN_DSN,
+        budget=CampaignBudget(max_runs=12, population=6, stop_after=2,
+                              shrink_checks=25, horizon=60_000.0,
+                              settle=10_000.0),
+        seed=5, workers=workers)
+    return (
+        report.runs,
+        report.shrink_runs,
+        [(g.index, g.size, g.best_score, g.violating_runs)
+         for g in report.generations],
+        [example.to_json() for example in report.counterexamples],
+        [example.to_json() for example in report.certificates],
+    )
+
+
+def test_campaign_with_fixed_master_seed_is_byte_identical():
+    """Two campaigns, same seed: same generations, shrunk schedules, artifacts.
+
+    Interleaved unrelated runs must not perturb the search (same contract as
+    back-to-back scenario runs above).
+    """
+    first = _campaign_fingerprint(workers=1)
+    _trace_of(OTHER_DSN)  # perturb interpreter state between campaigns
+    second = _campaign_fingerprint(workers=1)
+    assert first == second
+
+
+def test_campaign_is_deterministic_under_map_jobs_parallelism():
+    """A parallel campaign produces byte-identical results to a serial one."""
+    serial = _campaign_fingerprint(workers=1)
+    parallel = _campaign_fingerprint(workers=2)
+    assert serial == parallel

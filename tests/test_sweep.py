@@ -124,3 +124,26 @@ def test_sweep_table_renders_one_row_per_grid_point(small_grid):
     assert len(lines) == 1 + 4
     assert "tput/s" in lines[0] and "p95" in lines[0] and "spec" in lines[0]
     assert all(line.rstrip().endswith("ok") for line in lines[1:])
+
+
+def test_faults_axis_accepts_fault_list_strings():
+    """Whole fault schedules sweep as easily as numeric knobs."""
+    sweep = api.Sweep.over(
+        "etx://a3.d1.c1?workload=bank",
+        faults=["crash@200:a1", "partition@200:a1,heal@260", ""])
+    scenarios = sweep.expand()
+    assert [len(s.faults) for s in scenarios] == [1, 2, 0]
+    assert scenarios[0].faults[0].kind == "crash"
+    assert scenarios[1].faults[0].kind == "partition"
+    assert scenarios[1].faults[1].kind == "heal"
+
+
+def test_faults_axis_semicolons_keep_a_schedule_in_one_value():
+    """The CLI axis grammar splits values on commas; semicolons carry a
+    whole multi-fault schedule as a single axis value."""
+    sweep = api.Sweep.over(
+        "etx://a3.d1.c1?workload=bank",
+        faults=["crash@10:a1;recover@20:a1", "crash@5:a2"])
+    scenarios = sweep.expand()
+    assert [len(s.faults) for s in scenarios] == [2, 1]
+    assert [f.kind for f in scenarios[0].faults] == ["crash", "recover"]
