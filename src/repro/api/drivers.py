@@ -26,6 +26,7 @@ from repro.core.spec import SpecReport
 from repro.core.timing import DatabaseTiming, ProtocolTiming
 from repro.core.types import Request
 from repro.failure.injection import FaultSchedule
+from repro.runtime.base import RuntimeSpec
 
 
 class RunningSystem:
@@ -84,6 +85,14 @@ class RunningSystem:
         """A fresh instance of the scenario workload's standard request."""
         return self.workload.make_request()
 
+    def close(self) -> None:
+        """Release the deployment's runtime resources (sockets, event loop).
+
+        A no-op for simulator-backed systems; asyncio-backed systems close
+        their TCP servers, connections and event loop.  Idempotent.
+        """
+        self.deployment.close()
+
 
 class ProtocolDriver:
     """Build recipe for one protocol; subclass and register.
@@ -103,7 +112,8 @@ class ProtocolDriver:
               business_logic: Callable[[Request], Callable[[Any], Any]],
               initial_data: dict[str, Any],
               db_timing: DatabaseTiming,
-              protocol_timing: ProtocolTiming) -> Any:
+              protocol_timing: ProtocolTiming,
+              runtime: RuntimeSpec) -> Any:
         """Return a fully wired deployment for ``scenario``."""
         raise NotImplementedError
 
@@ -163,8 +173,9 @@ class EtxDriver(ProtocolDriver):
     ignored_fields = ("coordinator_log_latency",)
 
     def build(self, scenario, *, business_logic, initial_data, db_timing,
-              protocol_timing):
+              protocol_timing, runtime):
         config = DeploymentConfig(
+            runtime=runtime,
             num_app_servers=scenario.num_app_servers,
             num_db_servers=scenario.num_db_servers,
             num_clients=scenario.num_clients,
@@ -202,8 +213,9 @@ class _BaselineFamilyDriver(ProtocolDriver):
                       "detection_delay", "heartbeat_interval", "heartbeat_timeout")
 
     def _config(self, scenario, *, business_logic, initial_data, db_timing,
-                protocol_timing) -> BaselineConfig:
+                protocol_timing, runtime) -> BaselineConfig:
         return BaselineConfig(
+            runtime=runtime,
             num_app_servers=scenario.num_app_servers,
             num_db_servers=scenario.num_db_servers,
             num_clients=scenario.num_clients,
@@ -222,10 +234,10 @@ class _BaselineFamilyDriver(ProtocolDriver):
         )
 
     def build(self, scenario, *, business_logic, initial_data, db_timing,
-              protocol_timing):
+              protocol_timing, runtime):
         config = self._config(scenario, business_logic=business_logic,
                               initial_data=initial_data, db_timing=db_timing,
-                              protocol_timing=protocol_timing)
+                              protocol_timing=protocol_timing, runtime=runtime)
         return self.deployment_class(config)
 
 
@@ -279,12 +291,14 @@ def build(scenario: Scenario, *,
           business_logic: Optional[Callable[[Request], Callable[[Any], Any]]] = None,
           initial_data: Optional[dict[str, Any]] = None,
           db_timing: Optional[DatabaseTiming] = None,
-          protocol_timing: Optional[ProtocolTiming] = None) -> RunningSystem:
+          protocol_timing: Optional[ProtocolTiming] = None,
+          runtime: Optional[RuntimeSpec] = None) -> RunningSystem:
     """Build (and start) the system a scenario describes.
 
     The keyword overrides exist for programmatic callers that need objects a
-    DSN cannot carry -- a custom workload instance, timing objects, or raw
-    business logic; anything omitted comes from the scenario itself.  The
+    DSN cannot carry -- a custom workload instance, timing objects, raw
+    business logic, or a :class:`RuntimeSpec` naming the local subset of a
+    distributed run; anything omitted comes from the scenario itself.  The
     scenario's fault schedule is applied before returning.
     """
     driver = get_protocol(scenario.protocol)
@@ -306,6 +320,7 @@ def build(scenario: Scenario, *,
         else dict(binding.initial_data),
         db_timing=resolved_db_timing,
         protocol_timing=protocol_timing,
+        runtime=runtime if runtime is not None else scenario.runtime_spec,
     )
     system = RunningSystem(scenario, deployment, binding, resolved_db_timing)
     schedule = scenario.fault_schedule()

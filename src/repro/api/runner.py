@@ -136,38 +136,43 @@ def run_scenario(scenario: Union[Scenario, str], requests: int = 1,
     # byte-identical (the sweep executor relies on the same reset).
     reset_request_counter()
     system = build(scenario, **build_overrides)
-    generator = load_generator_for(scenario, horizon_per_request=horizon_per_request,
-                                   max_events=max_events)
-    statistics = generator.run(system, requests)
-    requested = requests * scenario.num_clients
-    if settle > 0:
-        system.run(until=system.sim.now + settle)
-    if check_termination is None:
-        client_faulted = any(fault.target in scenario.client_names
-                             for fault in scenario.faults)
-        check_termination = statistics.undelivered == 0 and not client_faulted
-    spec = system.check_spec(check_termination=check_termination)
-    # The component breakdown explains *protocol* latency, so it gets the
-    # service latency -- for open loops the client-observed mean also
-    # contains queueing at the client, which is load, not protocol cost.
-    # The trace-derived components come from the streaming accumulator the
-    # deployment subscribed at build time, so no post-hoc trace scan happens
-    # here (and ``trace=ring:N``/``off`` scenarios still get a breakdown).
-    breakdown = breakdown_from_run(
-        protocol=scenario.protocol,
-        trace=system.trace,
-        timing=system.db_timing,
-        mean_latency=statistics.mean_service_latency,
-        samples=statistics.count,
-        components=getattr(system, "latency_components", None),
-    )
-    return ScenarioResult(
-        scenario=scenario,
-        dsn=scenario.to_dsn(),
-        requested=requested,
-        statistics=statistics,
-        breakdown=breakdown,
-        message_counts=dict(system.stats.by_type_sent),
-        total_messages=system.stats.sent,
-        spec=spec,
-    )
+    try:
+        generator = load_generator_for(scenario, horizon_per_request=horizon_per_request,
+                                       max_events=max_events)
+        statistics = generator.run(system, requests)
+        requested = requests * scenario.num_clients
+        if settle > 0:
+            system.run(until=system.sim.now + settle)
+        if check_termination is None:
+            client_faulted = any(fault.target in scenario.client_names
+                                 for fault in scenario.faults)
+            check_termination = statistics.undelivered == 0 and not client_faulted
+        spec = system.check_spec(check_termination=check_termination)
+        # The component breakdown explains *protocol* latency, so it gets the
+        # service latency -- for open loops the client-observed mean also
+        # contains queueing at the client, which is load, not protocol cost.
+        # The trace-derived components come from the streaming accumulator the
+        # deployment subscribed at build time, so no post-hoc trace scan happens
+        # here (and ``trace=ring:N``/``off`` scenarios still get a breakdown).
+        breakdown = breakdown_from_run(
+            protocol=scenario.protocol,
+            trace=system.trace,
+            timing=system.db_timing,
+            mean_latency=statistics.mean_service_latency,
+            samples=statistics.count,
+            components=getattr(system, "latency_components", None),
+        )
+        return ScenarioResult(
+            scenario=scenario,
+            dsn=scenario.to_dsn(),
+            requested=requested,
+            statistics=statistics,
+            breakdown=breakdown,
+            message_counts=dict(system.stats.by_type_sent),
+            total_messages=system.stats.sent,
+            spec=spec,
+        )
+    finally:
+        # Real-runtime backends hold OS resources (sockets, an event loop);
+        # the sim backend's close() is a no-op, so this is safe everywhere.
+        system.close()

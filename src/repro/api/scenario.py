@@ -8,6 +8,8 @@ strings::
 
     etx://a3.d1.c1?fd=heartbeat&loss=0.01&seed=7
     etx://a3.d1.c8?rate=50&arrival=poisson&seed=7
+    etx://a3.d1.c4?runtime=asyncio&pace=0.2
+    etx://a3.d1.c4?runtime=asyncio&host=10.0.0.5&port=7000
     etx://a3.d8.c64?xshard=0.1&placement=hash&workload=bank
     2pc://a1.d1?workload=bank&timing=paper&log=25
     pb://a2.d1?workload=bank&clients=4&think=250
@@ -29,6 +31,7 @@ rejected, as in database DSNs).
 from __future__ import annotations
 
 import json
+import os
 import re
 from dataclasses import dataclass, fields, replace
 from typing import Any, Callable, Optional, Sequence
@@ -45,6 +48,13 @@ from repro.failure.injection import (
     validate_downtime,
     validate_partition_groups,
     validate_suspicion,
+)
+from repro.runtime.base import (
+    KNOWN_RUNTIMES,
+    MAX_PORT,
+    RUNTIME_ASYNCIO,
+    RUNTIME_SIM,
+    RuntimeSpec,
 )
 from repro.sim.tracing import parse_retention
 
@@ -358,7 +368,41 @@ _QUERY_PARAMS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "placement": ("placement", str),
     "xshard": ("xshard", float),
     "trace": ("trace", str),
+    "runtime": ("runtime", str),
+    "host": ("host", str),
+    "port": ("port", int),
+    "pace": ("pace", float),
 }
+
+# Endpoint parameters follow the database-DSN convention of edgedb et al.:
+# ``host``/``port`` can each be given directly, via ``*_env`` (the name of an
+# environment variable holding the value) or via ``*_file`` (a file whose
+# contents are the value).  Giving the same endpoint parameter two ways is
+# ambiguous and rejected.
+_INDIRECT_SUFFIXES = ("_env", "_file")
+_INDIRECT_BASES = ("host", "port")
+
+
+def _known_query_params() -> str:
+    names = sorted([*_QUERY_PARAMS,
+                    *(f"{base}{suffix}" for base in _INDIRECT_BASES
+                      for suffix in _INDIRECT_SUFFIXES)])
+    return ", ".join([*names, "fault", "faults"])
+
+
+def _resolve_indirect(key: str, raw: str) -> str:
+    """Resolve a ``host_env``/``port_file``-style value to its direct text."""
+    if key.endswith("_env"):
+        value = os.environ.get(raw)
+        if value is None:
+            raise ScenarioError(
+                f"bad value for {key!r}: environment variable {raw!r} is not set")
+        return value
+    try:
+        with open(raw, "r", encoding="utf-8") as handle:
+            return handle.read().strip()
+    except OSError as exc:
+        raise ScenarioError(f"bad value for {key!r}: cannot read {raw!r} ({exc})") from None
 
 _HOST_TOKEN = re.compile(r"([adc])(\d+)")
 _HOST_FIELDS = {"a": "num_app_servers", "d": "num_db_servers", "c": "num_clients"}
@@ -412,6 +456,15 @@ class Scenario:
     # with bounded memory), ``off`` stores nothing.  Spec checking and run
     # statistics stream off the event bus, so they work under all three.
     trace: str = "full"
+    # Runtime backend: ``sim`` executes on the discrete-event simulator,
+    # ``asyncio`` on an event loop with wall-clock timers and real TCP
+    # between the processes.  ``host``/``port`` place the TCP endpoints
+    # (process i listens on port+i; port 0 binds ephemeral localhost ports),
+    # ``pace`` rescales wall time (0.2 = run protocol timers 5x faster).
+    runtime: str = RUNTIME_SIM
+    host: str = ""
+    port: int = 0
+    pace: float = 1.0
     faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -460,6 +513,30 @@ class Scenario:
             parse_retention(self.trace)
         except ValueError as exc:
             raise ScenarioError(str(exc)) from None
+        if self.runtime not in KNOWN_RUNTIMES:
+            raise ScenarioError(f"unknown runtime {self.runtime!r}; known runtimes: "
+                                f"{', '.join(KNOWN_RUNTIMES)}")
+        if self.host and not re.fullmatch(r"[A-Za-z0-9._-]+", self.host):
+            raise ScenarioError(f"malformed host {self.host!r} (expected a "
+                                "hostname or IP address, no port/scheme/path)")
+        if not 0 <= self.port <= MAX_PORT:
+            raise ScenarioError(f"port must be in [0, {MAX_PORT}], got {self.port}")
+        if self.pace <= 0:
+            raise ScenarioError(f"pace must be > 0, got {_format_number(self.pace)}")
+        if self.runtime == RUNTIME_SIM:
+            endpointish = [name for name, default in
+                           (("host", ""), ("port", 0), ("pace", 1.0))
+                           if getattr(self, name) != default]
+            if endpointish:
+                raise ScenarioError(
+                    f"parameter(s) {', '.join(endpointish)} only apply to "
+                    "runtime=asyncio (the simulator has no endpoints or wall clock)")
+        elif self.port:
+            total = self.num_app_servers + self.num_db_servers + self.num_clients
+            if self.port + total - 1 > MAX_PORT:
+                raise ScenarioError(
+                    f"port range {self.port}..{self.port + total - 1} for {total} "
+                    f"processes exceeds {MAX_PORT}; pick a lower base port")
         object.__setattr__(self, "faults", tuple(self.faults))
         known = set(self.app_server_names + self.db_server_names + self.client_names)
         for fault in self.faults:
@@ -519,15 +596,23 @@ class Scenario:
                                         "given twice")
                 fault_list = faults_from_text(raw)
                 continue
+            origin = key
+            if (key.endswith(_INDIRECT_SUFFIXES)
+                    and key.rsplit("_", 1)[0] in _INDIRECT_BASES):
+                # host_env / port_file style: resolve to the direct value and
+                # fold into the base parameter, so giving an endpoint two
+                # ways trips the ambiguity check below.
+                raw = _resolve_indirect(key, raw)
+                key = key.rsplit("_", 1)[0]
             if key in seen:
                 raise ScenarioError(
-                    f"ambiguous DSN: parameter {key!r} given twice "
-                    f"({seen[key]!r} and {raw!r})")
+                    f"ambiguous DSN: {origin!r} and an earlier parameter both "
+                    f"set {key!r}; give each endpoint parameter one way")
             seen[key] = raw
             if key not in _QUERY_PARAMS:
                 raise ScenarioError(
                     f"unknown DSN parameter {key!r}; known parameters: "
-                    f"{', '.join(sorted(_QUERY_PARAMS))}, fault, faults")
+                    f"{_known_query_params()}")
             field_name, parser = _QUERY_PARAMS[key]
             if field_name in values:
                 raise ScenarioError(
@@ -603,6 +688,17 @@ class Scenario:
     def sharding(self) -> Sharding:
         """Key-placement map of the database tier this scenario describes."""
         return Sharding(tuple(self.db_server_names), self.placement)
+
+    @property
+    def runtime_spec(self) -> RuntimeSpec:
+        """The validated runtime backend description of this scenario."""
+        return RuntimeSpec(kind=self.runtime, host=self.host, port=self.port,
+                           pace=self.pace)
+
+    @property
+    def process_names(self) -> list[str]:
+        """All process names in deployment (and TCP port-assignment) order."""
+        return self.app_server_names + self.db_server_names + self.client_names
 
     @property
     def load_shape(self) -> str:

@@ -33,9 +33,8 @@ from repro.metrics.latency import LatencyComponentStream
 from repro.metrics.stream import DatabaseOutcomeStream
 from repro.net.latency import PerLinkLatency, three_tier_latency
 from repro.net.message import Message
-from repro.net.network import Network
+from repro.runtime.base import RuntimeSpec, create_kernel, create_network
 from repro.sim.process import Process
-from repro.sim.scheduler import Simulator
 from repro.sim.tracing import parse_retention
 
 COMMIT_ONE_PHASE = "CommitOnePhase"
@@ -153,6 +152,7 @@ class BaselineConfig:
     business_logic: Callable[[Request], Callable[[Any], Any]] = None  # type: ignore[assignment]
     placement: str = PLACEMENT_REPLICATE
     trace_retention: str = "full"
+    runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
 
     def __post_init__(self) -> None:
         if self.business_logic is None:
@@ -196,7 +196,7 @@ class BaseThreeTierDeployment:
             config = replace(config, **overrides)
         self.config = config
         self.sharding = config.sharding
-        self.sim = Simulator(seed=config.seed)
+        self.sim = create_kernel(config.runtime, seed=config.seed)
         self.sim.trace.set_retention(config.trace_retention)
         # Streaming observers subscribe before any process runs, so they see
         # the complete event stream regardless of the retention policy.
@@ -205,8 +205,11 @@ class BaseThreeTierDeployment:
         self.db_outcomes = DatabaseOutcomeStream(
             self.sim.trace, config.db_server_names)
         self.latency_components = LatencyComponentStream(self.sim.trace)
-        self.network = Network(self.sim, latency=self._build_latency(),
-                               loss_probability=config.loss_probability)
+        self.network = create_network(
+            config.runtime, self.sim, latency=self._build_latency(),
+            loss_probability=config.loss_probability,
+            process_names=(config.app_server_names + config.db_server_names
+                           + config.client_names))
         self.failure_detector = PerfectFailureDetector(self.network)
         self.db_servers: dict[str, DatabaseServer] = {}
         self.app_servers: dict[str, Process] = {}
@@ -249,9 +252,12 @@ class BaseThreeTierDeployment:
             self.clients[name] = client
 
     def _start_all(self) -> None:
+        # Only locally hosted processes spawn threads; in a distributed
+        # asyncio run the rest are TCP peers served by another OS process.
         for group in (self.db_servers, self.app_servers, self.clients):
             for process in group.values():
-                process.start()
+                if self.network.hosts(process.name):
+                    process.start()
 
     # --------------------------------------------------------------- execution
 
@@ -267,7 +273,14 @@ class BaseThreeTierDeployment:
 
     def apply_faults(self, schedule: FaultSchedule) -> None:
         """Schedule a fault-injection plan against this deployment."""
+        if self.config.runtime.distributed:
+            schedule = schedule.restricted_to(set(self.config.runtime.only))
         schedule.apply(self.sim, self.network)
+
+    def close(self) -> None:
+        """Release runtime resources (TCP sockets, event loop); idempotent."""
+        self.network.close()
+        self.sim.close()
 
     def issue(self, request: Request, client: Optional[str] = None) -> IssuedRequest:
         """Issue a request from the named (or first) client."""
@@ -293,5 +306,11 @@ class BaseThreeTierDeployment:
         that is the paper's argument; the checker quantifies which ones break
         and when.  Answered by the online :class:`~repro.core.spec.SpecMonitor`
         (byte-identical to the post-hoc :func:`~repro.core.spec.check_run`).
+
+        A distributed run sees only its local slice of the trace, so it
+        returns an explicitly empty verdict rather than phantom violations
+        (see :meth:`repro.core.deployment.EtxDeployment.check_spec`).
         """
+        if self.config.runtime.distributed:
+            return SpecReport(checked_properties=[])
         return self.spec_monitor.report(check_termination=check_termination)

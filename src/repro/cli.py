@@ -5,6 +5,8 @@ Usage (any of)::
     python -m repro run "etx://a3.d1.c1?fd=heartbeat&seed=7"
     python -m repro run "etx://a3.d1.c8?rate=50&arrival=poisson&seed=7"
     python -m repro run "2pc://?workload=bank&timing=paper" --requests 3
+    python -m repro run "etx://a3.d1.c2?runtime=asyncio&pace=0.2" --settle 500
+    python -m repro serve "etx://a3.d1.c1?runtime=asyncio&port=7400" --only a1,a2
     python -m repro sweep "etx://d1?workload=bank" \
         --axis protocol=etx,2pc,pb --axis clients=1,4,8 --workers 4
     python -m repro figure8 --requests 5
@@ -40,7 +42,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenario = api.Scenario.from_dsn(args.dsn)
         if args.seed is not None:
             scenario = scenario.with_(seed=_seed(args))
-        result = api.run_scenario(scenario, requests=args.requests)
+        run_kwargs: dict = {}
+        if args.settle is not None:
+            run_kwargs["settle"] = args.settle
+        if args.only:
+            run_kwargs["runtime"] = _restrict_runtime(scenario, args.only)
+        result = api.run_scenario(scenario, requests=args.requests, **run_kwargs)
     except api.ScenarioError as error:
         # Bad DSNs, protocol constraints, unknown workloads: user input,
         # reported cleanly.  Anything else is a genuine bug and tracebacks.
@@ -48,6 +55,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     print(result.summary())
     return 0 if result.ok else 1
+
+
+def _parse_only(text: str, scenario: "api.Scenario") -> tuple[str, ...]:
+    """Validate a ``--only a1,a2`` process-name list against the scenario."""
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    if not names:
+        raise api.ScenarioError("--only needs at least one process name")
+    known = scenario.process_names
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise api.ScenarioError(
+            f"--only names not in this scenario: {', '.join(unknown)} "
+            f"(processes: {', '.join(known)})")
+    return names
+
+
+def _restrict_runtime(scenario: "api.Scenario", only: str):
+    """The scenario's runtime spec narrowed to locally hosted processes."""
+    from dataclasses import replace
+
+    from repro.runtime.base import RUNTIME_ASYNCIO
+
+    spec = scenario.runtime_spec
+    if spec.kind != RUNTIME_ASYNCIO:
+        raise api.ScenarioError(
+            "--only needs runtime=asyncio in the DSN: a simulated run always "
+            "hosts every process in one OS process")
+    if spec.port == 0:
+        raise api.ScenarioError(
+            "--only needs an explicit port=N in the DSN so every OS process "
+            "computes the same endpoint map (port=0 picks ephemeral ports)")
+    return replace(spec, only=_parse_only(only, scenario))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        scenario = api.Scenario.from_dsn(args.dsn)
+        if args.seed is not None:
+            scenario = scenario.with_(seed=_seed(args))
+        runtime = _restrict_runtime(scenario, args.only)
+        system = api.build(scenario, runtime=runtime)
+    except api.ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    kernel = system.sim
+    kernel.max_wall = None  # a server process has no per-run wall budget
+    try:
+        system.run(until=None)  # bind the local listeners before printing
+        for name, host, port in system.network.endpoints.table():
+            marker = "*" if name in runtime.only else " "
+            print(f"{marker} {name:<6} {host}:{port}")
+        print(f"serving {', '.join(runtime.only)}"
+              + (f" for {args.run_for:g}s" if args.run_for else " (ctrl-c to stop)"),
+              flush=True)
+        horizon = (kernel.now + args.run_for * 1000.0 / runtime.pace
+                   if args.run_for else None)
+        while True:
+            target = kernel.now + 60_000.0
+            if horizon is not None and target >= horizon:
+                system.run(until=horizon)
+                break
+            system.run(until=target)
+    except KeyboardInterrupt:
+        print("\ninterrupted; shutting down", file=sys.stderr)
+    finally:
+        system.close()
+    return 0
 
 
 def _seed(args: argparse.Namespace) -> int:
@@ -295,7 +369,27 @@ def build_parser() -> argparse.ArgumentParser:
                                  + ", ".join(api.known_schemes()))
     run.add_argument("--requests", type=int, default=1,
                      help="requests to issue per client (default 1)")
+    run.add_argument("--settle", type=float, default=None,
+                     help="virtual ms of cleanup time after the last delivery "
+                          "(default 5000; lower it for paced asyncio runs)")
+    run.add_argument("--only", default=None, metavar="NAME[,NAME...]",
+                     help="host only these processes locally (distributed "
+                          "runtime=asyncio runs; peers must be served "
+                          "elsewhere with `repro serve`)")
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve", help="host a subset of a runtime=asyncio scenario's processes "
+                      "over TCP (one OS process per subset)")
+    serve.add_argument("dsn", help="scenario DSN with runtime=asyncio and an "
+                                   "explicit port=N")
+    serve.add_argument("--only", required=True, metavar="NAME[,NAME...]",
+                       help="process names this OS process hosts, e.g. a1,a2")
+    serve.add_argument("--for", dest="run_for", type=float, default=None,
+                       metavar="SECONDS",
+                       help="serve for this many wall seconds, then exit "
+                            "(default: until interrupted)")
+    serve.set_defaults(func=_cmd_serve)
 
     sweep = sub.add_parser(
         "sweep", help="expand --axis grids around a base DSN and run them "

@@ -33,11 +33,10 @@ from repro.failure.injection import FaultSchedule
 from repro.metrics.latency import LatencyComponentStream
 from repro.metrics.stream import DatabaseOutcomeStream
 from repro.net.latency import PerLinkLatency, three_tier_latency
-from repro.net.network import Network
 from repro.net.reliable import ReliableChannelLayer
 from repro.registers.consensus_backed import ConsensusRegisterArray
 from repro.registers.local import LocalRegisterArray, LocalRegisterStore
-from repro.sim.scheduler import Simulator
+from repro.runtime.base import RuntimeSpec, create_kernel, create_network
 from repro.sim.tracing import parse_retention
 
 REGISTER_CONSENSUS = "consensus"
@@ -88,6 +87,9 @@ class DeploymentConfig:
     business_logic: Callable[[Request], Callable[[Any], Any]] = default_business_logic
     placement: str = PLACEMENT_REPLICATE
     trace_retention: str = "full"
+    # Which kernel/transport pair executes the deployment: the discrete-event
+    # simulator (default) or an asyncio event loop with real TCP sockets.
+    runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
 
     def __post_init__(self) -> None:
         if self.num_app_servers < 1 or self.num_db_servers < 1 or self.num_clients < 1:
@@ -129,7 +131,7 @@ class EtxDeployment:
             config = replace(config, **overrides)
         self.config = config
         self.sharding = config.sharding
-        self.sim = Simulator(seed=config.seed)
+        self.sim = create_kernel(config.runtime, seed=config.seed)
         self.sim.trace.set_retention(config.trace_retention)
         # Streaming observers subscribe before any process runs, so they see
         # the complete event stream regardless of the retention policy.
@@ -138,8 +140,11 @@ class EtxDeployment:
         self.db_outcomes = DatabaseOutcomeStream(
             self.sim.trace, config.db_server_names)
         self.latency_components = LatencyComponentStream(self.sim.trace)
-        self.network = Network(self.sim, latency=self._build_latency(),
-                               loss_probability=config.loss_probability)
+        self.network = create_network(
+            config.runtime, self.sim, latency=self._build_latency(),
+            loss_probability=config.loss_probability,
+            process_names=(config.app_server_names + config.db_server_names
+                           + config.client_names))
         self.clients: dict[str, Client] = {}
         self.app_servers: dict[str, ApplicationServer] = {}
         self.db_servers: dict[str, DatabaseServer] = {}
@@ -156,7 +161,9 @@ class EtxDeployment:
             self.heartbeat_detector = HeartbeatFailureDetector(
                 self.network, config.app_server_names,
                 heartbeat_interval=config.heartbeat_interval,
-                initial_timeout=config.heartbeat_timeout)
+                initial_timeout=config.heartbeat_timeout,
+                install_on=[name for name in config.app_server_names
+                            if self.network.hosts(name)])
         self._attach_failure_detector()
         if config.use_reliable_channels:
             self.reliable_channels: Optional[ReliableChannelLayer] = ReliableChannelLayer(
@@ -236,9 +243,13 @@ class EtxDeployment:
             server.failure_detector = detector
 
     def _start_all(self) -> None:
+        # In a distributed asyncio run (``serve --only``) every process object
+        # exists (the protocols need the full membership lists), but only the
+        # locally hosted ones spawn threads -- the rest are TCP peers.
         for group in (self.db_servers, self.app_servers, self.clients):
             for process in group.values():
-                process.start()
+                if self.network.hosts(process.name):
+                    process.start()
 
     # --------------------------------------------------------------- shortcuts
 
@@ -258,8 +269,21 @@ class EtxDeployment:
         return self.sim.trace
 
     def apply_faults(self, schedule: FaultSchedule) -> None:
-        """Schedule a fault-injection plan against this deployment."""
+        """Schedule a fault-injection plan against this deployment.
+
+        In a distributed run each OS process injects only the faults it can
+        act on locally (crashes/recoveries of its own processes, suspicions
+        of its own observers); partitions apply everywhere, since each host
+        drops its own outbound cross-group traffic.
+        """
+        if self.config.runtime.distributed:
+            schedule = schedule.restricted_to(set(self.config.runtime.only))
         schedule.apply(self.sim, self.network, self.failure_detector)
+
+    def close(self) -> None:
+        """Release runtime resources (TCP sockets, event loop); idempotent."""
+        self.network.close()
+        self.sim.close()
 
     # --------------------------------------------------------------- execution
 
@@ -303,5 +327,15 @@ class EtxDeployment:
         -- byte-identical to replaying the full trace through
         :func:`~repro.core.spec.check_run`, but independent of trace
         retention and O(transactions) instead of O(events squared).
+
+        A distributed run observes only the trace slice of its locally
+        hosted processes; the safety properties quantify over events (votes,
+        commits, computations) that happened in peer OS processes, so
+        checking them here would report phantom violations.  Such a run
+        returns an explicitly empty verdict: nothing checked, nothing
+        claimed.  Spec-check distributed runs by hosting every process in
+        one OS process (the default) or by merging the peers' traces.
         """
+        if self.config.runtime.distributed:
+            return SpecReport(checked_properties=[])
         return self.spec_monitor.report(check_termination=check_termination)

@@ -87,6 +87,8 @@ class SpecReport:
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""
+        if not self.checked_properties and not self.violations:
+            return "not checked (this process observed only part of the trace)"
         if self.ok:
             return f"all properties hold ({', '.join(self.checked_properties)})"
         lines = [f"{len(self.violations)} violation(s):"]

@@ -146,12 +146,17 @@ class HeartbeatFailureDetector(FailureDetector):
 
     def __init__(self, network: Network, members: Iterable[str],
                  heartbeat_interval: float = 5.0, initial_timeout: float = 15.0,
-                 timeout_increment: float = 5.0, check_interval: Optional[float] = None):
+                 timeout_increment: float = 5.0, check_interval: Optional[float] = None,
+                 install_on: Optional[Iterable[str]] = None):
         if heartbeat_interval <= 0 or initial_timeout <= 0:
             raise ValueError("intervals must be positive")
         self.network = network
         self.sim = network.sim
         self.members = list(members)
+        # Detector threads run only on locally hosted members (all of them by
+        # default); a distributed deployment passes its local subset, the
+        # remote members run their own threads in their own OS process.
+        self.install_on = list(install_on) if install_on is not None else self.members
         self.heartbeat_interval = heartbeat_interval
         self.initial_timeout = initial_timeout
         self.timeout_increment = timeout_increment
@@ -171,7 +176,7 @@ class HeartbeatFailureDetector(FailureDetector):
     # ------------------------------------------------------------------ setup
 
     def _install_threads(self) -> None:
-        for name in self.members:
+        for name in self.install_on:
             process = self.network.processes[name]
             process.spawn(self._heartbeat_thread(process), name="fd-heartbeat")
             process.spawn(self._monitor_thread(process), name="fd-monitor")

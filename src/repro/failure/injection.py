@@ -177,6 +177,26 @@ class FaultSchedule:
         self.actions.extend(other.actions)
         return self
 
+    def restricted_to(self, names: set[str]) -> "FaultSchedule":
+        """The sub-schedule one host of a distributed run can act on locally.
+
+        Crashes, recoveries and crash-for keep only actions targeting a local
+        process; false suspicions keep only local *observers* (the suspicion
+        is injected into the observer's detector).  Partitions and heals are
+        kept everywhere: each host drops its own outbound cross-group
+        traffic, which composes into the symmetric global partition.
+        """
+        kept = []
+        for action in self.actions:
+            if action.kind in (PARTITION, HEAL):
+                kept.append(action)
+            elif action.kind == FALSE_SUSPICION:
+                if action.params["observer"] in names:
+                    kept.append(action)
+            elif action.target in names:
+                kept.append(action)
+        return FaultSchedule(kept)
+
     def __len__(self) -> int:
         return len(self.actions)
 

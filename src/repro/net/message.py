@@ -11,10 +11,83 @@ duplicate suppression (the paper's channel *integrity* property) is possible.
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
 _msg_counter = itertools.count(1)
+
+WIRE_VERSION = 1
+"""Current version of the :meth:`Message.to_wire` encoding."""
+
+
+class WireFormatError(ValueError):
+    """A value cannot be encoded for / decoded from the wire."""
+
+
+# The wire encoding must restore payload values *exactly*: protocol code uses
+# tuples from payloads as dict keys (consensus instance ids, result keys), so
+# the JSON tuple->list collapse would break it.  Every container is therefore
+# written as a tagged object ({"k": <kind>, ...}); plain JSON arrays carry
+# lists and scalars travel as themselves, so there is nothing to escape.
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise WireFormatError(f"non-finite float {value!r} is not wire-encodable")
+        return value
+    if isinstance(value, list):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, tuple):
+        return {"k": "tuple", "v": [_encode_value(item) for item in value]}
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value):
+            return {"k": "map", "v": {key: _encode_value(item) for key, item in value.items()}}
+        return {"k": "imap",
+                "v": [[_encode_value(key), _encode_value(item)] for key, item in value.items()]}
+    # Lazy imports: repro.core imports this module at package-init time.
+    from repro.core.types import Decision, Request, Result
+
+    if isinstance(value, Request):
+        return {"k": "request", "op": value.operation, "params": _encode_value(value.params),
+                "id": value.request_id, "parts": [_encode_value(p) for p in value.participants]}
+    if isinstance(value, Decision):
+        return {"k": "decision", "outcome": value.outcome,
+                "result": _encode_value(value.result)}
+    if isinstance(value, Result):
+        return {"k": "result", "value": _encode_value(value.value),
+                "request_id": value.request_id, "by": value.computed_by}
+    raise WireFormatError(f"type {type(value).__name__!r} is not wire-encodable")
+
+
+def _decode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    if isinstance(value, dict):
+        kind = value.get("k")
+        if kind == "tuple":
+            return tuple(_decode_value(item) for item in value["v"])
+        if kind == "map":
+            return {key: _decode_value(item) for key, item in value["v"].items()}
+        if kind == "imap":
+            return {_decode_value(key): _decode_value(item) for key, item in value["v"]}
+        from repro.core.types import Decision, Request, Result
+
+        if kind == "request":
+            return Request(operation=value["op"], params=_decode_value(value["params"]),
+                           request_id=value["id"],
+                           participants=tuple(_decode_value(p) for p in value["parts"]))
+        if kind == "decision":
+            return Decision(result=_decode_value(value["result"]), outcome=value["outcome"])
+        if kind == "result":
+            return Result(value=_decode_value(value["value"]),
+                          request_id=value["request_id"], computed_by=value["by"])
+        raise WireFormatError(f"unknown wire value kind {kind!r}")
+    raise WireFormatError(f"cannot decode wire value {value!r}")
 
 
 @dataclass
@@ -55,6 +128,55 @@ class Message:
         the network mutates routing fields in place.
         """
         return Message(self.msg_type, payload=dict(self.payload))
+
+    # ------------------------------------------------------------ wire codec
+
+    def to_wire(self) -> bytes:
+        """Stable, versioned serialization of this message (UTF-8 JSON).
+
+        The encoding round-trips everything protocol payloads contain --
+        tuples (restored as tuples, not lists), dicts with non-string keys,
+        and the :mod:`repro.core.types` dataclasses.  Used by the TCP
+        transport (inside length-prefixed frames) and usable for trace
+        artifacts.  Raises :class:`WireFormatError` on unsupported values.
+        """
+        envelope = {
+            "v": WIRE_VERSION,
+            "t": self.msg_type,
+            "s": self.sender,
+            "d": self.destination,
+            "id": self.msg_id,
+            "ts": self.send_time,
+            "p": {key: _encode_value(value) for key, value in self.payload.items()},
+        }
+        return json.dumps(envelope, separators=(",", ":"), allow_nan=False).encode("utf-8")
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        """Decode a :meth:`to_wire` frame; rejects unknown wire versions."""
+        try:
+            envelope = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(f"undecodable wire frame: {exc}") from None
+        if not isinstance(envelope, dict):
+            raise WireFormatError(f"wire frame is not an envelope: {envelope!r}")
+        version = envelope.get("v")
+        if version != WIRE_VERSION:
+            raise WireFormatError(
+                f"unsupported wire version {version!r} (this build speaks {WIRE_VERSION})"
+            )
+        try:
+            return cls(
+                msg_type=envelope["t"],
+                sender=envelope["s"],
+                destination=envelope["d"],
+                payload={key: _decode_value(value)
+                         for key, value in envelope["p"].items()},
+                msg_id=envelope["id"],
+                send_time=envelope["ts"],
+            )
+        except KeyError as exc:
+            raise WireFormatError(f"wire envelope missing field {exc}") from None
 
     def __getitem__(self, key: str) -> Any:
         return self.payload[key]

@@ -14,8 +14,8 @@ from typing import Iterable, Optional
 
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.message import Message
+from repro.runtime.base import Kernel
 from repro.sim.process import Process
-from repro.sim.scheduler import Simulator
 
 
 class NetworkStats:
@@ -47,7 +47,8 @@ class Network:
     Parameters
     ----------
     sim:
-        The simulator providing virtual time and the trace recorder.
+        The kernel providing time, timers and the trace recorder (the
+        simulator, or an :class:`~repro.runtime.loop.AsyncioKernel`).
     latency:
         One-way latency model (defaults to a fixed 1.75 ms hop, half of the
         paper's observed 3.5 ms RPC round trip).
@@ -55,7 +56,7 @@ class Network:
         Independent probability of silently dropping each message.
     """
 
-    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None,
+    def __init__(self, sim: Kernel, latency: Optional[LatencyModel] = None,
                  loss_probability: float = 0.0):
         if not 0.0 <= loss_probability <= 1.0:
             raise ValueError("loss_probability must be in [0, 1]")
@@ -89,6 +90,25 @@ class Network:
     def names(self) -> list[str]:
         """Names of all registered processes."""
         return list(self.processes)
+
+    def hosts(self, name: str) -> bool:
+        """Whether ``name`` executes in this OS process (always, in-memory)."""
+        return True
+
+    # ------------------------------------------------------------ crash hooks
+
+    def on_process_crash(self, name: str) -> None:
+        """Transport hook fired when a process crashes (no-op in memory).
+
+        The TCP transport maps this to dropping the crashed process's live
+        connections, the real-network analogue of losing its volatile state.
+        """
+
+    def on_process_recover(self, name: str) -> None:
+        """Transport hook fired when a crashed process recovers (no-op here)."""
+
+    def close(self) -> None:
+        """Release transport resources (sockets); no-op for the in-memory fabric."""
 
     # -------------------------------------------------------------- partitions
 
@@ -170,7 +190,18 @@ class Network:
                     msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
                 )
             return
-        delay = self.latency.sample(self._rng, source, destination)
+        self._transmit(message, destination, tracing)
+
+    def _transmit(self, message: Message, destination: str, tracing: bool) -> None:
+        """Carry an accepted message to its destination.
+
+        The base network samples a latency and schedules an in-memory
+        delivery; :class:`repro.runtime.tcp.TcpTransport` overrides this to
+        write a wire frame to a real socket instead.  Everything above this
+        seam (validation, stamping, stats, partition/loss drops, tracing) is
+        shared between the backends.
+        """
+        delay = self.latency.sample(self._rng, message.sender, destination)
         name = f"deliver:{message.msg_type}->{destination}" if tracing else "deliver"
         self.sim.schedule(delay, partial(self._deliver_bound, message, destination),
                           name=name)

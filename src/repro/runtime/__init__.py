@@ -1,0 +1,42 @@
+"""Runtime backends: the kernel seam under every deployment.
+
+Every protocol in this repository is written against a narrow *kernel*
+surface -- spawn/sleep/receive/timers/rng/now -- that :mod:`repro.sim`
+implements with a discrete-event scheduler.  This package makes that seam
+explicit (:class:`~repro.runtime.base.Kernel`) and provides a second
+implementation (:class:`~repro.runtime.loop.AsyncioKernel` plus
+:class:`~repro.runtime.tcp.TcpTransport`) that runs the *same unmodified
+protocol generators* on an asyncio event loop with wall-clock timers, the
+processes exchanging length-prefixed JSON frames over real TCP sockets.
+
+Which backend a scenario uses is selected in the DSN::
+
+    etx://a3.d1.c4?runtime=sim                        # default: simulator
+    etx://a3.d1.c4?runtime=asyncio&pace=0.2           # real TCP on localhost
+    etx://a3.d1.c4?runtime=asyncio&host=10.0.0.5&port=7000
+
+Both backends feed the same trace bus, so the online spec monitor and the
+run statistics work unchanged on real runs.
+"""
+
+from repro.runtime.base import (
+    DEFAULT_HOST,
+    KNOWN_RUNTIMES,
+    RUNTIME_ASYNCIO,
+    RUNTIME_SIM,
+    Kernel,
+    RuntimeSpec,
+    create_kernel,
+    create_network,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "KNOWN_RUNTIMES",
+    "RUNTIME_ASYNCIO",
+    "RUNTIME_SIM",
+    "Kernel",
+    "RuntimeSpec",
+    "create_kernel",
+    "create_network",
+]

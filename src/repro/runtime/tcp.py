@@ -1,0 +1,193 @@
+"""TcpTransport: the real-socket implementation of the message fabric.
+
+Subclasses :class:`repro.net.network.Network` and replaces only the
+``_transmit`` seam: everything above it (destination validation, id stamping,
+traffic counters, partition/loss drops, ``msg_send`` tracing) is shared with
+the simulated fabric, so the trace bus and :class:`NetworkStats` mean the
+same thing in both backends.
+
+Topology: every *local* process gets its own ``asyncio`` TCP server (bound
+from the deterministic :class:`~repro.runtime.endpoints.EndpointMap`), and
+each destination gets one pooled outbound connection fed by a writer pump
+task.  Frames are 4-byte big-endian length prefixes followed by
+:meth:`Message.to_wire` JSON bodies.  All traffic -- including between
+processes in the same OS process -- goes through real sockets; that is the
+point of this backend.
+
+Failure semantics mirror the paper's fair-lossy channels: a frame that
+cannot be written (peer not yet listening, connection reset, crashed
+destination) is *dropped*, never buffered indefinitely -- recovering the
+message is the job of the protocol's retransmission logic, exactly as under
+simulated loss.  A process crash closes its live connections (the TCP
+analogue of losing volatile state); reconnection is lazy on the next send.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional
+
+from repro.net.message import Message, WireFormatError
+from repro.net.network import Network
+from repro.runtime.endpoints import EndpointMap
+from repro.runtime.loop import AsyncioKernel
+
+_FRAME_HEADER = struct.Struct(">I")
+_MAX_FRAME = 16 * 1024 * 1024
+
+#: Wall-clock seconds between connection attempts to a not-yet-listening peer.
+_RECONNECT_INTERVAL = 0.05
+#: Wall-clock seconds to keep retrying a connection before dropping frames.
+_CONNECT_TIMEOUT = 10.0
+
+
+class _Link:
+    """One pooled outbound connection: a frame queue and its pump task."""
+
+    __slots__ = ("queue", "writer", "task")
+
+    def __init__(self) -> None:
+        self.queue: asyncio.Queue[bytes] = asyncio.Queue()
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.task: Optional[asyncio.Task] = None
+
+
+class TcpTransport(Network):
+    """Message fabric carrying every send over a localhost/LAN TCP socket."""
+
+    def __init__(self, kernel: AsyncioKernel, endpoints: EndpointMap, *,
+                 latency=None, loss_probability: float = 0.0,
+                 local_names: Optional[set[str]] = None):
+        super().__init__(kernel, latency=latency, loss_probability=loss_probability)
+        self.kernel = kernel
+        self.endpoints = endpoints
+        self._local_names = local_names
+        self._servers: dict[str, asyncio.base_events.Server] = {}
+        self._links: dict[str, _Link] = {}
+        self._inbound: dict[str, set[asyncio.StreamWriter]] = {}
+        self._closed = False
+        kernel.add_bootstrap(self._start_serving)
+        kernel.add_closer(self.close)
+
+    def hosts(self, name: str) -> bool:
+        """Whether ``name`` executes in this OS process."""
+        return self._local_names is None or name in self._local_names
+
+    # ---------------------------------------------------------------- serving
+
+    async def _start_serving(self) -> None:
+        """Bind one TCP server per local process (kernel bootstrap hook)."""
+        for name in self.processes:
+            if not self.hosts(name) or name in self._servers:
+                continue
+            host, port = self.endpoints.get(name)
+            server = await asyncio.start_server(
+                lambda reader, writer, name=name: self._accept(name, reader, writer),
+                host, port)
+            # An ephemeral bind (port 0) fixes the real port only now; record
+            # it so local pumps can connect.
+            actual_port = server.sockets[0].getsockname()[1]
+            self.endpoints.assign(name, host, actual_port)
+            self._servers[name] = server
+
+    def _accept(self, name: str, reader: asyncio.StreamReader,
+                writer: asyncio.StreamWriter) -> None:
+        self.kernel.spawn_task(self._read_frames(name, reader, writer))
+
+    async def _read_frames(self, name: str, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        self._inbound.setdefault(name, set()).add(writer)
+        try:
+            while True:
+                header = await reader.readexactly(_FRAME_HEADER.size)
+                (length,) = _FRAME_HEADER.unpack(header)
+                if length > _MAX_FRAME:
+                    raise WireFormatError(f"frame of {length} bytes exceeds the limit")
+                body = await reader.readexactly(length)
+                message = Message.from_wire(body)
+                destination = message.destination
+                if not self.hosts(destination):
+                    # Misrouted frame for a process another host runs; drop.
+                    continue
+                self._deliver(message, destination)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, WireFormatError):
+            pass
+        finally:
+            self._inbound.get(name, set()).discard(writer)
+            writer.close()
+
+    # --------------------------------------------------------------- sending
+
+    def _transmit(self, message: Message, destination: str, tracing: bool) -> None:
+        """Frame the message and hand it to the destination's writer pump.
+
+        The latency model is unused here: the real network provides the
+        latency.  Loss and partitions were already applied by ``send``.
+        """
+        frame = message.to_wire()
+        link = self._links.get(destination)
+        if link is None:
+            link = self._links[destination] = _Link()
+            link.task = self.kernel.spawn_task(self._pump(destination, link))
+        link.queue.put_nowait(_FRAME_HEADER.pack(len(frame)) + frame)
+
+    async def _pump(self, destination: str, link: _Link) -> None:
+        while True:
+            frame = await link.queue.get()
+            if link.writer is None:
+                link.writer = await self._connect(destination)
+                if link.writer is None:
+                    self.stats.dropped_dest_down += 1
+                    continue
+            try:
+                link.writer.write(frame)
+                await link.writer.drain()
+            except (ConnectionError, OSError):
+                # Fair-lossy: the frame is lost, the connection is re-opened
+                # lazily for the next one (retransmission recovers the data).
+                link.writer = None
+                self.stats.dropped_dest_down += 1
+
+    async def _connect(self, destination: str) -> Optional[asyncio.StreamWriter]:
+        deadline = self.kernel._loop.time() + _CONNECT_TIMEOUT
+        while True:
+            host, port = self.endpoints.get(destination)
+            if port:
+                try:
+                    _, writer = await asyncio.open_connection(host, port)
+                    return writer
+                except (ConnectionError, OSError):
+                    pass
+            # Peer not bound yet (startup race, recovery, port still
+            # ephemeral-unknown): retry until the timeout, then give up.
+            if self.kernel._loop.time() >= deadline:
+                return None
+            await asyncio.sleep(_RECONNECT_INTERVAL)
+
+    # ------------------------------------------------------------ crash hooks
+
+    def on_process_crash(self, name: str) -> None:
+        """Drop the crashed process's live connections (volatile-state loss)."""
+        for writer in list(self._inbound.get(name, ())):
+            writer.close()
+        link = self._links.get(name)
+        if link is not None and link.writer is not None:
+            link.writer.close()
+            link.writer = None
+
+    # ---------------------------------------------------------------- closing
+
+    def close(self) -> None:
+        """Close servers and connections; pump/reader tasks die with the kernel."""
+        if self._closed:
+            return
+        self._closed = True
+        for server in self._servers.values():
+            server.close()
+        for link in self._links.values():
+            if link.writer is not None:
+                link.writer.close()
+        for writers in self._inbound.values():
+            for writer in list(writers):
+                writer.close()

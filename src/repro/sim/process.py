@@ -17,8 +17,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.runtime.base import Kernel
 from repro.sim.errors import ProcessNotRunning, ThreadError
-from repro.sim.scheduler import ScheduledEvent, Simulator
 from repro.sim.waits import TIMEOUT, Receive, SimFuture, Sleep, Wait, WaitFuture
 
 ProtocolGenerator = Generator[Wait, Any, Any]
@@ -42,7 +42,9 @@ class Thread:
         self.name = name
         self.alive = True
         self.finished = False
-        self._pending_timer: Optional[ScheduledEvent] = None
+        # A cancellable timer handle from the kernel (a ScheduledEvent under
+        # the simulator, a WallEvent under the asyncio backend).
+        self._pending_timer: Optional[Any] = None
         self._pending_receive: Optional[Receive] = None
         self._pending_future: Optional[SimFuture] = None
         self._pending_future_callback: Optional[Callable[[Any], None]] = None
@@ -188,7 +190,7 @@ class Process:
     may override :meth:`on_crash` to drop additional volatile state.
     """
 
-    def __init__(self, sim: Simulator, name: str):
+    def __init__(self, sim: Kernel, name: str):
         self.sim = sim
         self.name = name
         self.up = True
@@ -540,6 +542,7 @@ class Process:
         self._mailbox.clear()
         self._mailbox_count = 0
         self.on_crash()
+        self._notify_transport("on_process_crash")
         self.trace.record("crash", self.name)
 
     def recover(self) -> None:
@@ -547,8 +550,19 @@ class Process:
         if self.up:
             return
         self.up = True
+        self._notify_transport("on_process_recover")
         self.trace.record("recover", self.name)
         self.on_start(recovery=True)
+
+    def _notify_transport(self, hook: str) -> None:
+        """Tell the transport about a crash/recovery, if it cares.
+
+        A real transport (TCP) maps a crash to dropping the process's live
+        connections; interposed channel layers without the hook are skipped.
+        """
+        callback = getattr(self._transport, hook, None)
+        if callback is not None:
+            callback(self.name)
 
     def crash_for(self, downtime: float) -> None:
         """Crash now and automatically recover after ``downtime`` virtual time."""

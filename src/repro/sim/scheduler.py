@@ -14,23 +14,11 @@ makes every run fully deterministic for a given seed and fault schedule.
 from __future__ import annotations
 
 import heapq
-import random
-import zlib
 from typing import Callable, Optional
 
+from repro.runtime.base import Kernel, stream_seed  # noqa: F401  (re-exported)
 from repro.sim.errors import InvalidScheduling, SimulationLimitExceeded
 from repro.sim.tracing import TraceRecorder
-
-
-def stream_seed(seed: int, stream: str) -> int:
-    """Seed of the named per-stream RNG, derived from the global ``seed``.
-
-    Uses CRC-32 rather than ``hash()``: Python salts string hashing with
-    ``PYTHONHASHSEED``, so a hash-derived seed would differ between
-    interpreter invocations and silently break cross-process reproducibility
-    (e.g. a sweep worker replaying a scenario another process ran).
-    """
-    return zlib.crc32(f"{seed}\x00{stream}".encode("utf-8")) & 0xFFFFFFFF
 
 
 class ScheduledEvent:
@@ -61,8 +49,11 @@ class ScheduledEvent:
         return f"<ScheduledEvent {self.name!r} at {self.time:.3f} ({state})>"
 
 
-class Simulator:
+class Simulator(Kernel):
     """Deterministic discrete-event simulator with virtual time.
+
+    This is the ``sim`` implementation of the :class:`~repro.runtime.base.Kernel`
+    seam; :class:`repro.runtime.loop.AsyncioKernel` is the wall-clock one.
 
     Parameters
     ----------
@@ -77,44 +68,13 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None):
         self.now: float = 0.0
-        self.seed = seed
-        self.trace = trace if trace is not None else TraceRecorder(clock=lambda: self.now)
-        self.trace.bind_clock(lambda: self.now)
+        self._init_kernel(seed, trace, lambda: self.now)
         # The heap holds (time, seq, event) tuples so ordering uses C-level
         # tuple comparison instead of a Python __lt__ per sift step.
         self._queue: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = 0
         self._events_processed = 0
         self._stopped = False
-        self._rng_streams: dict[str, random.Random] = {}
-        self._thread_ids = 0
-        self._message_ids = 0
-
-    # ------------------------------------------------------------ id counters
-
-    def next_thread_id(self) -> int:
-        """Next process-thread identifier, scoped to this simulator.
-
-        Scoping the counters to the simulator (rather than module globals)
-        keeps back-to-back runs in one interpreter byte-identical: run N+1
-        starts from the same identifiers as run N did, regardless of what ran
-        before it.
-        """
-        self._thread_ids += 1
-        return self._thread_ids
-
-    def next_message_id(self) -> int:
-        """Next network-message identifier, scoped to this simulator."""
-        self._message_ids += 1
-        return self._message_ids
-
-    # ------------------------------------------------------------------ RNG
-
-    def rng(self, stream: str) -> random.Random:
-        """Return the named deterministic random stream, creating it on first use."""
-        if stream not in self._rng_streams:
-            self._rng_streams[stream] = random.Random(stream_seed(self.seed, stream))
-        return self._rng_streams[stream]
 
     # ------------------------------------------------------------ scheduling
 

@@ -229,3 +229,75 @@ def test_describe_mentions_the_load_shape():
     assert "open loop @ 50/s (poisson)" in Scenario(rate=50.0).describe()
     assert "closed loop" in Scenario().describe()
     assert "think 250 ms" in Scenario(think_time=250.0).describe()
+
+
+# ----------------------------------------------------------- runtime backend
+
+
+def test_runtime_params_round_trip_through_the_dsn():
+    scenario = Scenario.from_dsn(
+        "etx://a3.d1.c4?runtime=asyncio&host=10.0.0.5&port=7000&pace=0.2")
+    assert scenario.runtime == "asyncio"
+    assert scenario.host == "10.0.0.5"
+    assert scenario.port == 7000
+    assert scenario.pace == 0.2
+    assert Scenario.from_dsn(scenario.to_dsn()) == scenario
+    spec = scenario.runtime_spec
+    assert spec.kind == "asyncio" and spec.port == 7000 and not spec.distributed
+
+
+def test_unknown_runtime_rejected_with_the_known_list():
+    with pytest.raises(ScenarioError, match="unknown runtime 'trio'.*sim.*asyncio"):
+        Scenario.from_dsn("etx://?runtime=trio")
+
+
+def test_malformed_endpoints_rejected_at_parse_time():
+    with pytest.raises(ScenarioError, match="bad value for 'port'"):
+        Scenario.from_dsn("etx://?runtime=asyncio&port=http")
+    with pytest.raises(ScenarioError, match=r"port must be in \[0, 65535\]"):
+        Scenario.from_dsn("etx://?runtime=asyncio&port=70000")
+    with pytest.raises(ScenarioError, match="host"):
+        Scenario.from_dsn("etx://?runtime=asyncio&host=10.0.0.5:7000")
+    with pytest.raises(ScenarioError, match="pace must be > 0"):
+        Scenario.from_dsn("etx://?runtime=asyncio&pace=0")
+
+
+def test_port_range_must_fit_every_process():
+    # Process i listens on port+i, so the base port must leave room for the
+    # whole deployment below 65535.
+    with pytest.raises(ScenarioError, match="port range"):
+        Scenario.from_dsn("etx://a3.d1.c4?runtime=asyncio&port=65530")
+
+
+def test_endpoint_params_meaningless_under_the_simulator():
+    for dsn in ("etx://?host=10.0.0.5", "etx://?port=7000", "etx://?pace=0.2"):
+        with pytest.raises(ScenarioError, match="runtime=asyncio"):
+            Scenario.from_dsn(dsn)
+
+
+def test_host_env_and_port_file_resolve_indirectly(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_HOST", "192.168.7.1")
+    port_file = tmp_path / "port"
+    port_file.write_text("7100\n")
+    scenario = Scenario.from_dsn(
+        f"etx://?runtime=asyncio&host_env=REPRO_HOST&port_file={port_file}")
+    assert scenario.host == "192.168.7.1"
+    assert scenario.port == 7100
+    # Serialisation is canonical: the resolved values, not the indirection.
+    assert "host=192.168.7.1" in scenario.to_dsn()
+
+
+def test_indirect_and_direct_endpoint_params_are_ambiguous(monkeypatch):
+    monkeypatch.setenv("REPRO_HOST", "192.168.7.1")
+    with pytest.raises(ScenarioError, match="ambiguous"):
+        Scenario.from_dsn(
+            "etx://?runtime=asyncio&host=10.0.0.5&host_env=REPRO_HOST")
+
+
+def test_missing_indirect_sources_are_clear_errors(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_NO_SUCH_VAR", raising=False)
+    with pytest.raises(ScenarioError, match="REPRO_NO_SUCH_VAR"):
+        Scenario.from_dsn("etx://?runtime=asyncio&host_env=REPRO_NO_SUCH_VAR")
+    with pytest.raises(ScenarioError, match="port_file"):
+        Scenario.from_dsn(
+            f"etx://?runtime=asyncio&port_file={tmp_path / 'absent'}")

@@ -1,0 +1,221 @@
+"""One protocol semantics, two runtimes.
+
+The generator-coroutine protocol code never names its runtime: it yields
+waits to whatever :class:`repro.runtime.base.Kernel` the deployment chose.
+These tests run the same behavioural scenarios against the deterministic
+simulator and the wall-clock asyncio kernel and assert the *semantics*
+agree -- wake-up ordering, receive matchers, timer cancellation on kill,
+multicast fan-out.  Assertions about exact virtual timestamps only run
+where they are meaningful, i.e. on kernels with ``realtime == False``; a
+wall clock keeps moving between statements, so under asyncio the same
+checks degrade to ordering and lower-bound facts.
+"""
+
+import pytest
+
+from repro.net.message import Message, is_type
+from repro.net.network import Network
+from repro.runtime.base import RUNTIME_ASYNCIO, RUNTIME_SIM
+from repro.sim.process import Process
+from repro.sim.waits import TIMEOUT
+
+# Virtual milliseconds are cheap on the simulator and cost
+# ``delay * PACE / 1000`` wall seconds on asyncio: with PACE = 0.002 a
+# 100 ms virtual sleep takes 0.2 ms of real time, so the whole module
+# stays fast while still crossing the real event loop.
+PACE = 0.002
+
+
+@pytest.fixture(params=[RUNTIME_SIM, RUNTIME_ASYNCIO])
+def kernel(request):
+    if request.param == RUNTIME_SIM:
+        from repro.sim.scheduler import Simulator
+
+        kernel = Simulator(seed=7)
+    else:
+        from repro.runtime.loop import AsyncioKernel
+
+        kernel = AsyncioKernel(seed=7, pace=PACE)
+    yield kernel
+    kernel.close()
+
+
+def make_network(kernel) -> Network:
+    from repro.net.latency import FixedLatency
+
+    return Network(kernel, latency=FixedLatency(1.0))
+
+
+def run_until(kernel, predicate, horizon: float = 60_000.0) -> bool:
+    return kernel.run_until(predicate, until=horizon)
+
+
+# ------------------------------------------------------------ sleep ordering
+
+
+def test_sleeps_wake_in_delay_order(kernel):
+    network = make_network(kernel)
+    process = network.register(Process(kernel, "p"))
+    woke: list[str] = []
+
+    def sleeper(tag: str, delay: float):
+        def thread():
+            yield process.sleep(delay)
+            woke.append(tag)
+
+        return thread()
+
+    # Spawn out of delay order on purpose: wake order must follow delays,
+    # not spawn order.
+    process.spawn(sleeper("slow", 120.0), name="slow")
+    process.spawn(sleeper("fast", 20.0), name="fast")
+    process.spawn(sleeper("mid", 60.0), name="mid")
+    assert run_until(kernel, lambda: len(woke) == 3)
+    assert woke == ["fast", "mid", "slow"]
+    if not kernel.realtime:
+        assert kernel.now == 120.0
+    else:
+        # A wall clock can overshoot but never undershoot a timer.
+        assert kernel.now >= 120.0
+
+
+def test_zero_delay_runs_before_any_timer(kernel):
+    network = make_network(kernel)
+    process = network.register(Process(kernel, "p"))
+    order: list[str] = []
+
+    def timed():
+        # Generous delay: under a wall clock the time between the two
+        # spawn() calls below is real, so the timer must dwarf it for the
+        # ordering claim to be about semantics rather than racing epsilons.
+        yield process.sleep(5_000.0)
+        order.append("timer")
+
+    def immediate():
+        yield process.sleep(0.0)
+        order.append("immediate")
+
+    process.spawn(timed(), name="timed")
+    process.spawn(immediate(), name="immediate")
+    assert run_until(kernel, lambda: len(order) == 2)
+    assert order == ["immediate", "timer"]
+
+
+# ---------------------------------------------------------- receive matchers
+
+
+def test_receive_matchers_route_by_type(kernel):
+    network = make_network(kernel)
+    sender = network.register(Process(kernel, "s"))
+    receiver = network.register(Process(kernel, "r"))
+    seen: dict[str, list] = {"Ping": [], "Pong": []}
+
+    def listener(msg_type: str):
+        while True:
+            message = yield receiver.receive(is_type(msg_type))
+            seen[msg_type].append(message.payload["n"])
+
+    receiver.spawn(listener("Ping"), name="ping-listener")
+    receiver.spawn(listener("Pong"), name="pong-listener")
+
+    def producer():
+        sender.send("r", Message("Pong", payload={"n": 1}))
+        sender.send("r", Message("Ping", payload={"n": 2}))
+        sender.send("r", Message("Pong", payload={"n": 3}))
+        yield sender.sleep(0.0)
+
+    sender.spawn(producer(), name="producer")
+    assert run_until(kernel, lambda: len(seen["Ping"]) + len(seen["Pong"]) == 3)
+    # Each matcher saw exactly its own messages, in send order.
+    assert seen == {"Ping": [2], "Pong": [1, 3]}
+
+
+def test_receive_timeout_resumes_with_sentinel(kernel):
+    network = make_network(kernel)
+    process = network.register(Process(kernel, "p"))
+    outcomes: list[object] = []
+
+    def waiter():
+        message = yield process.receive(is_type("Never"), timeout=30.0)
+        outcomes.append(TIMEOUT if message is TIMEOUT else message.msg_type)
+
+    process.spawn(waiter(), name="waiter")
+    assert run_until(kernel, lambda: outcomes)
+    assert outcomes == [TIMEOUT]
+    if not kernel.realtime:
+        assert kernel.now == 30.0
+
+
+# ------------------------------------------------------ timer cancel on kill
+
+
+def test_kill_cancels_pending_timer(kernel):
+    network = make_network(kernel)
+    process = network.register(Process(kernel, "p"))
+    woke: list[str] = []
+
+    def sleeper():
+        yield process.sleep(40.0)
+        woke.append("sleeper")  # must never run
+
+    def bystander():
+        yield process.sleep(100.0)
+        woke.append("bystander")
+
+    victim = process.spawn(sleeper(), name="victim")
+    process.spawn(bystander(), name="bystander")
+    victim.kill()
+    assert not victim.alive
+    assert run_until(kernel, lambda: woke)
+    # The killed thread's timer fired into the void (or was descheduled);
+    # only the bystander woke, well after the victim's deadline passed.
+    assert woke == ["bystander"]
+
+
+def test_crash_kills_threads_and_recovery_restarts(kernel):
+    network = make_network(kernel)
+    process = network.register(Process(kernel, "p"))
+    woke: list[str] = []
+
+    def sleeper():
+        yield process.sleep(20.0)
+        woke.append("pre-crash")  # must never run
+
+    process.start()
+    process.spawn(sleeper(), name="sleeper")
+    process.crash()
+    assert not process.up
+    kernel.run(until=kernel.now + 60.0)
+    assert woke == []
+    process.recover()
+    assert process.up
+
+
+# ------------------------------------------------------------------ multicast
+
+
+def test_multicast_reaches_every_destination_once(kernel):
+    network = make_network(kernel)
+    sender = network.register(Process(kernel, "s"))
+    received: dict[str, int] = {}
+    receivers = []
+    for name in ("r1", "r2", "r3"):
+        receiver = network.register(Process(kernel, name))
+        receivers.append(receiver)
+
+        def listener(receiver=receiver):
+            while True:
+                message = yield receiver.receive(is_type("Gossip"))
+                received[receiver.name] = received.get(receiver.name, 0) + message["n"]
+
+        receiver.spawn(listener(), name="listener")
+
+    def producer():
+        sender.multicast(["r1", "r2", "r3"], Message("Gossip", payload={"n": 1}))
+        yield sender.sleep(0.0)
+
+    sender.spawn(producer(), name="producer")
+    assert run_until(kernel, lambda: len(received) == 3)
+    assert received == {"r1": 1, "r2": 1, "r3": 1}
+    assert network.stats.sent == 3
+    assert network.stats.delivered == 3
