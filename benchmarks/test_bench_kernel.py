@@ -1,0 +1,61 @@
+"""Kernel microbench gate: timer-wheel kernel vs the frozen heap kernel.
+
+Runs the scenarios of :mod:`repro.sim.bench` under both kernels, writes the
+machine-readable BENCH json (``benchmarks/out/kernel.json``, uploaded as a
+CI artifact) and enforces ``benchmarks/baseline/kernel.json``:
+
+* the absolute >30% regression gate compares the wheel kernel's lifecycle
+  ops/sec per scenario against the committed baseline, scaled by the ratio
+  of the committed calibration-loop time to this machine's;
+* the wheel-vs-heap speedup gates are *same-run ratios* -- both kernels run
+  on the same interpreter moments apart -- so machine speed cancels.  The
+  headline contract of the timer-wheel PR is the ``cancel_heavy`` drain:
+  with 90% of a deep timer population cancelled before firing, the wheel's
+  true removal drains the survivors at >=3x the heap kernel, which must
+  sift every tombstone to the top of the heap before it can drop it.
+"""
+
+import json
+import os
+
+from repro.sim import bench
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline", "kernel.json")
+
+
+def test_bench_kernel_json_and_regression_gate():
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    payload = bench.run_kernel_bench(ops=baseline["ops_per_scenario"])
+    print()
+    print(bench.format_report(payload))
+
+    out_dir = os.environ.get("BENCH_OUT", os.path.join("benchmarks", "out"))
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "kernel.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"BENCH json written to {path}")
+
+    # Absolute gate, machine-normalised: >30% below the committed wheel
+    # lifecycle figure fails the build.
+    machine_factor = baseline["calibration_seconds"] / payload["calibration_seconds"]
+    for scenario in bench.SCENARIOS:
+        committed = baseline["ops_per_second"]["wheel"][scenario]["lifecycle"]
+        measured = payload["ops_per_second"]["wheel"][scenario]["lifecycle"]
+        assert measured >= 0.7 * committed * machine_factor, (
+            f"{scenario}: wheel lifecycle ops/sec regressed >30%: "
+            f"{measured:,.0f} vs normalised baseline "
+            f"{committed * machine_factor:,.0f}")
+
+    # Ratio gates (machine independent).  The tentpole claim: a cancel-heavy
+    # queue drains at >=3x the heap kernel (committed reference: ~9x).
+    speedup = payload["speedup_wheel_vs_heap"]
+    assert speedup["cancel_heavy"]["drain"] >= 3.0, (
+        f"cancel_heavy drain speedup fell below the 3x contract: "
+        f"{speedup['cancel_heavy']['drain']}x")
+    # The wheel must also win the plain deep-population fire path outright.
+    assert speedup["timer_fire"]["lifecycle"] >= 1.1, (
+        f"timer_fire lifecycle speedup below 1.1x: "
+        f"{speedup['timer_fire']['lifecycle']}x")

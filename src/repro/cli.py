@@ -15,6 +15,7 @@ Usage (any of)::
     python -m repro ablations
     python -m repro fault-sweep --runs 20
     python -m repro soak --requests 100000
+    python -m repro kernelbench --out benchmarks/out/kernel.json
     python -m repro quickstart
 
 ``run`` executes any scenario DSN (scheme = protocol: ``etx``, ``2pc``,
@@ -344,6 +345,22 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if result.matches else 1
 
 
+def _cmd_kernelbench(args: argparse.Namespace) -> int:
+    from repro.sim import bench
+
+    payload = bench.run_kernel_bench(ops=args.ops, repeats=args.repeats)
+    print(bench.format_report(payload))
+    if args.out:
+        import json
+        import os
+
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"BENCH json written to {args.out}")
+    return 0
+
+
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     result = fault_sweep.run(num_runs=args.runs, seed=_seed(args),
                              allow_client_crash=args.client_crashes)
@@ -458,6 +475,17 @@ def build_parser() -> argparse.ArgumentParser:
     soak_cmd.add_argument("--json", default=None, metavar="PATH",
                           help="also write the machine-readable report here")
     soak_cmd.set_defaults(func=_cmd_soak)
+
+    kbench = sub.add_parser(
+        "kernelbench", help="event-queue microbenchmarks: timer-wheel kernel "
+                            "vs the frozen heap kernel")
+    kbench.add_argument("--ops", type=int, default=200_000,
+                        help="scheduler operations per scenario (default 200000)")
+    kbench.add_argument("--repeats", type=int, default=3,
+                        help="measurements per scenario, best kept (default 3)")
+    kbench.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the machine-readable BENCH json here")
+    kbench.set_defaults(func=_cmd_kernelbench)
 
     sweep = sub.add_parser("fault-sweep", help="random fault schedules, spec-checked")
     sweep.add_argument("--runs", type=int, default=10)

@@ -221,7 +221,15 @@ def matcher_correlation(matcher: Optional[Callable[[Any], bool]]) -> Optional[di
 
 
 def is_type(*msg_types: str) -> Callable[[Any], bool]:
-    """Matcher accepting any message whose ``msg_type`` is in ``msg_types``."""
+    """Matcher accepting any message whose ``msg_type`` is in ``msg_types``.
+
+    Matchers are stateless, so calls with the same type tuple share one
+    cached instance: receive loops build a matcher per iteration, and the
+    closure allocation was measurable on the delivery hot path.
+    """
+    cached = _IS_TYPE_CACHE.get(msg_types)
+    if cached is not None:
+        return cached
     allowed = set(msg_types)
 
     def matcher(message: Any) -> bool:
@@ -229,7 +237,11 @@ def is_type(*msg_types: str) -> Callable[[Any], bool]:
 
     matcher.msg_types = frozenset(allowed)
     matcher.msg_corr = {t: ANY_CORRELATION for t in allowed}
+    _IS_TYPE_CACHE[msg_types] = matcher
     return matcher
+
+
+_IS_TYPE_CACHE: dict[tuple, Callable[[Any], bool]] = {}
 
 
 def _hashable(value: Any) -> bool:

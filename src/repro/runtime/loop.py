@@ -50,11 +50,20 @@ class WallEvent:
         self.cancelled = False
         self._handle = handle
 
-    def cancel(self) -> None:
-        """Prevent the callback from firing (idempotent)."""
-        if not self.cancelled:
-            self.cancelled = True
-            self._handle.cancel()
+    def cancel(self) -> bool:
+        """Prevent the callback from firing.
+
+        Returns ``True`` on the first effective cancel, ``False`` on repeat
+        cancels -- the same contract as
+        :meth:`repro.sim.scheduler.ScheduledEvent.cancel` (a wall clock
+        cannot tell "already fired" apart from "in flight", so only the
+        repeat-cancel half of the no-op contract is observable here).
+        """
+        if self.cancelled:
+            return False
+        self.cancelled = True
+        self._handle.cancel()
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

@@ -1,0 +1,163 @@
+"""Frozen heap-based simulator kernel: the trace-equivalence oracle.
+
+This module is a verbatim preservation of the binary-heap discrete-event
+kernel that :mod:`repro.sim.scheduler` shipped before the timer-wheel
+rewrite.  It exists for exactly two purposes:
+
+* **Regression oracle.**  The timer-wheel kernel must produce byte-identical
+  traces for every seed; ``tests/test_trace_equivalence.py`` runs each
+  scenario under both kernels and compares event-by-event.  Keeping the old
+  kernel importable makes that check a permanent part of the suite instead
+  of a one-off migration script.
+* **Benchmark baseline.**  ``python -m repro kernelbench`` measures both
+  kernels on the same machine so the wheel-vs-heap speedup ratio is
+  machine-independent, unlike raw events/sec numbers.
+
+Select it at deployment level with ``REPRO_KERNEL=heap`` (see
+:func:`repro.runtime.base.create_kernel`).  Do not "improve" this module:
+its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.runtime.base import Kernel
+from repro.sim.errors import InvalidScheduling, SimulationLimitExceeded
+from repro.sim.tracing import TraceRecorder
+
+
+class HeapScheduledEvent:
+    """Handle to a scheduled callback on the legacy heap kernel."""
+
+    __slots__ = ("time", "seq", "callback", "name", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], name: str):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+
+    def cancel(self) -> bool:
+        """Prevent the callback from firing (idempotent tombstone)."""
+        if self.cancelled:
+            return False
+        self.cancelled = True
+        return True
+
+    def __lt__(self, other: "HeapScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<HeapScheduledEvent {self.name!r} at {self.time:.3f} ({state})>"
+
+
+class HeapSimulator(Kernel):
+    """The pre-wheel discrete-event simulator: one binary heap, tombstoned
+    cancellation, pop-one-event-at-a-time dispatch.
+
+    Semantics (FIFO within a timestamp, ``run``/``run_until`` horizon
+    behaviour, ``max_events`` accounting) are the contract the timer-wheel
+    kernel reproduces byte-for-byte.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None):
+        self.now: float = 0.0
+        self._init_kernel(seed, trace, lambda: self.now)
+        # The heap holds (time, seq, event) tuples so ordering uses C-level
+        # tuple comparison instead of a Python __lt__ per sift step.
+        self._queue: list[tuple[float, int, HeapScheduledEvent]] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(self, delay: float, callback: Callable[[], None], name: str = "event") -> HeapScheduledEvent:
+        if delay < 0:
+            raise InvalidScheduling(f"negative delay {delay!r} for event {name!r}")
+        event = HeapScheduledEvent(self.now + delay, self._seq, callback, name)
+        self._seq += 1
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None], name: str = "event") -> HeapScheduledEvent:
+        if time < self.now:
+            raise InvalidScheduling(f"cannot schedule {name!r} in the past ({time} < {self.now})")
+        return self.schedule(time - self.now, callback, name)
+
+    def call_soon(self, callback: Callable[[], None], name: str = "soon") -> HeapScheduledEvent:
+        return self.schedule(0.0, callback, name)
+
+    # --------------------------------------------------------------- running
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue (O(n) scan)."""
+        return sum(1 for _, _, e in self._queue if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def step(self) -> bool:
+        while self._queue:
+            event = heapq.heappop(self._queue)[2]
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> float:
+        processed = 0
+        while self._queue:
+            event = self._queue[0][2]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = event.time
+            self._events_processed += 1
+            processed += 1
+            if processed > max_events:
+                raise SimulationLimitExceeded(
+                    f"simulation exceeded {max_events} events (possible livelock)"
+                )
+            event.callback()
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_until(self, predicate: Callable[[], bool], *, until: Optional[float] = None,
+                  max_events: int = 5_000_000) -> bool:
+        processed = 0
+        if predicate():
+            return True
+        while self._queue:
+            event = self._queue[0][2]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self.now = until
+                return predicate()
+            heapq.heappop(self._queue)
+            self.now = event.time
+            self._events_processed += 1
+            processed += 1
+            if processed > max_events:
+                raise SimulationLimitExceeded(
+                    f"simulation exceeded {max_events} events (possible livelock)"
+                )
+            event.callback()
+            if predicate():
+                return True
+        return predicate()

@@ -49,6 +49,14 @@ class Thread:
         self._pending_future: Optional[SimFuture] = None
         self._pending_future_callback: Optional[Callable[[Any], None]] = None
         self._wait_token = 0
+        # Timer/mailbox wake-ups reuse one prebound callback plus these two
+        # slots instead of allocating a capturing closure per wait: a thread
+        # has at most one armed wake-up at a time, and the token check makes
+        # a stale callback (cancel raced the fire) a no-op.
+        self._armed_token = -1
+        self._armed_result: Any = None
+        self._fire_cb = self._fire
+        self._future_cb = self._on_future
         # Event names are only read by humans debugging a run; building them
         # per wait with f-strings was measurable on the hot path, so they are
         # rendered once per thread.
@@ -74,6 +82,7 @@ class Thread:
 
     def _cancel_pending(self) -> None:
         self._wait_token += 1
+        self._armed_result = None
         if self._pending_timer is not None:
             self._pending_timer.cancel()
             self._pending_timer = None
@@ -117,7 +126,17 @@ class Thread:
         self._handle_wait(wait)
 
     def _handle_wait(self, wait: Wait) -> None:
-        if isinstance(wait, Sleep):
+        # Exact-type dispatch: the three wait classes are final in practice,
+        # and ``type is`` is measurably cheaper than an isinstance chain on
+        # the per-event hot path.  Subclasses still land in the fallback.
+        cls = wait.__class__
+        if cls is Receive:
+            self._handle_receive(wait)
+        elif cls is Sleep:
+            self._arm_timer(wait.delay, result=None)
+        elif cls is WaitFuture:
+            self._handle_future(wait)
+        elif isinstance(wait, Sleep):
             self._arm_timer(wait.delay, result=None)
         elif isinstance(wait, Receive):
             self._handle_receive(wait)
@@ -128,15 +147,21 @@ class Thread:
                 f"thread {self.name!r} yielded unsupported wait object {wait!r}"
             )
 
+    def _fire(self) -> None:
+        """Prebound timer/mailbox wake-up: resume with the armed result."""
+        if self.alive and self._armed_token == self._wait_token:
+            self.resume(self._armed_result)
+
+    def _on_future(self, value: Any) -> None:
+        """Prebound future-resolution wake-up."""
+        if self.alive and self._armed_token == self._wait_token:
+            self.resume(value)
+
     def _arm_timer(self, delay: float, result: Any) -> None:
-        token = self._wait_token
-
-        def fire() -> None:
-            if self.alive and token == self._wait_token:
-                self.resume(result)
-
+        self._armed_token = self._wait_token
+        self._armed_result = result
         self._pending_timer = self.process.sim.schedule(
-            delay, fire, name=self._timer_name
+            delay, self._fire_cb, name=self._timer_name
         )
 
     def _handle_receive(self, wait: Receive) -> None:
@@ -144,14 +169,10 @@ class Thread:
         if message is not None:
             # Resume via the scheduler to keep same-time ordering deterministic
             # and to avoid unbounded recursion through long message chains.
-            token = self._wait_token
-
-            def deliver() -> None:
-                if self.alive and token == self._wait_token:
-                    self.resume(message)
-
+            self._armed_token = self._wait_token
+            self._armed_result = message
             self._pending_timer = self.process.sim.call_soon(
-                deliver, name=self._mailbox_name
+                self._fire_cb, name=self._mailbox_name
             )
             return
         self._pending_receive = wait
@@ -160,21 +181,17 @@ class Thread:
             self._arm_timer(wait.timeout, result=TIMEOUT)
 
     def _handle_future(self, wait: WaitFuture) -> None:
-        token = self._wait_token
-
-        def on_resolve(value: Any) -> None:
-            if self.alive and token == self._wait_token:
-                self.resume(value)
-
         if wait.future.resolved:
+            self._armed_token = self._wait_token
+            self._armed_result = wait.future.value
             self._pending_timer = self.process.sim.call_soon(
-                lambda: on_resolve(wait.future.value),
-                name=self._future_name,
+                self._fire_cb, name=self._future_name
             )
             return
+        self._armed_token = self._wait_token
         self._pending_future = wait.future
-        self._pending_future_callback = on_resolve
-        wait.future.on_resolve(on_resolve)
+        self._pending_future_callback = self._future_cb
+        wait.future.on_resolve(self._future_cb)
         if wait.timeout is not None:
             self._arm_timer(wait.timeout, result=TIMEOUT)
 
@@ -339,14 +356,27 @@ class Process:
             yield self._typed_waiters.setdefault(msg_type, {})
 
     def _register_waiter(self, thread: Thread, wait: Receive) -> None:
-        """Index a thread that just blocked on a receive."""
-        for bucket in self._waiter_buckets(wait):
-            bucket[thread.id] = thread
+        """Index a thread that just blocked on a receive.
+
+        The bucket list is resolved once per wait object and cached on it:
+        matcher hints are immutable, and register/unregister always come in
+        pairs, so computing the buckets twice was pure overhead.
+        """
+        buckets = wait._buckets
+        if buckets is None:
+            buckets = wait._buckets = list(self._waiter_buckets(wait))
+        thread_id = thread.id
+        for bucket in buckets:
+            bucket[thread_id] = thread
 
     def _unregister_waiter(self, thread: Thread, wait: Receive) -> None:
         """Drop a thread from the waiter index (wait satisfied or cancelled)."""
-        for bucket in self._waiter_buckets(wait):
-            bucket.pop(thread.id, None)
+        buckets = wait._buckets
+        if buckets is None:  # pragma: no cover - unregister without register
+            buckets = wait._buckets = list(self._waiter_buckets(wait))
+        thread_id = thread.id
+        for bucket in buckets:
+            bucket.pop(thread_id, None)
 
     def _note_thread_finished(self) -> None:
         """Called by a thread whose coroutine ran to completion."""

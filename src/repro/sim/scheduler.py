@@ -1,34 +1,53 @@
-"""Discrete-event simulator: virtual clock and event queue.
+"""Discrete-event simulator: virtual clock and a timer-wheel event queue.
 
 The simulator is the root object of every run.  It owns:
 
 * the virtual clock (``now``),
-* a priority queue of scheduled callbacks,
+* a hierarchical timer wheel of scheduled callbacks (:mod:`repro.sim.wheel`),
 * the trace recorder shared by all components,
 * a deterministic random-number source partitioned into named streams.
 
-Events scheduled at the same timestamp fire in FIFO order of scheduling, which
-makes every run fully deterministic for a given seed and fault schedule.
+Events scheduled at the same timestamp fire in FIFO order of scheduling,
+which makes every run fully deterministic for a given seed and fault
+schedule.  Dispatch is batched: the kernel drains one 256-tick wheel
+window at a time into a sorted *ready run* and fires it in a tight loop --
+the cross-event bookkeeping a heap pays per pop (sift, horizon compare,
+clock store) is paid once per window and once per timestamp change
+instead.  A callback that schedules more work inside the drained window
+merges into the running batch at exactly the FIFO position a
+``(time, seq)`` heap would have given it.
+
+The previous binary-heap kernel is preserved verbatim in
+:mod:`repro.sim.legacy`; ``tests/test_trace_equivalence.py`` holds the two
+kernels to byte-identical traces per seed.
 """
 
 from __future__ import annotations
 
-import heapq
+from bisect import insort
+from operator import attrgetter
 from typing import Callable, Optional
 
 from repro.runtime.base import Kernel, stream_seed  # noqa: F401  (re-exported)
 from repro.sim.errors import InvalidScheduling, SimulationLimitExceeded
 from repro.sim.tracing import TraceRecorder
+from repro.sim.wheel import DRAINED, L0_MASK, L0_SLOTS, TimerWheel
+
+_TIME_KEY = attrgetter("time")
 
 
 class ScheduledEvent:
     """Handle to a scheduled callback; supports cancellation.
 
-    Instances are returned by :meth:`Simulator.schedule` and compare by
-    ``(time, sequence)`` so the event queue is a stable priority queue.
+    Instances are returned by :meth:`Simulator.schedule` and order by
+    ``(time, seq)``, the stable priority that fixes FIFO-within-timestamp
+    dispatch.  ``_slots``/``_pos`` record where the event currently lives (a
+    wheel bucket, the far-future heap, or the ready run) so :meth:`cancel`
+    can remove it in O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "name", "cancelled")
+    __slots__ = ("time", "seq", "callback", "name", "cancelled",
+                 "_sim", "_slots", "_pos")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None], name: str):
         self.time = time
@@ -37,15 +56,42 @@ class ScheduledEvent:
         self.name = name
         self.cancelled = False
 
-    def cancel(self) -> None:
-        """Prevent the callback from firing (idempotent)."""
+    def cancel(self) -> bool:
+        """Prevent the callback from firing.
+
+        Returns ``True`` if the event was live and is now cancelled.
+        Cancelling an event that already fired -- or cancelling twice -- is a
+        documented no-op returning ``False``: the kernel clears ``callback``
+        the moment an event is dispatched, so a stale handle (e.g. an ack
+        racing the retransmit timer it is trying to stop) can always be
+        cancelled safely without perturbing anything that already happened.
+        """
+        if self.callback is None:
+            return False
+        self.callback = None
         self.cancelled = True
+        sim = self._sim
+        sim._cancelled += 1
+        slots = self._slots
+        if slots.__class__ is list:
+            # True removal from a wheel bucket: no tombstone survives.
+            slots[self._pos] = None
+            self._slots = DRAINED
+        elif slots is None:
+            sim._wheel.note_far_cancel()
+        # else DRAINED: the dispatch loop skips the flagged event.
+        return True
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self.callback is None:
+            state = "fired"
+        else:
+            state = "pending"
         return f"<ScheduledEvent {self.name!r} at {self.time:.3f} ({state})>"
 
 
@@ -69,12 +115,19 @@ class Simulator(Kernel):
     def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None):
         self.now: float = 0.0
         self._init_kernel(seed, trace, lambda: self.now)
-        # The heap holds (time, seq, event) tuples so ordering uses C-level
-        # tuple comparison instead of a Python __lt__ per sift step.
-        self._queue: list[tuple[float, int, ScheduledEvent]] = []
+        self._wheel = TimerWheel()
         self._seq = 0
         self._events_processed = 0
-        self._stopped = False
+        self._cancelled = 0
+        # The ready run: the drained current window, sorted by (time, seq).
+        # _ready_idx is the dispatch cursor (kept on the instance so a run
+        # can stop mid-window -- predicate hit, horizon, exception -- and a
+        # later call resumes exactly where it left off); _ready_tick (the
+        # drained window's last tick) routes schedules landing inside the
+        # window into the run instead of the wheel.
+        self._ready: list[ScheduledEvent] = []
+        self._ready_idx = 0
+        self._ready_tick = -1
 
     # ------------------------------------------------------------ scheduling
 
@@ -85,9 +138,49 @@ class Simulator(Kernel):
         """
         if delay < 0:
             raise InvalidScheduling(f"negative delay {delay!r} for event {name!r}")
-        event = ScheduledEvent(self.now + delay, self._seq, callback, name)
+        time = self.now + delay
+        event = ScheduledEvent(time, self._seq, callback, name)
         self._seq += 1
-        heapq.heappush(self._queue, (event.time, event.seq, event))
+        event._sim = self
+        wheel = self._wheel
+        tick = int(time)
+        # _ready_tick (last drained tick) is always wheel._base - 1, so one
+        # offset classifies the event: negative = inside the drained window
+        # (merge into the ready run), < L0_SLOTS = current window (inlined L0
+        # fast path, the overwhelmingly common case: timers a few virtual ms
+        # out), otherwise the slow insert.
+        offset = tick - wheel._base
+        if offset < L0_SLOTS:
+            if offset >= 0:
+                bucket = wheel._l0[tick & L0_MASK]
+                event._slots = bucket
+                event._pos = len(bucket)
+                bucket.append(event)
+                wheel._n0 += 1
+            else:
+                # A fresh event's seq exceeds everything already in the ready
+                # run, so position is decided by ``time`` alone (a right-
+                # bisect lands after equal times -- exactly FIFO) and it
+                # usually belongs at the end (the call_soon pattern).  ``lo``
+                # is pinned past the consumed prefix: a cancelled-and-skipped
+                # entry may carry a *later* timestamp than a fresh insert,
+                # and anything placed before the cursor would never fire.
+                ready = self._ready
+                event._slots = DRAINED
+                idx = self._ready_idx
+                if idx > 1024 and idx + idx >= len(ready):
+                    # Drop the consumed prefix (amortised O(1): only when it
+                    # is most of the list) so an unbounded same-window chain
+                    # -- the call_soon pattern -- does not pin every fired
+                    # event in memory until the window drains.
+                    del ready[:idx]
+                    self._ready_idx = 0
+                if not ready or ready[-1].time <= time:
+                    ready.append(event)
+                else:
+                    insort(ready, event, lo=self._ready_idx, key=_TIME_KEY)
+        else:
+            wheel.insert(event, tick)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None], name: str = "event") -> ScheduledEvent:
@@ -104,8 +197,12 @@ class Simulator(Kernel):
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for _, _, e in self._queue if not e.cancelled)
+        """Number of not-yet-cancelled, not-yet-fired events (O(1)).
+
+        Derived from counters the hot paths maintain anyway: everything ever
+        scheduled, minus fired, minus cancelled.
+        """
+        return self._seq - self._events_processed - self._cancelled
 
     @property
     def events_processed(self) -> int:
@@ -114,15 +211,25 @@ class Simulator(Kernel):
 
     def step(self) -> bool:
         """Run the next scheduled event.  Returns ``False`` if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)[2]
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.callback()
-            return True
-        return False
+        while True:
+            ready = self._ready
+            idx = self._ready_idx
+            if idx < len(ready):
+                event = ready[idx]
+                self._ready_idx = idx + 1
+                callback = event.callback
+                if callback is None:  # cancelled in place
+                    continue
+                self.now = event.time
+                event.callback = None
+                self._events_processed += 1
+                callback()
+                return True
+            drained = self._wheel.drain_next()
+            if drained is None:
+                return False
+            self._ready_tick, self._ready = drained
+            self._ready_idx = 0
 
     def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> float:
         """Run events until the queue drains or virtual time reaches ``until``.
@@ -131,27 +238,45 @@ class Simulator(Kernel):
         :class:`SimulationLimitExceeded` if more than ``max_events`` callbacks
         fire, which almost always indicates a livelock in a protocol under test.
         """
+        wheel = self._wheel
         processed = 0
-        while self._queue:
-            event = self._queue[0][2]
-            if event.cancelled:
-                heapq.heappop(self._queue)
+        while True:
+            # Batched dispatch: ready is sorted, so the horizon/clock work
+            # only runs when the timestamp changes, and ready state is
+            # re-read from the instance every iteration, which keeps
+            # exceptions (and re-entrant runs) consistent.
+            ready = self._ready
+            idx = self._ready_idx
+            if idx < len(ready):
+                event = ready[idx]
+                self._ready_idx = idx + 1
+                callback = event.callback
+                if callback is None:  # cancelled in place
+                    continue
+                time = event.time
+                if time != self.now:  # sorted => strictly later: new timestamp
+                    if until is not None and time > until:
+                        self._ready_idx = idx  # leave unconsumed
+                        if until > self.now:
+                            self.now = until
+                        return self.now
+                    self.now = time
+                event.callback = None
+                self._events_processed += 1
+                processed += 1
+                if processed > max_events:
+                    raise SimulationLimitExceeded(
+                        f"simulation exceeded {max_events} events (possible livelock)"
+                    )
+                callback()
                 continue
-            if until is not None and event.time > until:
-                self.now = until
+            drained = wheel.drain_next()
+            if drained is None:
+                if until is not None and until > self.now:
+                    self.now = until
                 return self.now
-            heapq.heappop(self._queue)
-            self.now = event.time
-            self._events_processed += 1
-            processed += 1
-            if processed > max_events:
-                raise SimulationLimitExceeded(
-                    f"simulation exceeded {max_events} events (possible livelock)"
-                )
-            event.callback()
-        if until is not None and until > self.now:
-            self.now = until
-        return self.now
+            self._ready_tick, self._ready = drained
+            self._ready_idx = 0
 
     def run_until(self, predicate: Callable[[], bool], *, until: Optional[float] = None,
                   max_events: int = 5_000_000) -> bool:
@@ -159,27 +284,49 @@ class Simulator(Kernel):
 
         Returns ``True`` if the predicate was satisfied, ``False`` if the event
         queue drained or the time horizon was reached first.
+
+        The predicate is re-evaluated after *every* dispatched event, never
+        once per batch: callers interleave ``run_until`` with synchronous
+        work (the closed-loop generator pattern), and overshooting the
+        predicate within a same-timestamp batch would reorder their RNG
+        draws relative to the heap kernel's one-event-at-a-time schedule.
         """
-        processed = 0
         if predicate():
             return True
-        while self._queue:
-            event = self._queue[0][2]
-            if event.cancelled:
-                heapq.heappop(self._queue)
+        wheel = self._wheel
+        processed = 0
+        while True:
+            ready = self._ready
+            idx = self._ready_idx
+            if idx < len(ready):
+                event = ready[idx]
+                self._ready_idx = idx + 1
+                callback = event.callback
+                if callback is None:  # cancelled in place
+                    continue
+                time = event.time
+                if time != self.now:
+                    if until is not None and time > until:
+                        self._ready_idx = idx
+                        if until > self.now:
+                            self.now = until
+                        return predicate()
+                    self.now = time
+                event.callback = None
+                self._events_processed += 1
+                processed += 1
+                if processed > max_events:
+                    raise SimulationLimitExceeded(
+                        f"simulation exceeded {max_events} events (possible livelock)"
+                    )
+                callback()
+                if predicate():
+                    return True
                 continue
-            if until is not None and event.time > until:
-                self.now = until
+            drained = wheel.drain_next()
+            if drained is None:
+                # Queue fully drained: the clock stays at the last event,
+                # matching the heap kernel.
                 return predicate()
-            heapq.heappop(self._queue)
-            self.now = event.time
-            self._events_processed += 1
-            processed += 1
-            if processed > max_events:
-                raise SimulationLimitExceeded(
-                    f"simulation exceeded {max_events} events (possible livelock)"
-                )
-            event.callback()
-            if predicate():
-                return True
-        return predicate()
+            self._ready_tick, self._ready = drained
+            self._ready_idx = 0

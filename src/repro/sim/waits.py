@@ -69,7 +69,7 @@ class Receive(Wait):
     resumed with :data:`TIMEOUT` instead of a message.
     """
 
-    __slots__ = ("matcher", "timeout")
+    __slots__ = ("matcher", "timeout", "_buckets")
 
     def __init__(self, matcher: Optional[Callable[[Any], bool]] = None,
                  timeout: Optional[float] = None):
@@ -77,6 +77,10 @@ class Receive(Wait):
             raise ValueError(f"negative receive timeout: {timeout}")
         self.matcher = matcher
         self.timeout = timeout
+        # Waiter-index buckets this wait registers under, resolved once by
+        # Process._register_waiter and reused on unregister (the matcher
+        # hints are immutable, so the bucket set never changes).
+        self._buckets: Optional[list] = None
 
     def matches(self, message: Any) -> bool:
         """Whether this wait accepts ``message``."""

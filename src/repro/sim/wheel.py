@@ -1,0 +1,192 @@
+"""Hierarchical timer wheel: the event queue behind the simulator kernel.
+
+The workload that dominates a protocol run is short-delay timer churn:
+retransmit/backoff timers armed a few (virtual) milliseconds out, most of
+which are cancelled before they fire because the acknowledgement arrives
+first.  A binary heap charges ``O(log n)`` sift work for every insert and
+leaves cancelled entries in place as tombstones until they reach the top;
+this wheel makes both operations O(1):
+
+* **L0** -- 256 buckets of one virtual millisecond each (``int(time)`` is
+  the tick).  Covers the next 256 ms, which is where essentially all
+  retransmit, backoff and paper-timing delays land.
+* **L1** -- 64 buckets of 256 ms each, covering ~16.4 virtual seconds.
+  When the L0 window moves past its end, the next L1 bucket is cascaded
+  into L0.
+* **far heap** -- everything beyond the L1 horizon sits in a plain
+  ``(time, seq, event)`` heap and is fed into the wheel as the window
+  advances.  Cancellation tombstones the heap entry, and the heap is
+  compacted (filter + re-heapify) whenever dead entries outnumber live
+  ones, so a cancel-heavy run cannot bloat it.
+
+Cancellation of a wheel-resident event is *true removal*: cancelling
+writes ``None`` over the event's bucket slot -- no tombstone survives to
+be re-sorted or cascaded later.
+
+Dispatch is batched by window: :meth:`TimerWheel.drain_next` hands the
+simulator the current 256-tick window's events as one list, sorted by
+``(time, seq)`` so dispatch order is exactly the heap kernel's.  One
+Python-level drain call and one sort amortise over every event in the
+window, instead of a heap's per-event pop.  The simulator keeps the list
+as its *ready run* and merges late inserts that land inside the drained
+window into it by binary insertion; see
+:class:`repro.sim.scheduler.Simulator`.
+
+The wheel knows nothing about the simulator: entries are any objects with
+``time`` (float), ``seq`` (int), ``cancelled`` (bool) and the two
+placement slots ``_slots``/``_pos`` that cancellation uses for true
+removal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from operator import attrgetter
+
+L0_BITS = 8
+L0_SLOTS = 1 << L0_BITS     #: 256 one-tick (1 virtual ms) buckets.
+L0_MASK = L0_SLOTS - 1
+L1_SLOTS = 64               #: 64 buckets of 256 ticks each.
+L1_MASK = L1_SLOTS - 1
+L1_SPAN = L0_SLOTS * L1_SLOTS  #: Ticks from the window base to the far horizon.
+
+#: Placement sentinel for events that left the wheel's bucket arrays: they
+#: sit in the simulator's ready run, where cancellation is flag-only (the
+#: dispatch loop skips flagged events; true removal would shift positions
+#: under the dispatch cursor).
+DRAINED = object()
+
+_SORT_KEY = attrgetter("time", "seq")
+
+
+class TimerWheel:
+    """Two-level timer wheel with a far-future heap and windowed drains."""
+
+    __slots__ = ("_l0", "_l1", "_far", "_far_dead", "_base", "_n0", "_n1")
+
+    def __init__(self) -> None:
+        self._l0: list[list] = [[] for _ in range(L0_SLOTS)]
+        self._l1: list[list] = [[] for _ in range(L1_SLOTS)]
+        self._far: list[tuple] = []   # heap of (time, seq, event)
+        self._far_dead = 0            # cancelled entries still in the far heap
+        self._base = 0                # first tick of the L0 window, 256-aligned
+        self._n0 = 0                  # entries sitting in L0 (cancel holes included)
+        self._n1 = 0
+
+    # -------------------------------------------------------------- insertion
+
+    def insert(self, event, tick: int) -> None:
+        """Place ``event`` (at integer tick ``tick``) into the wheel, O(1).
+
+        Precondition (maintained by the simulator): ``tick`` is at or beyond
+        the window base -- events landing inside an already-drained window
+        merge into the simulator's ready run instead.
+        """
+        offset = tick - self._base
+        if offset < L0_SLOTS:
+            bucket = self._l0[tick & L0_MASK]
+            self._n0 += 1
+        elif offset < L1_SPAN:
+            bucket = self._l1[(tick >> L0_BITS) & L1_MASK]
+            self._n1 += 1
+        else:
+            event._slots = None  # far heap: tombstone on cancel, compacted
+            heapq.heappush(self._far, (event.time, event.seq, event))
+            return
+        event._slots = bucket
+        event._pos = len(bucket)
+        bucket.append(event)
+
+    def note_far_cancel(self) -> None:
+        """Record a far-heap cancellation; compact once dead entries win."""
+        self._far_dead += 1
+        if self._far_dead > len(self._far) // 2:
+            self._far = [entry for entry in self._far if not entry[2].cancelled]
+            heapq.heapify(self._far)
+            self._far_dead = 0
+
+    # --------------------------------------------------------------- draining
+
+    def drain_next(self):
+        """Remove and return the current window as ``(last_tick, events)``.
+
+        ``events`` is every live event in the current 256-tick L0 window,
+        sorted by ``(time, seq)``; ``last_tick`` is the window's final tick
+        (events scheduled later at or before it belong in the returned run,
+        not the wheel).  The window is advanced past the drained span, so
+        the next call serves the following window.  Returns ``None`` when
+        the wheel holds no live events at all.
+        """
+        while True:
+            if self._n0:
+                l0 = self._l0
+                events = []
+                extend = events.extend
+                for cursor in range(L0_SLOTS):
+                    bucket = l0[cursor]
+                    if bucket:
+                        extend(bucket)
+                        l0[cursor] = []
+                self._n0 = 0
+                # Cancelled entries were overwritten with None by
+                # ScheduledEvent.cancel (true removal).
+                if None in events:
+                    events = [e for e in events if e is not None]
+                    if not events:
+                        continue
+                events.sort(key=_SORT_KEY)
+                for e in events:
+                    e._slots = DRAINED
+                last_tick = self._base + L0_SLOTS - 1
+                self._advance_window()
+                return (last_tick, events)
+            if self._n1:
+                self._advance_window()
+                continue
+            # L0 and L1 are empty: jump the window straight to the first
+            # live far-heap entry instead of cascading through dead time.
+            far = self._far
+            while far and far[0][2].cancelled:
+                heapq.heappop(far)
+                self._far_dead -= 1
+            if not far:
+                return None
+            self._base = ((int(far[0][0]) >> L0_BITS) << L0_BITS) - L0_SLOTS
+            self._advance_window()
+
+    # -------------------------------------------------------------- internals
+
+    def _advance_window(self) -> None:
+        """Move the L0 window forward one span: cascade L1, feed the far heap."""
+        base = self._base + L0_SLOTS
+        self._base = base
+        l0 = self._l0
+        bucket = self._l1[(base >> L0_BITS) & L1_MASK]
+        if bucket:
+            self._n1 -= len(bucket)
+            for e in bucket:
+                if e is not None:
+                    slot = l0[int(e.time) & L0_MASK]
+                    e._slots = slot
+                    e._pos = len(slot)
+                    slot.append(e)
+                    self._n0 += 1
+            bucket.clear()
+        far = self._far
+        if far:
+            horizon = base + L1_SPAN
+            while far and far[0][0] < horizon:
+                e = heapq.heappop(far)[2]
+                if e.cancelled:
+                    self._far_dead -= 1
+                    continue
+                tick = int(e.time)
+                if tick - base < L0_SLOTS:
+                    slot = l0[tick & L0_MASK]
+                    self._n0 += 1
+                else:
+                    slot = self._l1[(tick >> L0_BITS) & L1_MASK]
+                    self._n1 += 1
+                e._slots = slot
+                e._pos = len(slot)
+                slot.append(e)

@@ -101,6 +101,39 @@ def test_zero_delay_runs_before_any_timer(kernel):
     assert order == ["immediate", "timer"]
 
 
+def test_same_timestamp_events_dispatch_in_schedule_order(kernel):
+    """FIFO within a timestamp: both kernels fire equal-time events in the
+    order they were scheduled, even when armed out of order relative to
+    other delays."""
+    order: list[str] = []
+    kernel.schedule(50.0, lambda: order.append("same-a"))
+    kernel.schedule(10.0, lambda: order.append("early"))
+    kernel.schedule(50.0, lambda: order.append("same-b"))
+    kernel.schedule(50.0, lambda: order.append("same-c"))
+    assert run_until(kernel, lambda: len(order) == 4)
+    assert order == ["early", "same-a", "same-b", "same-c"]
+
+
+def test_cancel_inside_callback_stops_later_event(kernel):
+    """A callback may cancel an event scheduled for the same timestamp after
+    it; the cancelled callback must not run on either kernel.  Exercises the
+    wheel kernel's cancelled-in-place skip inside an already-drained batch."""
+    order: list[str] = []
+
+    def killer():
+        order.append("killer")
+        assert victim.cancel() is True
+        assert victim.cancel() is False  # second cancel: documented no-op
+
+    # Killer first, victim second: FIFO puts the killer earlier in the
+    # same-time batch, so the victim is cancelled after it was drained.
+    kernel.schedule(40.0, killer)
+    victim = kernel.schedule(40.0, lambda: order.append("victim"))
+    kernel.schedule(200.0, lambda: order.append("tail"))
+    assert run_until(kernel, lambda: "tail" in order)
+    assert order == ["killer", "tail"]
+
+
 # ---------------------------------------------------------- receive matchers
 
 

@@ -49,6 +49,79 @@ def test_cancelled_event_does_not_fire():
     assert fired == []
 
 
+def test_cancel_returns_true_exactly_once():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.cancel() is True
+    assert handle.cancel() is False  # second cancel: documented no-op
+    sim.run()
+
+
+def test_cancel_after_fire_is_a_documented_noop():
+    """Cancelling an event that already fired returns False, changes nothing.
+
+    This is the contract a stale handle relies on: an ack racing the
+    retransmit timer it is trying to stop may arrive after the timer fired,
+    and the late ``cancel()`` must neither error nor perturb counters.
+    """
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.run()
+    assert fired == ["x"]
+    before = sim.pending_events
+    assert handle.cancel() is False
+    assert handle.cancel() is False
+    assert not handle.cancelled  # it fired; it was never cancelled
+    assert sim.pending_events == before
+
+
+def test_cancel_inside_same_timestamp_batch():
+    """A callback can cancel a later event in its own same-time batch."""
+    sim = Simulator()
+    fired = []
+
+    def killer():
+        fired.append("killer")
+        assert victim.cancel() is True
+
+    # Killer first, victim second: FIFO puts the killer earlier in the
+    # same-time batch, so the victim is cancelled after the batch (early,
+    # killer, victim, tail) was already drained and sorted.
+    sim.schedule(4.0, lambda: fired.append("early"))
+    sim.schedule(5.0, killer)
+    victim = sim.schedule(5.0, lambda: fired.append("victim"))
+    sim.schedule(5.0, lambda: fired.append("tail"))
+    sim.run()
+    assert fired == ["early", "killer", "tail"]
+
+
+def test_pending_events_counts_live_events_only():
+    sim = Simulator()
+    handles = [sim.schedule(float(i % 7), lambda: None) for i in range(20)]
+    assert sim.pending_events == 20
+    for handle in handles[:5]:
+        handle.cancel()
+    assert sim.pending_events == 15
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_far_future_events_fire_and_cancel():
+    """Events beyond the wheel span (far heap) fire in order; cancel works."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(100_000.0, lambda: fired.append("far"))
+    doomed = [sim.schedule(50_000.0 + i, lambda: fired.append("doomed"))
+              for i in range(8)]
+    sim.schedule(1.0, lambda: fired.append("near"))
+    for handle in doomed:
+        assert handle.cancel() is True
+    sim.run()
+    assert fired == ["near", "far"]
+    assert sim.now == pytest.approx(100_000.0)
+
+
 def test_run_until_time_horizon_stops_clock_at_horizon():
     sim = Simulator()
     fired = []
