@@ -59,3 +59,10 @@ def test_bench_kernel_json_and_regression_gate():
     assert speedup["timer_fire"]["lifecycle"] >= 1.1, (
         f"timer_fire lifecycle speedup below 1.1x: "
         f"{speedup['timer_fire']['lifecycle']}x")
+    # Same-timestamp chains are the heap's best case; the call_soon fast
+    # path (skip delay validation and tick classification, append straight
+    # to the ready run) lifted the wheel from 0.69x to ~0.79x of the heap
+    # and must not slide back to the old worst case.
+    assert speedup["same_time_chain"]["lifecycle"] >= 0.7, (
+        f"same_time_chain lifecycle speedup below 0.7x: "
+        f"{speedup['same_time_chain']['lifecycle']}x")

@@ -1,0 +1,80 @@
+"""Parallel-kernel bench gate: the sharded round engine on the soak shape.
+
+Runs :func:`repro.sim.bench.run_parallel_bench` (serial vs ``jobs=8``
+in-process vs ``jobs=8&workers=4`` forked workers on the scaled-down soak
+shape), writes the BENCH json and enforces ``benchmarks/baseline/
+parallel.json``:
+
+* every mode must deliver every request spec-clean and process the exact
+  same event count -- the determinism contract restated as a bench gate;
+* the in-process overhead canary: ``workers=0`` buys no parallelism, so
+  its wall time over serial is pure round-engine cost (context chains,
+  seq marks, barrier merges) and must stay under the committed bound;
+* the headline speedup: with 4 forked workers the run must beat serial by
+  the committed factor.  This is only physics on a machine with idle
+  cores, so the gate skips below ``min_cpus`` (CI runs it; a laptop
+  running flat out is measuring contention, not the kernel).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sim import bench
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline",
+                             "parallel.json")
+
+with open(BASELINE_PATH, encoding="utf-8") as handle:
+    BASELINE = json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    result = bench.run_parallel_bench(requests=BASELINE["requests"],
+                                      jobs=BASELINE["jobs"],
+                                      workers=BASELINE["workers"])
+    print()
+    print(bench.format_parallel_report(result))
+
+    out_dir = os.environ.get("BENCH_OUT", os.path.join("benchmarks", "out"))
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "parallel.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+    print(f"BENCH json written to {path}")
+    return result
+
+
+def test_every_mode_is_spec_clean_and_event_identical(payload):
+    serial = payload["serial"]
+    for mode in ("serial", "sharded", "forked"):
+        figures = payload[mode]
+        assert figures["spec_ok"], f"{mode}: spec violations"
+        assert figures["delivered"] == serial["delivered"], (
+            f"{mode}: delivered {figures['delivered']} != "
+            f"serial {serial['delivered']}")
+        assert figures["events_processed"] == serial["events_processed"], (
+            f"{mode}: processed {figures['events_processed']} events, "
+            f"serial processed {serial['events_processed']}")
+
+
+def test_inprocess_overhead_within_committed_bound(payload):
+    bound = BASELINE["max_inprocess_overhead"]
+    assert payload["inprocess_overhead"] <= bound, (
+        f"jobs={payload['jobs']} workers=0 costs "
+        f"{payload['inprocess_overhead']}x serial wall time "
+        f"(committed bound {bound}x)")
+
+
+@pytest.mark.skipif(os.cpu_count() is None
+                    or os.cpu_count() < BASELINE["min_cpus"],
+                    reason=f"worker speedup needs >= {BASELINE['min_cpus']} "
+                           "cores; this machine cannot exhibit it")
+def test_worker_speedup_meets_committed_floor(payload):
+    floor = BASELINE["min_worker_speedup"]
+    assert payload["worker_speedup"] >= floor, (
+        f"{payload['workers']} forked workers reached only "
+        f"{payload['worker_speedup']}x serial (committed floor {floor}x) "
+        f"on {payload['cpu_count']} cores")

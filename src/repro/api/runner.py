@@ -100,6 +100,15 @@ class ScenarioResult:
                 + (f"/{db.in_doubt}?" if db.in_doubt else "")
                 for name, db in stats.by_database.items())
             lines.insert(5, f"databases  {per_db}")
+        if stats.parallel:
+            par = stats.parallel
+            events = "   ".join(f"{shard} {count}"
+                                for shard, count in par["events"].items())
+            lines.append(
+                f"parallel   {par['jobs']} job(s), {par['workers']} worker(s)"
+                f"   {par['rounds']} rounds"
+                f" ({par['stalled_windows']} stalled)"
+                f"   balance {par['balance']:.2f}   events: {events}")
         return "\n".join(lines)
 
     def _top_message_types(self, limit: int = 4) -> str:

@@ -372,6 +372,8 @@ _QUERY_PARAMS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "host": ("host", str),
     "port": ("port", int),
     "pace": ("pace", float),
+    "jobs": ("jobs", int),
+    "workers": ("workers", int),
 }
 
 # Endpoint parameters follow the database-DSN convention of edgedb et al.:
@@ -465,6 +467,14 @@ class Scenario:
     host: str = ""
     port: int = 0
     pace: float = 1.0
+    # Parallel simulation: ``jobs`` splits the server tier over that many
+    # shard kernels advanced in conservative lookahead rounds (0 = the plain
+    # serial kernel); ``workers`` hosts the server shards in that many OS
+    # processes (0 = interleave all shards in-process, the determinism
+    # oracle).  Either way the merged trace is byte-identical to the serial
+    # wheel kernel's.
+    jobs: int = 0
+    workers: int = 0
     faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -537,6 +547,28 @@ class Scenario:
                 raise ScenarioError(
                     f"port range {self.port}..{self.port + total - 1} for {total} "
                     f"processes exceeds {MAX_PORT}; pick a lower base port")
+        if self.jobs < 0 or self.workers < 0:
+            raise ScenarioError("jobs and workers must be non-negative")
+        if self.jobs > 0:
+            if self.runtime != RUNTIME_SIM:
+                raise ScenarioError("jobs > 0 (parallel simulation) requires "
+                                    "runtime=sim")
+            if self.use_reliable_channels:
+                raise ScenarioError(
+                    "jobs > 0 does not support reliable=true: the retransmit "
+                    "layer keeps cross-process timers the sharded kernel "
+                    "cannot split deterministically")
+            servers = self.num_app_servers + self.num_db_servers
+            if self.jobs > servers:
+                raise ScenarioError(
+                    f"jobs={self.jobs} exceeds the {servers} server processes "
+                    "available to shard; lower jobs or add servers")
+        if self.workers > 0 and self.jobs < 1:
+            raise ScenarioError("workers > 0 requires jobs >= 1 (workers host "
+                                "the server shards that jobs creates)")
+        if self.workers > self.jobs:
+            raise ScenarioError(f"workers={self.workers} exceeds jobs={self.jobs}; "
+                                "extra workers would sit idle")
         object.__setattr__(self, "faults", tuple(self.faults))
         known = set(self.app_server_names + self.db_server_names + self.client_names)
         for fault in self.faults:

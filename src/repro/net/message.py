@@ -5,7 +5,9 @@ All protocol traffic is carried by :class:`Message` objects.  A message has a
 ``"Prepare"``, ``"Vote"``, ``"Decide"``, ``"AckDecide"``, ``"Ready"``,
 ``"Result"``), a ``sender``/``destination`` pair and a free-form payload
 dictionary.  Every message carries a globally unique ``msg_id`` so that
-duplicate suppression (the paper's channel *integrity* property) is possible.
+duplicate suppression (the paper's channel *integrity* property) is possible;
+the network re-stamps it at send time from a per-source counter, so the id a
+message ends up with depends only on its sender's own send history.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.message import Message
 from repro.runtime.base import Kernel
 from repro.sim.process import Process
+from repro.sim.scheduler import MSG_ID_STRIDE
 
 
 class NetworkStats:
@@ -66,7 +67,15 @@ class Network:
         self.stats = NetworkStats()
         self.processes: dict[str, Process] = {}
         self._partition_groups: list[set[str]] = []
-        self._rng = sim.rng("network")
+        # Loss and latency draws come from a per-source RNG stream and message
+        # ids from a per-source counter: a source's draws then depend only on
+        # its *own* send history, never on how sends from different processes
+        # interleave globally.  That is what lets a sharded run (one kernel
+        # per shard, sources split across them) reproduce a serial run's
+        # draws and ids exactly.
+        self._source_rngs: dict[str, Any] = {}
+        self._source_index: dict[str, int] = {}
+        self._source_msg_counts: dict[str, int] = {}
         self.trace_messages = True
         # Bound once and reused: scheduling a delivery per message must not
         # re-create the bound method (and, when message tracing is off, not
@@ -80,6 +89,10 @@ class Network:
         if process.name in self.processes:
             raise ValueError(f"duplicate process name {process.name!r}")
         self.processes[process.name] = process
+        # Registration order fixes the per-source id namespace; deployments
+        # register the full process set in one deterministic order, so the
+        # index is stable across runs (and across shards of one run).
+        self._source_index[process.name] = len(self._source_index)
         process.attach_transport(self)
         return process
 
@@ -94,6 +107,28 @@ class Network:
     def hosts(self, name: str) -> bool:
         """Whether ``name`` executes in this OS process (always, in-memory)."""
         return True
+
+    # -------------------------------------------------- per-source id/rng
+
+    #: Per-source message-id stride: ``msg_id = index * STRIDE + n`` keeps ids
+    #: globally unique while making each one a pure function of (source,
+    #: per-source send count).  The canonical constant lives in the scheduler
+    #: (the shard-mode context ordering decodes sender bands from it).
+    MSG_ID_STRIDE = MSG_ID_STRIDE
+
+    def _next_msg_id(self, source: str) -> int:
+        count = self._source_msg_counts.get(source, 0) + 1
+        self._source_msg_counts[source] = count
+        index = self._source_index.get(source)
+        if index is None:  # unregistered sender (tests): first-send order
+            index = self._source_index[source] = len(self._source_index)
+        return index * self.MSG_ID_STRIDE + count
+
+    def _rng_for(self, source: str):
+        rng = self._source_rngs.get(source)
+        if rng is None:
+            rng = self._source_rngs[source] = self.sim.rng(f"network.{source}")
+        return rng
 
     # ------------------------------------------------------------ crash hooks
 
@@ -154,11 +189,11 @@ class Network:
         message.sender = source
         message.destination = destination
         message.send_time = self.sim.now
-        # Re-stamp the identifier from the simulator-scoped counter: message
-        # ids appear in the trace, and a process-global counter would make
-        # otherwise identical runs differ depending on what ran earlier in
-        # the same interpreter.
-        message.msg_id = self.sim.next_message_id()
+        # Re-stamp the identifier from the per-source counter: message ids
+        # appear in the trace, and a process-global (or interleaving-
+        # dependent) counter would make otherwise identical runs differ
+        # depending on what ran earlier in the same interpreter.
+        message.msg_id = self._next_msg_id(source)
         self.stats.sent += 1
         self.stats.by_type_sent[message.msg_type] = (
             self.stats.by_type_sent.get(message.msg_type, 0) + 1
@@ -182,7 +217,7 @@ class Network:
                     msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
                 )
             return
-        if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+        if self.loss_probability > 0 and self._rng_for(source).random() < self.loss_probability:
             self.stats.dropped_loss += 1
             if self.trace_messages and trace.wants("msg_drop"):
                 trace.record(
@@ -192,19 +227,22 @@ class Network:
             return
         self._transmit(message, destination, tracing)
 
-    def _transmit(self, message: Message, destination: str, tracing: bool) -> None:
+    def _transmit(self, message: Message, destination: str, tracing: bool):
         """Carry an accepted message to its destination.
 
         The base network samples a latency and schedules an in-memory
-        delivery; :class:`repro.runtime.tcp.TcpTransport` overrides this to
-        write a wire frame to a real socket instead.  Everything above this
-        seam (validation, stamping, stats, partition/loss drops, tracing) is
+        delivery (returning the scheduled event);
+        :class:`repro.runtime.tcp.TcpTransport` overrides this to write a
+        wire frame to a real socket instead.  Everything above this seam
+        (validation, stamping, stats, partition/loss drops, tracing) is
         shared between the backends.
         """
-        delay = self.latency.sample(self._rng, message.sender, destination)
+        delay = self.latency.sample(self._rng_for(message.sender), message.sender,
+                                    destination)
         name = f"deliver:{message.msg_type}->{destination}" if tracing else "deliver"
-        self.sim.schedule(delay, partial(self._deliver_bound, message, destination),
-                          name=name)
+        return self.sim.schedule(delay,
+                                 partial(self._deliver_bound, message, destination),
+                                 name=name)
 
     def _deliver(self, message: Message, destination_name: str) -> None:
         trace = self.sim.trace

@@ -230,6 +230,15 @@ def create_network(spec: RuntimeSpec, kernel: Kernel, *, latency: Any = None,
     TCP backend (deployment order); it is ignored by the simulator backend.
     """
     if spec.kind == RUNTIME_SIM:
+        if spec.only:
+            # A simulated deployment restricted to a subset of its processes
+            # is one shard of a parallel run: remote sends park in an outbox
+            # for the round loop instead of being delivered in-kernel.
+            from repro.sim.parallel import ShardNetwork
+
+            return ShardNetwork(kernel, latency=latency,
+                                loss_probability=loss_probability,
+                                local_names=set(spec.only))
         from repro.net.network import Network
 
         return Network(kernel, latency=latency, loss_probability=loss_probability)

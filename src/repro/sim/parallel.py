@@ -1,0 +1,1202 @@
+"""Conservative parallel simulation: one run, many cores, byte-identical traces.
+
+A :class:`ShardedKernel` partitions a deployment's processes into shards, runs
+one wheel-kernel :class:`~repro.sim.scheduler.Simulator` per shard, and
+advances them in lookahead-bounded rounds:
+
+1. compute ``T``, the earliest pending event time across all shards;
+2. every shard runs its events with ``time < T + L`` (``L`` is the minimum
+   cross-shard link latency from :func:`repro.net.latency.min_cross_latency`)
+   -- safe because no message sent at or after ``T`` can arrive before
+   ``T + L``;
+3. at the barrier, cross-shard messages are exchanged and re-injected into
+   their destination kernels at the exact ``(time, seq)`` position the serial
+   kernel would have given them (:meth:`Simulator.inject`), then the merged
+   trace is committed up to the proven-complete bound.
+
+Shard 0 always holds every client (the workload generators drive client
+objects directly); the server tier is split round-robin over ``jobs`` shards.
+With ``workers=0`` all shards interleave in this OS process -- the
+determinism oracle.  With ``workers=N`` the server shards execute in ``N``
+forked worker processes talking length-delimited pickles over pipes, with
+messages crossing the boundary via the :meth:`Message.to_wire` codec.
+
+Determinism rests on three per-source refactors in the serial stack (network
+RNG streams, message-id counters, thread ids) plus the seq-mark staircase in
+the scheduler; ``tests/test_trace_equivalence.py`` holds the merged trace
+byte-identical to the serial wheel kernel across seeds, schemes and fault
+corpus artifacts.
+
+Known, documented limitations:
+
+* ``run_until`` predicates that read *server*-shard state are only
+  re-evaluated at round barriers (client-state predicates -- the common case
+  -- keep per-event granularity via shard 0);
+* with ``workers>0``, programmatic overrides (custom workload objects,
+  business logic) and post-build ``apply_faults`` are rejected -- encode the
+  configuration in the scenario DSN;
+* reliable channels are unsupported (rejected at scenario validation);
+* mid-run ``issue()`` between two ``run_until`` calls can order a pair of
+  messages that arrive at the same destination at the same instant
+  differently from the serial kernel; generator-driven runs (closed/open
+  loop) never hit this.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import traceback
+from bisect import bisect_left
+from contextlib import contextmanager
+from functools import partial
+from typing import Any, Callable, Iterable, Optional
+
+from repro.net.latency import min_cross_latency, three_tier_latency
+from repro.net.message import Message
+from repro.net.network import Network, NetworkStats
+from repro.runtime.base import RUNTIME_SIM, Kernel, RuntimeSpec
+from repro.sim.scheduler import (
+    GENESIS_CTX,
+    Ctx,
+    SimulationLimitExceeded,
+)
+from repro.sim.tracing import RETENTION_OFF, TraceEvent, TraceRecorder, parse_retention
+
+__all__ = ["ShardNetwork", "ShardedDeployment", "ShardedKernel", "build_sharded",
+           "plan_shards"]
+
+
+# ------------------------------------------------------------------ planning
+
+
+def plan_shards(scenario: Any) -> list[list[str]]:
+    """Partition a scenario's processes into ``jobs + 1`` shards.
+
+    Shard 0 is every client: the workload generators mutate client objects
+    synchronously, so clients must live in the coordinating OS process.  The
+    server tier (app servers, then database servers) is dealt round-robin
+    over shards ``1..jobs``.  Under local registers all app servers share
+    in-memory register stores and are pinned together in shard 1.
+    """
+    from repro.api.scenario import ScenarioError
+    from repro.core.deployment import REGISTER_LOCAL
+
+    jobs = scenario.jobs
+    shards: list[list[str]] = [list(scenario.client_names)]
+    shards.extend([] for _ in range(jobs))
+    apps = list(scenario.app_server_names)
+    dbs = list(scenario.db_server_names)
+    if getattr(scenario, "register_mode", None) == REGISTER_LOCAL:
+        # Local register stores are plain shared objects between the app
+        # servers; they cannot straddle two kernels.
+        shards[1].extend(apps)
+        for i, name in enumerate(dbs):
+            shards[1 + i % jobs].append(name)
+    else:
+        for i, name in enumerate(apps + dbs):
+            shards[1 + i % jobs].append(name)
+    for index, names in enumerate(shards[1:], start=1):
+        if not names:
+            raise ScenarioError(
+                f"jobs={jobs} leaves server shard {index} empty for this "
+                "deployment shape; every server shard needs at least one "
+                "app or database server")
+    return shards
+
+
+def _scenario_latency(scenario: Any):
+    """The scenario's three-tier latency topology (for the lookahead bound)."""
+    return three_tier_latency(
+        list(scenario.client_names), list(scenario.app_server_names),
+        list(scenario.db_server_names),
+        client_app_latency=scenario.client_app_latency,
+        app_app_latency=scenario.app_app_latency,
+        app_db_latency=scenario.app_db_latency)
+
+
+@contextmanager
+def _force_wheel():
+    """Pin sub-builds to the wheel kernel (shard mode lives only there)."""
+    previous = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = "wheel"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+
+
+# ------------------------------------------------------------ shard network
+
+
+class ShardNetwork(Network):
+    """The in-memory fabric of one shard of a sharded run.
+
+    Local destinations behave exactly like the serial network (with the
+    delivery event's context discriminator stamped by the triggering
+    message's id, feeding the seq-mark staircase).  Remote destinations get
+    their latency sampled from the *same* per-source RNG stream the serial
+    kernel would have used, then the message is parked in ``outbox`` for
+    the round loop to carry to its destination shard; the tuple layout is::
+
+        (send_time, chain, source_index, outbox_seq,
+         destination, arrival_time, message)
+
+    where ``chain`` is the dispatch context the delivery event would carry
+    in the serial kernel -- ``(send_time, sender_dispatch_ctx, msg_id)`` --
+    and the prefix ``[:4]`` is the global tie-break key that recovers the
+    serial kernel's scheduling order for same-instant cross-shard sends.
+    """
+
+    def __init__(self, sim: Kernel, latency: Any = None,
+                 loss_probability: float = 0.0,
+                 local_names: Optional[Iterable[str]] = None):
+        super().__init__(sim, latency=latency, loss_probability=loss_probability)
+        self.local_names = set(local_names or ())
+        self.outbox: list[tuple] = []
+        self._outbox_seq = 0
+        #: Only the coordinator shard records partition/heal trace events;
+        #: every shard *applies* them, so without this gate the merged trace
+        #: would carry one duplicate per shard.
+        self.record_global = False
+
+    def hosts(self, name: str) -> bool:
+        return not self.local_names or name in self.local_names
+
+    def _transmit(self, message: Message, destination: str, tracing: bool):
+        if not self.local_names or destination in self.local_names:
+            event = super()._transmit(message, destination, tracing)
+            if event is not None:
+                ctx = event.ctx
+                event.ctx = Ctx((ctx[0], ctx[1], message.msg_id))
+            return event
+        delay = self.latency.sample(self._rng_for(message.sender), message.sender,
+                                    destination)
+        now = self.sim.now
+        self._outbox_seq += 1
+        parent = getattr(self.sim, "_dispatch_trunc", GENESIS_CTX)
+        self.outbox.append((
+            now,
+            Ctx((now, parent, message.msg_id)),
+            self._source_index.get(message.sender, 1 << 30),
+            self._outbox_seq,
+            destination,
+            now + delay,
+            message,
+        ))
+        return None
+
+    def take_outbox(self) -> list[tuple]:
+        entries, self.outbox = self.outbox, []
+        return entries
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        if self.record_global:
+            super().partition(*groups)
+            return
+        trace = self.sim.trace
+        enabled = trace.enabled
+        trace.enabled = False
+        try:
+            super().partition(*groups)
+        finally:
+            trace.enabled = enabled
+
+    def heal_partition(self) -> None:
+        if self.record_global:
+            super().heal_partition()
+            return
+        trace = self.sim.trace
+        enabled = trace.enabled
+        trace.enabled = False
+        try:
+            super().heal_partition()
+        finally:
+            trace.enabled = enabled
+
+
+# ------------------------------------------------------------- shadow faults
+
+
+def _shadow_crash(process: Any, detector: Any, sim: Kernel) -> None:
+    """Mirror a remote process's crash: flip ``up``, update detector clocks.
+
+    No trace record and no thread teardown -- the owning shard does the real
+    crash; this keeps the *view* other shards have of the process honest
+    (``Network._deliver`` down-checks, failure-detector ``suspect`` reads).
+    """
+    if not process.up:
+        return
+    process.up = False
+    crash_times = getattr(detector, "_crash_times", None)
+    if crash_times is not None:
+        crash_times[process.name] = sim.now
+
+
+def _shadow_recover(process: Any, detector: Any, sim: Kernel) -> None:
+    if process.up:
+        return
+    process.up = True
+    recover_times = getattr(detector, "_recover_times", None)
+    if recover_times is not None:
+        recover_times[process.name] = sim.now
+
+
+def _apply_shadow_faults(deployment: Any, schedule: Any, local_names: set[str]) -> None:
+    """Schedule shadow up/down flips for faults targeting *remote* processes.
+
+    ``restricted_to`` gave this shard only its local crashes/recoveries (and
+    all partitions); the complement still matters locally -- a remote crash
+    must flip the remote process object's ``up`` flag so deliveries drop and
+    detectors suspect, exactly as in the serial run.
+    """
+    from repro.failure.injection import CRASH, CRASH_FOR, RECOVER
+
+    sim = deployment.sim
+    detector = deployment.failure_detector
+    network = deployment.network
+    for action in schedule:
+        if action.kind not in (CRASH, RECOVER, CRASH_FOR) \
+                or action.target in local_names:
+            continue
+        process = network.processes[action.target]
+        if action.kind == CRASH:
+            sim.schedule_at(action.time, partial(_shadow_crash, process, detector, sim),
+                            name=f"shadow:crash:{action.target}")
+        elif action.kind == RECOVER:
+            sim.schedule_at(action.time, partial(_shadow_recover, process, detector, sim),
+                            name=f"shadow:recover:{action.target}")
+        else:
+            downtime = action.params["downtime"]
+            sim.schedule_at(action.time, partial(_shadow_crash, process, detector, sim),
+                            name=f"shadow:crash:{action.target}")
+            sim.schedule_at(action.time + downtime,
+                            partial(_shadow_recover, process, detector, sim),
+                            name=f"shadow:recover:{action.target}")
+
+
+# ------------------------------------------------------------ trace shipping
+
+
+def _event_time(event: TraceEvent) -> float:
+    return event.time
+
+
+class _TraceCollector:
+    """Per-shard staging buffer feeding the merged central trace.
+
+    Two shipping modes: when the central recorder *stores* events (retention
+    ``full``/``ring``) the shard keeps full retention and the collector
+    drains its store each commit (``ship is None``); when the central
+    retention is ``off`` only the categories with central subscribers matter,
+    so the collector subscribes those and the shard stores nothing.
+    """
+
+    def __init__(self, trace: TraceRecorder, ship: Optional[list[str]]):
+        self.buffer: list[TraceEvent] = []
+        self._trace: Optional[TraceRecorder] = None
+        if ship is None:
+            trace.set_retention("full")
+            self._trace = trace
+        else:
+            for category in ship:
+                trace.subscribe(category, self.buffer.append)
+
+    def _drain_store(self) -> None:
+        trace = self._trace
+        if trace is not None and len(trace):
+            self.buffer.extend(trace.events)
+            trace.clear()
+
+    def take(self, bound: float) -> list[TraceEvent]:
+        """Remove and return buffered events with ``time < bound``."""
+        self._drain_store()
+        buffer = self.buffer
+        cut = bisect_left(buffer, bound, key=_event_time)
+        taken, self.buffer = buffer[:cut], buffer[cut:]
+        return taken
+
+    def take_all(self) -> list[TraceEvent]:
+        self._drain_store()
+        taken, self.buffer = self.buffer, []
+        return taken
+
+
+# ------------------------------------------------------------------- shards
+
+
+def _build_shard(scenario: Any, plan: list[list[str]], index: int,
+                 ship: Optional[list[str]], overrides: dict[str, Any]) -> "_LocalShard":
+    """Build one shard: a full deployment hosting only its local names."""
+    from repro.api import drivers
+
+    spec = RuntimeSpec(kind=RUNTIME_SIM, only=tuple(plan[index]))
+    with _force_wheel():
+        system = drivers.build(scenario, runtime=spec, **overrides)
+    system.sim.enable_shard_mode()
+    collector = _TraceCollector(system.sim.trace, ship)
+    schedule = scenario.fault_schedule()
+    if len(schedule):
+        _apply_shadow_faults(system.deployment, schedule, set(plan[index]))
+    return _LocalShard(index, set(plan[index]), system, collector)
+
+
+class _LocalShard:
+    """A shard executing in this OS process."""
+
+    local = True
+
+    def __init__(self, index: int, names: set[str], system: Any,
+                 collector: _TraceCollector):
+        self.index = index
+        self.names = names
+        self.system = system
+        self.sim = system.sim
+        self.network = system.network
+        self.collector = collector
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def events_processed(self) -> int:
+        return self.sim.events_processed
+
+    @property
+    def pending(self) -> int:
+        return self.sim.pending_events
+
+    def next_time(self) -> Optional[float]:
+        return self.sim.next_event_time()
+
+    def inject(self, arrival: float, chain: tuple, destination: str,
+               message: Message) -> None:
+        # The chain already carries the message id as its discriminator, so
+        # the injected delivery becomes the dispatch context of whatever the
+        # destination sends in response -- the same (time, ctx) key the
+        # serial kernel would use.
+        self.sim.inject(
+            arrival, chain,
+            partial(self.network._deliver_bound, message, destination),
+            name="xshard")
+
+    def run_window(self, stop: float, budget: int) -> int:
+        before = self.sim.events_processed
+        self.sim.run_window(stop, max_events=budget)
+        return self.sim.events_processed - before
+
+    def take_outbox(self) -> list[tuple]:
+        return self.network.take_outbox()
+
+    def take_trace(self, bound: float) -> list[TraceEvent]:
+        return self.collector.take(bound)
+
+    def prune(self, before: float) -> None:
+        self.sim.prune_marks(before)
+
+
+class _WorkerShard:
+    """Coordinator-side proxy of a shard hosted by a worker process."""
+
+    local = False
+
+    def __init__(self, index: int, names: set[str], worker: "_WorkerHandle"):
+        self.index = index
+        self.names = names
+        self.worker = worker
+        #: Injections awaiting the next round command, in injection order:
+        #: ``(arrival, chain, destination, wire_bytes)``.
+        self.queued: list[tuple[float, tuple, str, bytes]] = []
+        self.trace_buffer: list[TraceEvent] = []
+        self.cached_next: Optional[float] = None
+        self.cached_now = 0.0
+        self.cached_processed = 0
+        self.cached_pending = 0
+        self.prune_before: Optional[float] = None
+
+    @property
+    def now(self) -> float:
+        return self.cached_now
+
+    @property
+    def events_processed(self) -> int:
+        return self.cached_processed
+
+    @property
+    def pending(self) -> int:
+        return self.cached_pending + len(self.queued)
+
+    def next_time(self) -> Optional[float]:
+        nearest = self.cached_next
+        for arrival, _chain, _destination, _wire in self.queued:
+            if nearest is None or arrival < nearest:
+                nearest = arrival
+        return nearest
+
+    def inject(self, arrival: float, chain: tuple, destination: str,
+               wire: bytes) -> None:
+        self.queued.append((arrival, chain, destination, wire))
+
+    def take_trace(self, bound: float) -> list[TraceEvent]:
+        buffer = self.trace_buffer
+        cut = bisect_left(buffer, bound, key=_event_time)
+        taken, self.trace_buffer = buffer[:cut], buffer[cut:]
+        return taken
+
+    def absorb(self, reply: tuple) -> tuple[list[tuple], int]:
+        """Fold one round reply into the cached view; returns (outbox, spent)."""
+        next_time, now, outbox, trace_events, processed, pending = reply
+        self.cached_next = next_time
+        self.cached_now = now
+        self.cached_processed += processed
+        self.cached_pending = pending
+        self.trace_buffer.extend(trace_events)
+        return outbox, processed
+
+
+# ----------------------------------------------------------- worker process
+
+
+def _probe_shard(shard: _LocalShard) -> dict[str, Any]:
+    stats = shard.network.stats
+    return {
+        "now": shard.sim.now,
+        "processed": shard.sim.events_processed,
+        "pending": shard.sim.pending_events,
+        "stats": stats.snapshot(),
+        "by_type_sent": dict(stats.by_type_sent),
+        "by_type_delivered": dict(stats.by_type_delivered),
+        "in_doubt": {name: list(server.in_doubt())
+                     for name, server in shard.system.db_servers.items()
+                     if name in shard.names},
+    }
+
+
+def _worker_main(conn: Any, scenario: Any, plan: list[list[str]],
+                 indices: list[int], ship: Optional[list[str]]) -> None:
+    """Entry point of a worker OS process hosting one or more server shards."""
+    os.environ["REPRO_KERNEL"] = "wheel"
+    shards: dict[int, _LocalShard] = {}
+    try:
+        for index in indices:
+            shards[index] = _build_shard(scenario, plan, index, ship, {})
+        conn.send(("ready", {index: (shard.next_time(), shard.pending)
+                             for index, shard in shards.items()}))
+        while True:
+            try:
+                cmd = conn.recv()
+            except EOFError:
+                return
+            op = cmd[0]
+            if op == "round":
+                reply = {}
+                for index, (stop, prune_before, budget, injections) in cmd[1].items():
+                    shard = shards[index]
+                    for arrival, chain, destination, wire in injections:
+                        shard.inject(arrival, chain, destination,
+                                     Message.from_wire(wire))
+                    processed = shard.run_window(stop, budget)
+                    if prune_before is not None:
+                        shard.prune(prune_before)
+                    outbox = [entry[:6] + (entry[6].to_wire(),)
+                              for entry in shard.take_outbox()]
+                    reply[index] = (shard.next_time(), shard.sim.now, outbox,
+                                    shard.collector.take_all(), processed,
+                                    shard.pending)
+                conn.send(("ok", reply))
+            elif op == "probe":
+                conn.send(("ok", {index: _probe_shard(shard)
+                                  for index, shard in shards.items()}))
+            elif op == "stop":
+                conn.close()
+                return
+            else:
+                raise RuntimeError(f"unknown worker command {op!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (Windows)
+        return multiprocessing.get_context("spawn")
+
+
+class _WorkerHandle:
+    """One worker OS process and its command pipe."""
+
+    def __init__(self, ctx: Any, scenario: Any, plan: list[list[str]],
+                 indices: list[int], ship: Optional[list[str]]):
+        self.conn, child = ctx.Pipe()
+        self.indices = list(indices)
+        self.process = ctx.Process(
+            target=_worker_main, args=(child, scenario, plan, self.indices, ship),
+            daemon=True)
+        self.process.start()
+        child.close()
+
+    def request(self, payload: tuple) -> None:
+        self.conn.send(payload)
+
+    def collect(self) -> Any:
+        kind, body = self.conn.recv()
+        if kind == "error":
+            raise RuntimeError(f"parallel simulation worker failed:\n{body}")
+        return body
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        try:
+            self.conn.close()
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+# ------------------------------------------------------------------- kernel
+
+
+def _entry_key(entry: tuple) -> tuple:
+    # (send_time, chain, source_index, outbox_seq): the serial kernel's
+    # scheduling order for cross-shard deliveries.  The chain recovers
+    # same-instant cross-sender order through the senders' causal ancestry;
+    # the source index is only reached when two *different* senders share an
+    # identical (truncated) chain -- a documented approximation.
+    return entry[:4]
+
+
+class ShardedKernel(Kernel):
+    """The :class:`Kernel` facade over a set of shard simulators.
+
+    Time, timers, RNG streams and idle scheduling all delegate to shard 0
+    (the client shard), which is what the workload generators drive; ``run``
+    and ``run_until`` execute the conservative round loop.
+    """
+
+    realtime = False
+
+    def __init__(self, shards: list[Any], workers: list[_WorkerHandle],
+                 trace: TraceRecorder, lookahead: float, seed: int):
+        self._shards = shards
+        self._shard0 = shards[0]
+        self._local_servers = [s for s in shards[1:] if s.local]
+        self._workers = workers
+        self._worker_shards = {worker: [shards[i] for i in worker.indices]
+                               for worker in workers}
+        self._owner = {name: shard for shard in shards for name in shard.names}
+        self._lookahead = lookahead
+        self.trace = trace
+        self.seed = seed
+        # Exclusive bounds of completed execution: ``_frontier`` for the
+        # server shards, ``_frontier0`` for shard 0 (lower only after a
+        # mid-window predicate stop), ``_committed`` for the merged trace.
+        self._frontier = 0.0
+        self._frontier0 = 0.0
+        self._committed = 0.0
+        # Cross-shard sends produced beyond a predicate-stop time: they are
+        # serial-future and may only be injected once shard 0 has executed
+        # past their send time.
+        self._deferred: list[tuple] = []
+        self.rounds = 0
+        self.stalled_windows = 0
+
+    # ------------------------------------------------------------ delegation
+
+    @property
+    def now(self) -> float:
+        return self._shard0.sim.now
+
+    def rng(self, stream: str):
+        return self._shard0.sim.rng(stream)
+
+    def next_thread_id(self) -> int:
+        return self._shard0.sim.next_thread_id()
+
+    def next_message_id(self) -> int:
+        return self._shard0.sim.next_message_id()
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 name: str = "event") -> Any:
+        return self._shard0.sim.schedule(delay, callback, name)
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    name: str = "event") -> Any:
+        return self._shard0.sim.schedule_at(time, callback, name)
+
+    def call_soon(self, callback: Callable[[], None], name: str = "soon") -> Any:
+        return self._shard0.sim.call_soon(callback, name)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(shard.pending for shard in self._shards) + len(self._deferred)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(shard.events_processed for shard in self._shards)
+
+    # ------------------------------------------------------------ round loop
+
+    def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> float:
+        self._drive(None, until, max_events)
+        return self.now
+
+    def run_until(self, predicate: Callable[[], bool], *,
+                  until: Optional[float] = None,
+                  max_events: int = 5_000_000) -> bool:
+        return bool(self._drive(predicate, until, max_events))
+
+    def _drive(self, predicate: Optional[Callable[[], bool]],
+               until: Optional[float], max_events: int) -> bool:
+        if predicate is not None and predicate():
+            return True
+        shard0 = self._shard0
+        # Exclusive window bound: events at exactly ``until`` must run (the
+        # serial kernels execute ``time <= until``), so the bound is the next
+        # float above it.
+        bound = math.inf if until is None else math.nextafter(until, math.inf)
+        remaining = max_events
+        self._route_idle_sends()
+
+        # ---- catch-up: shard 0 lags after a mid-window predicate stop
+        while self._frontier0 < self._frontier:
+            stop = min(self._frontier, bound)
+            if stop <= self._frontier0:
+                break  # the horizon ends inside already-executed territory
+            hit, spent = self._run_shard0(predicate, stop, remaining)
+            remaining -= spent
+            self._check_budget(remaining, max_events)
+            self._frontier0 = shard0.sim.now if hit else stop
+            entries = shard0.take_outbox()
+            entries.extend(self._take_deferred(self._frontier0))
+            self._inject_sorted(entries)
+            self._commit_and_prune(min(self._frontier0, self._frontier))
+            if hit:
+                self._commit_hit_tail()
+                self._sync_idle()
+                return True
+
+        # ---- steady state: lookahead-bounded rounds
+        while True:
+            if predicate is not None and predicate():
+                self._sync_idle()
+                return True
+            t_next = self._min_next_time()
+            if t_next is None:
+                # Globally drained: commit everything; the clock lands on the
+                # last executed event anywhere, like the serial kernel's.
+                self._commit_and_prune(math.inf)
+                last = max(shard.now for shard in self._shards)
+                if last > shard0.sim.now:
+                    shard0.sim.now = last
+                if until is not None and until > shard0.sim.now:
+                    shard0.sim.now = until
+                self._sync_idle()
+                return predicate() if predicate is not None else False
+            if t_next >= bound:
+                # Horizon: nothing left at or below ``until``.
+                self._frontier = max(self._frontier, bound)
+                self._frontier0 = min(max(self._frontier0, bound), self._frontier)
+                self._commit_and_prune(min(self._frontier0, self._frontier))
+                if until is not None and until > shard0.sim.now:
+                    shard0.sim.now = until
+                self._sync_idle()
+                return False
+            stop = min(t_next + self._lookahead, bound)
+            hit, spent = self._round(predicate, stop, remaining)
+            remaining -= spent
+            self._check_budget(remaining, max_events)
+            if hit:
+                self._sync_idle()
+                return True
+
+    def _round(self, predicate: Optional[Callable[[], bool]], stop: float,
+               budget: int) -> tuple[bool, int]:
+        """One conservative round: all shards run ``< stop``, then exchange."""
+        self.rounds += 1
+        shard0 = self._shard0
+        # Dispatch worker rounds first so they execute concurrently with the
+        # local shards below.
+        for worker in self._workers:
+            payload = {}
+            for shard in self._worker_shards[worker]:
+                injections, shard.queued = shard.queued, []
+                payload[shard.index] = (stop, shard.prune_before, budget, injections)
+                shard.prune_before = None
+            worker.request(("round", payload))
+        spent = 0
+        server_entries: list[tuple] = []
+        for shard in self._local_servers:
+            delta = shard.run_window(stop, budget)
+            spent += delta
+            if delta == 0:
+                self.stalled_windows += 1
+            server_entries.extend(shard.take_outbox())
+        hit, spent0 = self._run_shard0(predicate, stop, budget)
+        spent += spent0
+        shard0_entries = shard0.take_outbox()
+        for worker in self._workers:
+            for index, reply in worker.collect().items():
+                outbox, processed = self._shards[index].absorb(reply)
+                spent += processed
+                if processed == 0:
+                    self.stalled_windows += 1
+                server_entries.extend(outbox)
+        if hit:
+            # Sends at or beyond the stop time are serial-future: hold them
+            # until shard 0 has executed past their send time.
+            t_star = shard0.sim.now
+            eager = [e for e in server_entries if e[0] < t_star]
+            self._deferred.extend(e for e in server_entries if e[0] >= t_star)
+            eager.extend(shard0_entries)
+            self._inject_sorted(eager)
+            self._frontier = stop
+            self._frontier0 = t_star
+            self._commit_and_prune(min(self._frontier0, self._frontier))
+            self._commit_hit_tail()
+        else:
+            server_entries.extend(shard0_entries)
+            self._inject_sorted(server_entries)
+            self._frontier = self._frontier0 = stop
+            self._commit_and_prune(stop)
+        return hit, spent
+
+    def _run_shard0(self, predicate: Optional[Callable[[], bool]], stop: float,
+                    budget: int) -> tuple[bool, int]:
+        sim = self._shard0.sim
+        before = sim.events_processed
+        if predicate is None:
+            sim.run_window(stop, max_events=budget)
+            return False, sim.events_processed - before
+        hit = sim.run_until_window(predicate, stop, max_events=budget)
+        return hit, sim.events_processed - before
+
+    # ------------------------------------------------------------- exchange
+
+    def _route_idle_sends(self) -> None:
+        """Carry sends made while no run was active (e.g. ``issue()`` at t=0)."""
+        entries = self._shard0.take_outbox()
+        if entries:
+            self._inject_sorted(entries)
+
+    def _take_deferred(self, bound: float) -> list[tuple]:
+        if not self._deferred:
+            return []
+        ready = [e for e in self._deferred if e[0] < bound]
+        if ready:
+            self._deferred = [e for e in self._deferred if e[0] >= bound]
+        return ready
+
+    def _inject_sorted(self, entries: list[tuple]) -> None:
+        entries.sort(key=_entry_key)
+        owner = self._owner
+        for _send_time, chain, _src, _seq, destination, arrival, payload in entries:
+            shard = owner[destination]
+            if shard.local:
+                message = payload if isinstance(payload, Message) \
+                    else Message.from_wire(payload)
+                shard.inject(arrival, chain, destination, message)
+            else:
+                wire = payload if isinstance(payload, bytes) else payload.to_wire()
+                shard.inject(arrival, chain, destination, wire)
+
+    def _commit_hit_tail(self) -> None:
+        """Flush shard 0's records at exactly the predicate-stop instant.
+
+        The triggering event's own trace records carry time ``frontier0``,
+        which the exclusive commit bound just excluded; shard 0 executed
+        nothing beyond the hit, so they are serial-past and the caller must
+        see them.  Server-shard records at that instant stay buffered -- they
+        may be serial-future -- and commit on the next advance.
+        """
+        tail = self._shard0.take_trace(math.nextafter(self._frontier0, math.inf))
+        ingest = self.trace.ingest
+        for event in tail:
+            ingest(event)
+
+    def _commit_and_prune(self, bound: float) -> None:
+        """Merge per-shard trace slices below ``bound`` into the central trace.
+
+        Every process's events live in exactly one shard, so a stable sort
+        by ``(time, process)`` leaves each process's events in its shard's
+        record order -- the canonical form both sides of the equivalence
+        tests are compared in.
+        """
+        merged: list[TraceEvent] = []
+        for shard in self._shards:
+            merged.extend(shard.take_trace(bound))
+        if merged:
+            merged.sort(key=lambda e: (e.time, e.process))
+            ingest = self.trace.ingest
+            for event in merged:
+                ingest(event)
+        if bound > self._committed:
+            self._committed = bound
+        prune = self._committed
+        for shard in self._shards:
+            if shard.local:
+                shard.prune(prune)
+            else:
+                shard.prune_before = prune
+
+    # -------------------------------------------------------------- plumbing
+
+    def _min_next_time(self) -> Optional[float]:
+        nearest: Optional[float] = None
+        for shard in self._shards:
+            candidate = shard.next_time()
+            if candidate is not None and (nearest is None or candidate < nearest):
+                nearest = candidate
+        return nearest
+
+    def _check_budget(self, remaining: int, max_events: int) -> None:
+        if remaining < 0:
+            raise SimulationLimitExceeded(
+                f"simulation exceeded {max_events} events (possible livelock)")
+
+    def _sync_idle(self) -> None:
+        # Sends made between runs (client ``issue()``) must carry a context
+        # anchored at the current time, not that of the last executed event.
+        sim = self._shard0.sim
+        sim._dispatch_ctx = sim._dispatch_trunc = Ctx((sim.now, (), 0))
+
+
+# ------------------------------------------------------------------- facade
+
+
+class _RemoteDbHandle:
+    """Read-only stand-in for a database server hosted by a worker process."""
+
+    def __init__(self, deployment: "ShardedDeployment", name: str):
+        self._deployment = deployment
+        self.name = name
+
+    def in_doubt(self) -> list:
+        return self._deployment._probe(self.name).get("in_doubt", {}).get(self.name, [])
+
+
+class _NetworkFacade:
+    """Merged network view over all shards.
+
+    ``processes`` maps every name to the process object of its *owning*
+    in-process shard (worker-hosted names fall back to shard 0's non-started
+    shadow objects, whose mailboxes stay empty -- backlog probes under-report
+    for those).  ``stats`` sums the per-shard counters; cross-shard messages
+    count ``sent`` at the source shard and ``delivered`` at the destination
+    shard, so nothing is double-counted.
+    """
+
+    def __init__(self, deployment: "ShardedDeployment"):
+        self._deployment = deployment
+        shards = deployment._shards
+        shard0 = shards[0]
+        self.sim = deployment.sim
+        self.latency = shard0.network.latency
+        self.processes: dict[str, Any] = dict(shard0.network.processes)
+        for shard in shards[1:]:
+            if shard.local:
+                for name in shard.names:
+                    self.processes[name] = shard.network.processes[name]
+
+    def hosts(self, name: str) -> bool:
+        return True
+
+    def names(self) -> list[str]:
+        return list(self.processes)
+
+    def process(self, name: str) -> Any:
+        return self.processes[name]
+
+    @property
+    def stats(self) -> NetworkStats:
+        merged = NetworkStats()
+        for shard in self._deployment._shards:
+            if not shard.local:
+                continue
+            stats = shard.network.stats
+            merged.sent += stats.sent
+            merged.delivered += stats.delivered
+            merged.dropped_loss += stats.dropped_loss
+            merged.dropped_partition += stats.dropped_partition
+            merged.dropped_dest_down += stats.dropped_dest_down
+            for key, value in stats.by_type_sent.items():
+                merged.by_type_sent[key] = merged.by_type_sent.get(key, 0) + value
+            for key, value in stats.by_type_delivered.items():
+                merged.by_type_delivered[key] = \
+                    merged.by_type_delivered.get(key, 0) + value
+        for probe in self._deployment._probe_workers().values():
+            snapshot = probe["stats"]
+            merged.sent += snapshot["sent"]
+            merged.delivered += snapshot["delivered"]
+            merged.dropped_loss += snapshot["dropped_loss"]
+            merged.dropped_partition += snapshot["dropped_partition"]
+            merged.dropped_dest_down += snapshot["dropped_dest_down"]
+            for key, value in probe["by_type_sent"].items():
+                merged.by_type_sent[key] = merged.by_type_sent.get(key, 0) + value
+            for key, value in probe["by_type_delivered"].items():
+                merged.by_type_delivered[key] = \
+                    merged.by_type_delivered.get(key, 0) + value
+        return merged
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        deployment = self._deployment
+        if deployment._workers:
+            raise RuntimeError(
+                "direct partition() is not supported with workers>0; declare "
+                "the partition in the scenario's fault schedule instead")
+        for shard in deployment._shards:
+            shard.network.partition(*groups)
+
+    def heal_partition(self) -> None:
+        deployment = self._deployment
+        if deployment._workers:
+            raise RuntimeError(
+                "direct heal_partition() is not supported with workers>0; "
+                "declare the heal in the scenario's fault schedule instead")
+        for shard in deployment._shards:
+            shard.network.heal_partition()
+
+    def close(self) -> None:
+        """Transport resources are owned by the shard networks; no-op."""
+
+
+class ShardedDeployment:
+    """The deployment facade of a sharded run.
+
+    Exposes the same surface as :class:`~repro.core.deployment.EtxDeployment`
+    (and the baseline deployments): ``sim``/``trace``/``network``/``clients``/
+    ``app_servers``/``db_servers``/``issue``/``run``/``run_until_delivered``/
+    ``run_request``/``apply_faults``/``check_spec``/``close``.  Spec checking
+    and the metric streams fold the *merged* trace, so their verdicts are the
+    serial run's verdicts.
+    """
+
+    def __init__(self, scenario: Any, shards: list[Any],
+                 workers: list[_WorkerHandle], kernel: ShardedKernel,
+                 trace: TraceRecorder, spec_monitor: Any, db_outcomes: Any,
+                 latency_components: Any):
+        self.scenario = scenario
+        self._shards = shards
+        self._workers = workers
+        self.sim = kernel
+        self._trace = trace
+        self.spec_monitor = spec_monitor
+        self.db_outcomes = db_outcomes
+        self.latency_components = latency_components
+        shard0 = shards[0]
+        self.config = shard0.system.deployment.config
+        self.sharding = shard0.system.deployment.sharding
+        self.clients = shard0.system.clients
+        self.app_servers: dict[str, Any] = {}
+        self.db_servers: dict[str, Any] = {}
+        owner = kernel._owner
+        for name in self.config.app_server_names:
+            shard = owner[name]
+            self.app_servers[name] = shard.network.processes[name] if shard.local \
+                else shard0.system.app_servers[name]
+        for name in self.config.db_server_names:
+            shard = owner[name]
+            self.db_servers[name] = shard.network.processes[name] if shard.local \
+                else _RemoteDbHandle(self, name)
+        self.network = _NetworkFacade(self)
+        self._probe_cache: Optional[dict[int, dict[str, Any]]] = None
+        self._probe_round = -1
+        self._closed = False
+
+    # ------------------------------------------------------------ shortcuts
+
+    @property
+    def trace(self) -> TraceRecorder:
+        return self._trace
+
+    @property
+    def client(self) -> Any:
+        return self.clients[self.config.client_names[0]]
+
+    @property
+    def default_primary(self) -> Any:
+        return self.app_servers[self.config.app_server_names[0]]
+
+    # ------------------------------------------------------------ execution
+
+    def issue(self, request: Any, client: Optional[str] = None) -> Any:
+        return self._shards[0].system.deployment.issue(request, client)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def run_until_delivered(self, issued: Any, horizon: float = 1_000_000.0) -> bool:
+        return self.sim.run_until(lambda: issued.delivered, until=horizon)
+
+    def run_request(self, request: Any, client: Optional[str] = None,
+                    horizon: float = 1_000_000.0) -> Any:
+        issued = self.issue(request, client)
+        self.run_until_delivered(issued, horizon=horizon)
+        return issued
+
+    # --------------------------------------------------------------- faults
+
+    def apply_faults(self, schedule: Any) -> None:
+        """Apply a programmatic fault schedule across every shard.
+
+        Each shard schedules the faults it can act on locally (as in a
+        distributed run) plus shadow up/down flips for the rest, so remote
+        views stay honest.  Requires ``workers=0``: worker shards built their
+        schedules at construction time from the scenario.
+        """
+        if self._workers:
+            raise RuntimeError(
+                "programmatic apply_faults is not supported with workers>0; "
+                "declare the faults in the scenario (faults=...) instead")
+        for shard in self._shards:
+            shard.system.deployment.apply_faults(schedule)
+            _apply_shadow_faults(shard.system.deployment, schedule, shard.names)
+
+    # ----------------------------------------------------------------- spec
+
+    def check_spec(self, check_termination: bool = True) -> Any:
+        return self.spec_monitor.report(check_termination=check_termination)
+
+    def spec_checker(self) -> Any:
+        from repro.core.spec import SpecificationChecker
+
+        return SpecificationChecker(self._trace, self.config.db_server_names,
+                                    self.config.client_names)
+
+    # ---------------------------------------------------------------- stats
+
+    def _probe_workers(self) -> dict[int, dict[str, Any]]:
+        """Snapshot worker-shard state; cached per round to bound pipe trips."""
+        if not self._workers:
+            return {}
+        if self._probe_cache is not None and self._probe_round == self.sim.rounds:
+            return self._probe_cache
+        merged: dict[int, dict[str, Any]] = {}
+        for worker in self._workers:
+            worker.request(("probe",))
+        for worker in self._workers:
+            merged.update(worker.collect())
+        self._probe_cache = merged
+        self._probe_round = self.sim.rounds
+        return merged
+
+    def _probe(self, name: str) -> dict[str, Any]:
+        shard = self.sim._owner[name]
+        return self._probe_workers().get(shard.index, {})
+
+    def parallel_stats(self) -> dict[str, Any]:
+        """Per-shard execution counters of the round engine (for reports)."""
+        kernel = self.sim
+        events = {f"shard{shard.index}": shard.events_processed
+                  for shard in self._shards}
+        total = sum(events.values())
+        server_events = [shard.events_processed for shard in self._shards[1:]]
+        peak = max(server_events) if server_events else 0
+        return {
+            "jobs": len(self._shards) - 1,
+            "workers": len(self._workers),
+            "rounds": kernel.rounds,
+            "stalled_windows": kernel.stalled_windows,
+            "events": events,
+            "balance": (sum(server_events) / (len(server_events) * peak))
+            if peak else 1.0,
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+        for shard in self._shards:
+            if shard.local:
+                shard.system.close()
+
+
+# -------------------------------------------------------------------- build
+
+
+def build_sharded(scenario: Any, *, workload: Any = None,
+                  business_logic: Any = None,
+                  initial_data: Optional[dict[str, Any]] = None,
+                  db_timing: Any = None,
+                  protocol_timing: Any = None) -> ShardedDeployment:
+    """Build the sharded deployment a ``jobs>0`` scenario describes.
+
+    Called by :func:`repro.api.drivers.build`; the keyword overrides mirror
+    its own and are forwarded into every shard's sub-build (rejected under
+    ``workers>0``, where shards are built in other OS processes).
+    """
+    from repro.api.scenario import ScenarioError
+    from repro.core.spec import SpecMonitor
+    from repro.metrics.latency import LatencyComponentStream
+    from repro.metrics.stream import DatabaseOutcomeStream
+
+    overrides = {"workload": workload, "business_logic": business_logic,
+                 "initial_data": initial_data, "db_timing": db_timing,
+                 "protocol_timing": protocol_timing}
+    given = {key: value for key, value in overrides.items() if value is not None}
+    if scenario.workers > 0 and given:
+        raise ScenarioError(
+            "workers>0 builds shards in separate OS processes and cannot "
+            f"carry programmatic overrides ({', '.join(sorted(given))}); "
+            "use workers=0 or encode the configuration in the scenario")
+    plan = plan_shards(scenario)
+    lookahead = min_cross_latency(_scenario_latency(scenario), plan)
+    central = TraceRecorder()
+    central.set_retention(scenario.trace)
+    db_names = list(scenario.db_server_names)
+    spec_monitor = SpecMonitor.attach(central, db_names,
+                                      list(scenario.client_names))
+    db_outcomes = DatabaseOutcomeStream(central, db_names)
+    latency_components = LatencyComponentStream(central)
+    mode, _capacity = parse_retention(scenario.trace)
+    ship = None if mode != RETENTION_OFF \
+        else sorted(central.subscribed_categories())
+    shards: list[Any] = [None] * len(plan)
+    workers: list[_WorkerHandle] = []
+    try:
+        shards[0] = _build_shard(scenario, plan, 0, ship, given)
+        shards[0].network.record_global = True
+        if scenario.workers > 0:
+            ctx = _mp_context()
+            assignments: list[list[int]] = [[] for _ in range(scenario.workers)]
+            for offset, index in enumerate(range(1, len(plan))):
+                assignments[offset % scenario.workers].append(index)
+            for indices in assignments:
+                worker = _WorkerHandle(ctx, scenario, plan, indices, ship)
+                workers.append(worker)
+                for index in indices:
+                    shards[index] = _WorkerShard(index, set(plan[index]), worker)
+            for worker in workers:
+                for index, (next_time, pending) in worker.collect().items():
+                    shards[index].cached_next = next_time
+                    shards[index].cached_pending = pending
+        else:
+            for index in range(1, len(plan)):
+                shards[index] = _build_shard(scenario, plan, index, ship, given)
+    except BaseException:
+        for worker in workers:
+            worker.stop()
+        for shard in shards:
+            if shard is not None and shard.local:
+                shard.system.close()
+        raise
+    kernel = ShardedKernel(shards, workers, central, lookahead, scenario.seed)
+    central.bind_clock(lambda: kernel.now)
+    return ShardedDeployment(scenario, shards, workers, kernel, central,
+                             spec_monitor, db_outcomes, latency_components)

@@ -36,7 +36,12 @@ class Thread:
     """
 
     def __init__(self, process: "Process", generator: ProtocolGenerator, name: str):
-        self.id = process.sim.next_thread_id()
+        # Thread ids are scoped to the hosting process: waiter ordering only
+        # ever compares threads of one process, and a process-local counter
+        # keeps the ids independent of what other processes did first -- which
+        # is what lets a sharded run (one kernel per shard) hand out exactly
+        # the ids a serial run would.
+        self.id = process._next_thread_id()
         self.process = process
         self.generator = generator
         self.name = name
@@ -233,8 +238,13 @@ class Process:
         self._typed_waiters: dict[str, dict[int, Thread]] = {}
         self._wildcard_waiters: dict[int, Thread] = {}
         self._finished_threads = 0
+        self._thread_ids = 0
         self._transport: Optional[Any] = None  # installed by repro.net.Network
         self._started = False
+
+    def _next_thread_id(self) -> int:
+        self._thread_ids += 1
+        return self._thread_ids
 
     # ------------------------------------------------------------ properties
 

@@ -86,6 +86,10 @@ class RunStatistics:
     elapsed: float = 0.0
     by_client: dict[str, "RunStatistics"] = field(default_factory=dict)
     by_database: dict[str, DatabaseStatistics] = field(default_factory=dict)
+    #: Round-engine counters of a sharded (``jobs>0``) run: ``jobs``,
+    #: ``workers``, ``rounds``, ``stalled_windows``, per-shard ``events`` and
+    #: a load-``balance`` ratio.  ``None`` for a serial run.
+    parallel: Optional[dict[str, Any]] = None
 
     @property
     def count(self) -> int:
@@ -249,6 +253,10 @@ class LoadGenerator:
             leaf.undelivered += planned_by_client[client] - len(issued_list)
             stats.merge(client, leaf)
         self._collect_databases(deployment, stats)
+        probe = getattr(getattr(deployment, "deployment", deployment),
+                        "parallel_stats", None)
+        if callable(probe):
+            stats.parallel = probe()
         return stats
 
     @staticmethod
