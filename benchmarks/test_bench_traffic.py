@@ -145,6 +145,7 @@ def test_bench_traffic_json_and_regression_gate():
     off = _measure_events_per_second(f"{dsn}&trace=off", requests)
     machine_factor = baseline["calibration_seconds"] / _calibration_seconds()
     expected_full = baseline["events_per_second_full"] * machine_factor
+    expected_off = baseline["events_per_second_off"] * machine_factor
     required_off_ratio = 2.0 * baseline["pr3_events_per_second_full"] \
         / baseline["events_per_second_full"]
     print(f"\n[traffic] events/sec full={full:,.0f} ring:1000={ring:,.0f} "
@@ -173,6 +174,11 @@ def test_bench_traffic_json_and_regression_gate():
     assert full >= 0.7 * expected_full, (
         f"events/sec regressed >30%: full={full:,.0f} vs normalised "
         f"baseline {expected_full:,.0f}")
+    # Same gate for the slimmed trace=off hot path: it carries the
+    # allocation-slim PR's gains and must not quietly give them back.
+    assert off >= 0.7 * expected_off, (
+        f"trace=off events/sec regressed >30%: off={off:,.0f} vs normalised "
+        f"baseline {expected_off:,.0f}")
     # The headline contract of the event-bus refactor: with the trace store
     # off, the kernel runs at least twice as fast as the PR 3 baseline.
     assert off >= required_off_ratio * full, (

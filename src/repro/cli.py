@@ -16,6 +16,8 @@ Usage (any of)::
     python -m repro fault-sweep --runs 20
     python -m repro soak --requests 100000
     python -m repro kernelbench --out benchmarks/out/kernel.json
+    python -m repro kernelbench --alloc-only --out benchmarks/out/alloc.json
+    python -m repro run "etx://a3.d1.c4?rate=40&workload=bank" --profile
     python -m repro quickstart
 
 ``run`` executes any scenario DSN (scheme = protocol: ``etx``, ``2pc``,
@@ -38,6 +40,37 @@ from repro.experiments import fault_sweep, figure1, figure7, figure8, scaleout, 
 from repro.experiments.ablations import asynchrony_sweep, log_cost_sweep, scaling_sweep
 
 
+def _profiled(profile_arg, label: str, call):
+    """Run ``call()`` under cProfile when ``--profile`` was given.
+
+    ``profile_arg`` is ``None`` (profiling off), an empty string (write to
+    the default ``benchmarks/out/<label>.pstats``), or an explicit path.
+    The stats file loads with :mod:`pstats`; the top of the cumulative
+    profile is printed so a quick look needs no second tool.
+    """
+    if profile_arg is None:
+        return call()
+    import cProfile
+    import io
+    import os
+    import pstats
+
+    path = profile_arg or os.path.join("benchmarks", "out", f"{label}.pstats")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return call()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(20)
+        print(stream.getvalue().rstrip())
+        print(f"PROFILE pstats written to {path} "
+              f"(inspect with: python -m pstats {path})")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         scenario = api.Scenario.from_dsn(args.dsn)
@@ -52,7 +85,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             run_kwargs["settle"] = args.settle
         if args.only:
             run_kwargs["runtime"] = _restrict_runtime(scenario, args.only)
-        result = api.run_scenario(scenario, requests=args.requests, **run_kwargs)
+        result = _profiled(
+            args.profile, "run",
+            lambda: api.run_scenario(scenario, requests=args.requests,
+                                     **run_kwargs))
     except api.ScenarioError as error:
         # Bad DSNs, protocol constraints, unknown workloads: user input,
         # reported cleanly.  Anything else is a genuine bug and tracebacks.
@@ -271,8 +307,10 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             scenario = scenario.with_(jobs=args.jobs)
         if args.sim_workers is not None:
             scenario = scenario.with_(workers=args.sim_workers)
-        report = soak.run(scenario, requests=args.requests,
-                          checkpoints=args.checkpoints)
+        report = _profiled(
+            args.profile, "soak",
+            lambda: soak.run(scenario, requests=args.requests,
+                             checkpoints=args.checkpoints))
     except (api.ScenarioError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -356,12 +394,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_kernelbench(args: argparse.Namespace) -> int:
     from repro.sim import bench
 
-    payload = bench.run_kernel_bench(ops=args.ops, repeats=args.repeats)
-    print(bench.format_report(payload))
+    if args.alloc_only:
+        payload = {}
+    else:
+        payload = bench.run_kernel_bench(ops=args.ops, repeats=args.repeats)
+        print(bench.format_report(payload))
     if args.parallel:
         parallel = bench.run_parallel_bench(requests=args.parallel_requests)
         payload["parallel"] = parallel
         print(bench.format_parallel_report(parallel))
+    if args.alloc or args.alloc_only:
+        alloc = bench.run_alloc_bench()
+        payload["alloc"] = alloc
+        print(bench.format_alloc_report(alloc))
     if args.out:
         import json
         import os
@@ -412,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", dest="sim_workers", type=int, default=None,
                      help="execute the shards on N forked worker processes "
                           "(overrides the DSN's workers=; requires --jobs)")
+    run.add_argument("--profile", nargs="?", const="", default=None,
+                     metavar="PATH",
+                     help="run under cProfile; write pstats to PATH (default "
+                          "benchmarks/out/run.pstats) and print the top of "
+                          "the cumulative profile")
     run.set_defaults(func=_cmd_run)
 
     serve = sub.add_parser(
@@ -500,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
                           default=None,
                           help="execute the shards on N forked worker "
                                "processes (overrides the DSN's workers=)")
+    soak_cmd.add_argument("--profile", nargs="?", const="", default=None,
+                          metavar="PATH",
+                          help="run under cProfile; write pstats to PATH "
+                               "(default benchmarks/out/soak.pstats) and "
+                               "print the top of the cumulative profile")
     soak_cmd.set_defaults(func=_cmd_soak)
 
     kbench = sub.add_parser(
@@ -517,6 +572,13 @@ def build_parser() -> argparse.ArgumentParser:
     kbench.add_argument("--parallel-requests", type=int, default=2000,
                         help="requests for the --parallel scenario "
                              "(default 2000)")
+    kbench.add_argument("--alloc", action="store_true",
+                        help="also measure allocated-blocks-per-event on the "
+                             "traffic and soak shapes (sys.getallocatedblocks "
+                             "deltas, gc disabled)")
+    kbench.add_argument("--alloc-only", action="store_true",
+                        help="measure only the allocation benchmark (skip "
+                             "the scheduler microbenchmarks)")
     kbench.set_defaults(func=_cmd_kernelbench)
 
     sweep = sub.add_parser("fault-sweep", help="random fault schedules, spec-checked")

@@ -48,7 +48,7 @@ Ballot = tuple[int, int]
 _NO_BALLOT: Ballot = (-1, -1)
 
 
-@dataclass
+@dataclass(slots=True)
 class AcceptorState:
     """Durable acceptor-side state of one instance."""
 
@@ -57,7 +57,7 @@ class AcceptorState:
     accepted_value: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _ProposalAttempt:
     """Volatile proposer-side state of one in-flight attempt."""
 
@@ -137,13 +137,17 @@ class ConsensusHost(ConsensusProtocol):
         return len(self.members) // 2 + 1
 
     def propose(self, instance: InstanceId, value: Any) -> SimFuture:
+        if instance in self._decisions:
+            # Already decided: hand back a pre-resolved future without
+            # parking it in ``_futures`` (``_learn`` already drained the
+            # instance's entry, and re-adding one would retain it forever).
+            future = self._futures.pop(instance, SimFuture())
+            future.resolve(self._decisions[instance])
+            return future
         future = self._futures.get(instance)
         if future is None:
             future = SimFuture()
             self._futures[instance] = future
-        if instance in self._decisions:
-            future.resolve(self._decisions[instance])
-            return future
         if instance not in self._attempts:
             self._start_attempt(instance, value)
         return future
@@ -243,7 +247,7 @@ class ConsensusHost(ConsensusProtocol):
     def _handle(self, message: Message) -> None:
         if not self.process.up:
             return
-        payload = message.payload
+        payload = message._payload
         kind = payload["kind"]
         instance = payload["instance"]
         sender = message.sender
@@ -363,18 +367,31 @@ class ConsensusHost(ConsensusProtocol):
         attempt = self._attempts.pop(instance, None)
         if attempt is not None and attempt.retry_timer is not None:
             attempt.retry_timer.cancel()
-        future = self._futures.get(instance)
+        future = self._futures.pop(instance, None)
         if future is not None:
             future.resolve(self._decisions[instance])
+        # The decision is the only durable fact a decided instance still
+        # needs: every acceptor/proposer path checks ``_decisions`` before
+        # touching this state, so keeping it would only grow the host by a
+        # few objects per instance for the rest of the run.
+        self._acceptors.pop(instance, None)
+        self._attempt_counters.pop(instance, None)
 
     # -------------------------------------------------------------- messaging
 
     def _send(self, destination: str, payload: dict) -> None:
-        self.process.send(destination, Message(self.MSG_TYPE, payload=dict(payload)))
+        # Takes ownership of ``payload``: every call site passes a freshly
+        # built dict, so there is nothing to defensively copy.
+        self.process.send(destination, Message(self.MSG_TYPE, payload=payload))
 
     def _broadcast(self, payload: dict) -> None:
+        # One template message, copy-on-write siblings per member: the
+        # payload dict is shared (nobody mutates consensus payloads) instead
+        # of duplicated per destination.
+        template = Message(self.MSG_TYPE, payload=payload)
+        send = self.process.send
         for member in self.members:
-            self._send(member, payload)
+            send(member, template.copy())
 
 
 def _printable(value: Any) -> Any:

@@ -158,7 +158,7 @@ class ApplicationServer(Process):
         Without this, a long run's mailbox grows with its history.
         """
         if getattr(message, "msg_type", None) in self._STALE_WHEN_TERMINATED \
-                and message.payload.get("j") in self._terminated:
+                and message.get("j") in self._terminated:
             return
         super().deliver(message)
 
@@ -244,16 +244,17 @@ class ApplicationServer(Process):
         phase_start = self.now
         values: dict[str, Any] = {}
         pending = set(participants)
+        # Per-shard Ready tracking: only a recovery notification from one
+        # of *this* transaction's participants restarts the collection; a
+        # non-participant shard recovering is none of our business.  Built
+        # once, outside the retry loop: the matcher only depends on the key.
+        deadline_matcher = any_of(
+            is_type_with(msg.EXECUTE_RESULT, j=key),
+            from_senders(participants, is_type(msg.READY)),
+        )
         while pending:
             for db_name in pending:
                 self.send(db_name, msg.execute_message(key, request))
-            # Per-shard Ready tracking: only a recovery notification from one
-            # of *this* transaction's participants restarts the collection; a
-            # non-participant shard recovering is none of our business.
-            deadline_matcher = any_of(
-                is_type_with(msg.EXECUTE_RESULT, j=key),
-                from_senders(participants, is_type(msg.READY)),
-            )
             remaining = set(pending)
             while remaining:
                 reply = yield self.receive(deadline_matcher, timeout=self.timing.execute_retry)
@@ -285,11 +286,11 @@ class ApplicationServer(Process):
         phase_start = self.now
         votes: dict[str, str] = {}
         pending = set(participants)
+        matcher = any_of(is_type_with(msg.VOTE, j=key),
+                         from_senders(participants, is_type(msg.READY)))
         while pending:
             for db_name in pending:
                 self.send(db_name, msg.prepare_message(key, tuple(participants)))
-            matcher = any_of(is_type_with(msg.VOTE, j=key),
-                             from_senders(participants, is_type(msg.READY)))
             remaining = set(pending)
             while remaining:
                 reply = yield self.receive(matcher, timeout=self.timing.prepare_retry)
@@ -319,12 +320,12 @@ class ApplicationServer(Process):
         j = key[1]
         phase_start = self.now
         acked: set[str] = set()
+        matcher = any_of(is_type_with(msg.ACK_DECIDE, j=key),
+                         from_senders(participants, is_type(msg.READY)))
         while acked != set(participants):
             for db_name in set(participants) - acked:
                 self.send(db_name, msg.decide_message(key, decision.outcome,
                                                       tuple(participants)))
-            matcher = any_of(is_type_with(msg.ACK_DECIDE, j=key),
-                             from_senders(participants, is_type(msg.READY)))
             remaining = set(participants) - acked
             while remaining:
                 reply = yield self.receive(matcher, timeout=self.timing.decide_retry)

@@ -201,7 +201,7 @@ class HeartbeatFailureDetector(FailureDetector):
     def _listen_thread(self, process: Process):
         while True:
             message = yield process.receive(is_type(self.HEARTBEAT))
-            origin = message.payload["origin"]
+            origin = message["origin"]
             self._last_heard[process.name][origin] = self.sim.now
             if origin in self._suspected[process.name]:
                 # False suspicion detected: trust again and adapt the timeout.

@@ -10,7 +10,11 @@ and timing sweeps).
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
+
+Sampler = Callable[[], float]
+"""A zero-argument latency sampler bound to one directed link (see
+:meth:`LatencyModel.sampler`)."""
 
 
 class LatencyModel:
@@ -19,6 +23,19 @@ class LatencyModel:
     def sample(self, rng: random.Random, source: str, destination: str) -> float:
         """Latency (virtual-time units, milliseconds by convention) for one message."""
         raise NotImplementedError
+
+    def sampler(self, rng: random.Random, source: str, destination: str) -> "Sampler":
+        """A zero-argument sampler bound to one directed link and one RNG.
+
+        The network resolves this once per link instead of re-resolving the
+        model and re-binding the RNG on every message.  Implementations must
+        consume ``rng`` exactly as :meth:`sample` would, in the same order,
+        so a run using bound samplers draws identical latencies (this is
+        load-bearing for byte-identical traces).  The default wraps
+        :meth:`sample`; subclasses pre-bind their RNG primitive so the
+        per-message call does no attribute lookups at all.
+        """
+        return lambda: self.sample(rng, source, destination)
 
     def mean(self) -> float:
         """Expected latency; used by analytic step-count estimates."""
@@ -48,6 +65,10 @@ class FixedLatency(LatencyModel):
     def sample(self, rng: random.Random, source: str, destination: str) -> float:
         return self.value
 
+    def sampler(self, rng: random.Random, source: str, destination: str) -> "Sampler":
+        value = self.value  # no RNG draw, no lookup: the link is constant
+        return lambda: value
+
     def mean(self) -> float:
         return self.value
 
@@ -69,6 +90,12 @@ class UniformLatency(LatencyModel):
 
     def sample(self, rng: random.Random, source: str, destination: str) -> float:
         return rng.uniform(self.low, self.high)
+
+    def sampler(self, rng: random.Random, source: str, destination: str) -> "Sampler":
+        # Identical arithmetic to random.Random.uniform (a + (b-a)*random()),
+        # with the method resolution hoisted out of the per-message path.
+        low, span, draw = self.low, self.high - self.low, rng.random
+        return lambda: low + span * draw()
 
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
@@ -92,6 +119,13 @@ class ExponentialLatency(LatencyModel):
     def sample(self, rng: random.Random, source: str, destination: str) -> float:
         tail = rng.expovariate(1.0 / self.tail_mean) if self.tail_mean > 0 else 0.0
         return self.base + tail
+
+    def sampler(self, rng: random.Random, source: str, destination: str) -> "Sampler":
+        base = self.base
+        if self.tail_mean <= 0:
+            return lambda: base
+        draw, lambd = rng.expovariate, 1.0 / self.tail_mean
+        return lambda: base + draw(lambd)
 
     def mean(self) -> float:
         return self.base + self.tail_mean
@@ -177,6 +211,10 @@ class PerLinkLatency(LatencyModel):
 
     def sample(self, rng: random.Random, source: str, destination: str) -> float:
         return self._resolve(source, destination).sample(rng, source, destination)
+
+    def sampler(self, rng: random.Random, source: str, destination: str) -> "Sampler":
+        # Resolving the per-link override happens once here, not per message.
+        return self._resolve(source, destination).sampler(rng, source, destination)
 
     def mean(self) -> float:
         return self.default.mean()

@@ -12,12 +12,9 @@ message ends up with depends only on its sender's own send history.
 
 from __future__ import annotations
 
-import itertools
 import json
-from dataclasses import dataclass, field
+from sys import intern as _intern
 from typing import Any, Callable, Iterable, Optional
-
-_msg_counter = itertools.count(1)
 
 WIRE_VERSION = 1
 """Current version of the :meth:`Message.to_wire` encoding."""
@@ -92,7 +89,6 @@ def _decode_value(value: Any) -> Any:
     raise WireFormatError(f"cannot decode wire value {value!r}")
 
 
-@dataclass
 class Message:
     """A single protocol message.
 
@@ -106,30 +102,83 @@ class Message:
         Message contents; keys are protocol specific (``request``, ``j``,
         ``vote``, ``outcome``, ``decision``...).
     msg_id:
-        Unique identifier assigned at construction time.
+        Unique identifier; ``0`` until the network stamps it at send time
+        from the sender's per-source counter.
     send_time:
         Virtual time at which the network accepted the message (filled by the
         network).
+
+    The payload dict is shared copy-on-write between a message and its
+    :meth:`copy` siblings: reads go through ``get``/``__getitem__`` without
+    copying, and the ``payload`` property materializes a private dict the
+    first time a potentially shared one is exposed for mutation.
     """
 
-    msg_type: str
-    sender: str = ""
-    destination: str = ""
-    payload: dict[str, Any] = field(default_factory=dict)
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
-    send_time: float = 0.0
+    __slots__ = ("msg_type", "sender", "destination", "msg_id", "send_time",
+                 "_payload", "_shared")
+
+    def __init__(self, msg_type: str, sender: str = "", destination: str = "",
+                 payload: Optional[dict[str, Any]] = None, msg_id: int = 0,
+                 send_time: float = 0.0) -> None:
+        self.msg_type = msg_type
+        self.sender = sender
+        self.destination = destination
+        self._payload = {} if payload is None else payload
+        self._shared = False
+        self.msg_id = msg_id
+        self.send_time = send_time
+
+    @property
+    def payload(self) -> dict[str, Any]:
+        """The payload dict, private to this message.
+
+        If the dict is currently shared with :meth:`copy` siblings it is
+        duplicated first, so callers may mutate the result freely.
+        """
+        payload = self._payload
+        if self._shared:
+            payload = dict(payload)
+            self._payload = payload
+            self._shared = False
+        return payload
 
     def get(self, key: str, default: Any = None) -> Any:
-        """Shorthand for ``message.payload.get(key, default)``."""
-        return self.payload.get(key, default)
+        """Shorthand for ``message.payload.get(key, default)`` (no copy)."""
+        return self._payload.get(key, default)
 
     def copy(self) -> "Message":
-        """A fresh message (new ``msg_id``) with the same type and payload.
+        """A fresh, unstamped message with the same type and payload.
 
         Used by multicast so each recipient gets its own message instance, as
-        the network mutates routing fields in place.
+        the network mutates routing fields in place.  The payload dict is
+        shared copy-on-write rather than eagerly duplicated; either side
+        copies it lazily if its ``payload`` property is touched.
         """
-        return Message(self.msg_type, payload=dict(self.payload))
+        sibling = Message.__new__(Message)
+        sibling.msg_type = self.msg_type
+        sibling.sender = ""
+        sibling.destination = ""
+        payload = self._payload
+        sibling._payload = payload
+        if payload:
+            sibling._shared = True
+            self._shared = True
+        else:
+            sibling._shared = False
+        sibling.msg_id = 0
+        sibling.send_time = 0.0
+        return sibling
+
+    def __eq__(self, other: Any) -> Any:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self.msg_type == other.msg_type and self.sender == other.sender
+                and self.destination == other.destination
+                and self._payload == other._payload
+                and self.msg_id == other.msg_id
+                and self.send_time == other.send_time)
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the dataclass it replaced
 
     # ------------------------------------------------------------ wire codec
 
@@ -149,7 +198,7 @@ class Message:
             "d": self.destination,
             "id": self.msg_id,
             "ts": self.send_time,
-            "p": {key: _encode_value(value) for key, value in self.payload.items()},
+            "p": {key: _encode_value(value) for key, value in self._payload.items()},
         }
         return json.dumps(envelope, separators=(",", ":"), allow_nan=False).encode("utf-8")
 
@@ -168,25 +217,31 @@ class Message:
                 f"unsupported wire version {version!r} (this build speaks {WIRE_VERSION})"
             )
         try:
+            # Interning collapses the handful of hot strings (message tags,
+            # payload keys, process names) that every decoded frame repeats,
+            # so long TCP runs do not accumulate duplicate immortal strings
+            # and type/key comparisons hit the pointer fast path.
             return cls(
-                msg_type=envelope["t"],
-                sender=envelope["s"],
-                destination=envelope["d"],
-                payload={key: _decode_value(value)
+                msg_type=_intern(envelope["t"]),
+                sender=_intern(envelope["s"]),
+                destination=_intern(envelope["d"]),
+                payload={_intern(key): _decode_value(value)
                          for key, value in envelope["p"].items()},
                 msg_id=envelope["id"],
                 send_time=envelope["ts"],
             )
         except KeyError as exc:
             raise WireFormatError(f"wire envelope missing field {exc}") from None
+        except TypeError as exc:
+            raise WireFormatError(f"malformed wire envelope field: {exc}") from None
 
     def __getitem__(self, key: str) -> Any:
-        return self.payload[key]
+        return self._payload[key]
 
     def __repr__(self) -> str:
         return (
             f"Message({self.msg_type!r}, {self.sender!r}->{self.destination!r}, "
-            f"{self.payload!r})"
+            f"{self._payload!r})"
         )
 
 
@@ -258,8 +313,13 @@ def is_type_with(msg_type: str, **expected: Any) -> Callable[[Any], bool]:
     """Matcher for a message type with specific payload values.
 
     Example: ``is_type_with("Vote", j=3)`` matches vote messages for result 3.
-    """
 
+    Deliberately *not* cached by value: correlation ids are transaction
+    scoped, so a value-keyed cache retains a closure (plus its hint sets)
+    per transaction for the lifetime of the run -- measurably worse than the
+    transient closure, which dies with the receive that used it.  Callers
+    with retry loops should build the matcher once, before the loop.
+    """
     if len(expected) == 1:
         # The overwhelmingly common shape (e.g. ``j=key``): avoid building a
         # generator per probe on the delivery hot path.
@@ -267,12 +327,12 @@ def is_type_with(msg_type: str, **expected: Any) -> Callable[[Any], bool]:
 
         def matcher(message: Any) -> bool:
             return (isinstance(message, Message) and message.msg_type == msg_type
-                    and message.payload.get(key) == value)
+                    and message._payload.get(key) == value)
     else:
         def matcher(message: Any) -> bool:
             if not isinstance(message, Message) or message.msg_type != msg_type:
                 return False
-            return all(message.payload.get(k) == v for k, v in expected.items())
+            return all(message._payload.get(k) == v for k, v in expected.items())
 
     matcher.msg_types = frozenset((msg_type,))
     correlation = expected.get("j", ANY_CORRELATION)
@@ -283,8 +343,12 @@ def is_type_with(msg_type: str, **expected: Any) -> Callable[[Any], bool]:
 
 
 def any_of(*matchers: Callable[[Any], bool]) -> Callable[[Any], bool]:
-    """Matcher accepting a message accepted by any of ``matchers``."""
+    """Matcher accepting a message accepted by any of ``matchers``.
 
+    Uncached for the same reason as :func:`is_type_with`: combinations
+    usually embed a transaction-scoped inner matcher, so retaining them
+    would leak one combined closure per transaction.
+    """
     def matcher(message: Any) -> bool:
         for m in matchers:
             if m(message):

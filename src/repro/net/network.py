@@ -9,10 +9,9 @@ which is what the communication-step metrics (Figures 1 and 7) consume.
 
 from __future__ import annotations
 
-from functools import partial
-from typing import Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
-from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.latency import FixedLatency, LatencyModel, Sampler
 from repro.net.message import Message
 from repro.runtime.base import Kernel
 from repro.sim.process import Process
@@ -81,6 +80,16 @@ class Network:
         # re-create the bound method (and, when message tracing is off, not
         # render a per-message f-string event name either).
         self._deliver_bound = self._deliver
+        # Per-link latency samplers and per-source loss draws, bound on first
+        # use: resolving the latency model (a PerLinkLatency dict probe plus
+        # a method dispatch) and re-binding the RNG primitive per *message*
+        # was measurable.  The latency topology is fixed before traffic
+        # starts (set_link after a link's first send is not supported), so a
+        # bound sampler never goes stale; RNG draw order is unchanged because
+        # each sampler consumes the same per-source stream the unbound
+        # sample() call did.
+        self._samplers: dict[tuple[str, str], Sampler] = {}
+        self._loss_draws: dict[str, Callable[[], float]] = {}
 
     # ----------------------------------------------------------- registration
 
@@ -194,10 +203,10 @@ class Network:
         # dependent) counter would make otherwise identical runs differ
         # depending on what ran earlier in the same interpreter.
         message.msg_id = self._next_msg_id(source)
-        self.stats.sent += 1
-        self.stats.by_type_sent[message.msg_type] = (
-            self.stats.by_type_sent.get(message.msg_type, 0) + 1
-        )
+        stats = self.stats
+        stats.sent += 1
+        by_type = stats.by_type_sent
+        by_type[message.msg_type] = by_type.get(message.msg_type, 0) + 1
         trace = self.sim.trace
         # One bus probe gates everything message tracing would pay for:
         # building the sorted payload-key list, the event objects, and the
@@ -207,7 +216,7 @@ class Network:
             trace.record(
                 "msg_send", source,
                 msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
-                payload_keys=sorted(message.payload),
+                payload_keys=sorted(message._payload),
             )
         if self._partitioned(source, destination):
             self.stats.dropped_partition += 1
@@ -217,14 +226,19 @@ class Network:
                     msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
                 )
             return
-        if self.loss_probability > 0 and self._rng_for(source).random() < self.loss_probability:
-            self.stats.dropped_loss += 1
-            if self.trace_messages and trace.wants("msg_drop"):
-                trace.record(
-                    "msg_drop", source, reason="loss",
-                    msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
-                )
-            return
+        loss = self.loss_probability
+        if loss > 0:
+            draw = self._loss_draws.get(source)
+            if draw is None:
+                draw = self._loss_draws[source] = self._rng_for(source).random
+            if draw() < loss:
+                stats.dropped_loss += 1
+                if self.trace_messages and trace.wants("msg_drop"):
+                    trace.record(
+                        "msg_drop", source, reason="loss",
+                        msg_type=message.msg_type, destination=destination, msg_id=message.msg_id,
+                    )
+                return
         self._transmit(message, destination, tracing)
 
     def _transmit(self, message: Message, destination: str, tracing: bool):
@@ -237,14 +251,18 @@ class Network:
         (validation, stamping, stats, partition/loss drops, tracing) is
         shared between the backends.
         """
-        delay = self.latency.sample(self._rng_for(message.sender), message.sender,
-                                    destination)
+        source = message.sender
+        link = (source, destination)
+        sampler = self._samplers.get(link)
+        if sampler is None:
+            sampler = self._samplers[link] = self.latency.sampler(
+                self._rng_for(source), source, destination)
         name = f"deliver:{message.msg_type}->{destination}" if tracing else "deliver"
-        return self.sim.schedule(delay,
-                                 partial(self._deliver_bound, message, destination),
-                                 name=name)
+        return self.sim.schedule_call(sampler(), self._deliver_bound, message,
+                                      name=name)
 
-    def _deliver(self, message: Message, destination_name: str) -> None:
+    def _deliver(self, message: Message) -> None:
+        destination_name = message.destination
         trace = self.sim.trace
         destination = self.processes.get(destination_name)
         if destination is None or not destination.up:
@@ -255,10 +273,10 @@ class Network:
                     msg_type=message.msg_type, msg_id=message.msg_id, sender=message.sender,
                 )
             return
-        self.stats.delivered += 1
-        self.stats.by_type_delivered[message.msg_type] = (
-            self.stats.by_type_delivered.get(message.msg_type, 0) + 1
-        )
+        stats = self.stats
+        stats.delivered += 1
+        by_type = stats.by_type_delivered
+        by_type[message.msg_type] = by_type.get(message.msg_type, 0) + 1
         if self.trace_messages and trace.wants("msg_deliver"):
             trace.record(
                 "msg_deliver", destination_name,

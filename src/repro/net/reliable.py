@@ -142,8 +142,8 @@ class ReliableChannelLayer:
             # Raw traffic (e.g. from components bypassing the layer).
             original_deliver(message)
             return
-        origin = message.payload["origin"]
-        sequence = message.payload["seq"]
+        origin = message["origin"]
+        sequence = message["seq"]
         ack = Message(ACK_TYPE, payload={"seq": sequence, "acker": receiver})
         self.network.send(receiver, origin, ack)
         seen = self._seen[receiver]
@@ -152,14 +152,14 @@ class ReliableChannelLayer:
                                   origin=origin, seq=sequence)
             return
         seen.add((origin, sequence))
-        inner: Message = message.payload["inner"]
+        inner: Message = message["inner"]
         inner.sender = origin
         inner.destination = receiver
         original_deliver(inner)
 
     def _handle_ack(self, receiver: str, message: Message) -> None:
-        sequence = message.payload["seq"]
-        acker = message.payload["acker"]
+        sequence = message["seq"]
+        acker = message["acker"]
         pending = self._pending.get(receiver, {}).pop((acker, sequence), None)
         if pending is not None and pending.timer is not None:
             pending.timer.cancel()

@@ -25,6 +25,7 @@ import os
 import random
 import zlib
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 if TYPE_CHECKING:  # imported lazily at runtime: sim.process imports this module
@@ -124,9 +125,32 @@ class Kernel:
         """Run ``callback`` at absolute virtual time ``time``."""
         raise NotImplementedError
 
+    def schedule_call(self, delay: float, callback: Callable, arg: Any,
+                      name: str = "event") -> Any:
+        """Run ``callback(arg)`` after ``delay`` virtual ms.
+
+        The argument-carrying variant of :meth:`schedule` used by the
+        network's per-message delivery path.  Handles returned by this
+        method must not be retained past the event's dispatch: kernels may
+        recycle fired events through a free list, so only cancel-before-fire
+        is supported.  The default wraps the argument in a ``partial``;
+        :class:`repro.sim.scheduler.Simulator` overrides it with an
+        allocation-free implementation.
+        """
+        return self.schedule(delay, partial(callback, arg), name)
+
     def call_soon(self, callback: Callable[[], None], name: str = "soon") -> Any:
         """Run ``callback`` as soon as possible, after already-queued work."""
         raise NotImplementedError
+
+    def call_soon_call(self, callback: Callable, arg: Any, name: str = "soon") -> Any:
+        """Run ``callback(arg)`` as soon as possible.
+
+        Argument-carrying variant of :meth:`call_soon` with the same handle
+        caveat as :meth:`schedule_call`: fired events may be recycled, so
+        the handle supports cancel-before-fire only.
+        """
+        return self.call_soon(partial(callback, arg), name)
 
     # --------------------------------------------------------------- running
 

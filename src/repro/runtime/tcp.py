@@ -110,7 +110,7 @@ class TcpTransport(Network):
                 if not self.hosts(destination):
                     # Misrouted frame for a process another host runs; drop.
                     continue
-                self._deliver(message, destination)
+                self._deliver(message)
         except (asyncio.IncompleteReadError, ConnectionError, OSError, WireFormatError):
             pass
         finally:

@@ -274,6 +274,171 @@ def run_parallel_bench(requests: int = 2000, jobs: int = 8,
     }
 
 
+# ------------------------------------------------------------- allocations
+
+
+#: The closed-loop traffic shape of ``benchmarks/test_bench_traffic.py``.
+ALLOC_TRAFFIC_DSN = "etx://a3.d1.c4?seed=3&workload=bank&timing=paper&trace=off"
+
+#: The serial soak shape (same scenario the parallel bench times).
+ALLOC_SOAK_DSN = PARALLEL_BENCH_DSN
+
+
+def _stepped_alloc_blocks(sim, is_done: Callable[[], bool],
+                          max_steps: int = 2_000_000) -> Tuple[int, int]:
+    """Sum positive per-event deltas of ``sys.getallocatedblocks()``.
+
+    Pure-stdlib CPython exposes no cumulative allocation counter
+    (``tracemalloc`` and the gc stats are net figures), so the bench
+    single-steps the kernel and charges each event the growth it caused:
+    an event that allocates five blocks and frees five *older* ones scores
+    zero net but its churn still surfaces, because allocation and release
+    of one object almost never land in the same step (a message allocated
+    at send is freed at its delivery dispatch or later).  With the GC
+    disabled and the workload deterministic the figure is reproducible to
+    a fraction of a percent, which is what lets a committed baseline gate
+    regressions.
+    """
+    import gc
+    import sys
+
+    blocks = sys.getallocatedblocks
+    was_enabled = gc.isenabled()
+    gc.disable()
+    gc.collect()
+    grown = 0
+    steps = 0
+    step = sim.step
+    try:
+        before = blocks()
+        while not is_done():
+            if not step():
+                break
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(f"alloc bench exceeded {max_steps} steps")
+            after = blocks()
+            if after > before:
+                grown += after - before
+            before = after
+    finally:
+        if was_enabled:
+            gc.enable()
+    return grown, steps
+
+
+def _alloc_closed_loop(dsn: str, requests_per_client: int) -> dict:
+    """Allocation profile of the closed-loop traffic shape.
+
+    Mirrors :class:`repro.workload.generator.ClosedLoop` (each client keeps
+    one request in flight, reissuing on delivery) but drives the kernel one
+    :meth:`step` at a time so the block counter can be sampled per event.
+    """
+    from repro import api
+
+    system = api.build(api.Scenario.from_dsn(dsn))
+    sim = system.sim
+    clients = list(system.clients)
+    remaining = dict.fromkeys(clients, requests_per_client)
+    done = [0]
+    total = requests_per_client * len(clients)
+
+    def issue_next(client: str) -> None:
+        if remaining[client] <= 0:
+            return
+        remaining[client] -= 1
+        issued = system.issue(system.standard_request(), client)
+
+        def on_delivered(_result) -> None:
+            done[0] += 1
+            issue_next(client)
+
+        issued.future.on_resolve(on_delivered)
+
+    for client in clients:
+        issue_next(client)
+    processed_before = sim.events_processed
+    grown, steps = _stepped_alloc_blocks(sim, lambda: done[0] >= total)
+    events = sim.events_processed - processed_before
+    return {
+        "dsn": dsn,
+        "requests": total,
+        "events": events,
+        "alloc_blocks": grown,
+        "blocks_per_event": round(grown / events, 3) if events else 0.0,
+    }
+
+
+def _alloc_open_loop(dsn: str, total: int, rate: float) -> dict:
+    """Allocation profile of the serial soak shape (open-loop arrivals).
+
+    Mirrors :class:`repro.workload.generator.OpenLoop`: the full arrival
+    schedule is laid out up front (outside the sampled region), then the
+    kernel is stepped to completion.
+    """
+    from repro import api
+
+    system = api.build(api.Scenario.from_dsn(dsn))
+    sim = system.sim
+    clients = list(system.clients)
+    done = [0]
+    rng = sim.rng("load.arrivals")
+    mean = 1000.0 / rate
+    clock = 0.0
+
+    def inject(client: str) -> None:
+        issued = system.issue(system.standard_request(), client)
+        issued.future.on_resolve(lambda _result: done.__setitem__(0, done[0] + 1))
+
+    for index in range(total):
+        client = clients[index % len(clients)]
+        clock += rng.expovariate(1.0 / mean)
+        sim.schedule(clock, lambda c=client: inject(c), name="arrival")
+    processed_before = sim.events_processed
+    grown, steps = _stepped_alloc_blocks(sim, lambda: done[0] >= total)
+    events = sim.events_processed - processed_before
+    return {
+        "dsn": dsn,
+        "requests": total,
+        "events": events,
+        "alloc_blocks": grown,
+        "blocks_per_event": round(grown / events, 3) if events else 0.0,
+    }
+
+
+def run_alloc_bench(traffic_requests: int = 20, soak_requests: int = 400,
+                    soak_rate: float = 32.0) -> dict:
+    """Allocations-per-event microbench for the traffic and soak shapes.
+
+    Returns the BENCH payload consumed by ``benchmarks/test_bench_alloc.py``
+    and committed (on the reference machine) as
+    ``benchmarks/baseline/alloc.json``.  Figures are positive per-event
+    deltas of ``sys.getallocatedblocks()`` (see
+    :func:`_stepped_alloc_blocks`), so lower is better and zero is the
+    steady-state floor.
+    """
+    traffic = _alloc_closed_loop(ALLOC_TRAFFIC_DSN, traffic_requests)
+    soak = _alloc_open_loop(ALLOC_SOAK_DSN, soak_requests, soak_rate)
+    return {
+        "method": "positive per-step deltas of sys.getallocatedblocks(), gc off",
+        "traffic": traffic,
+        "soak": soak,
+        "calibration_seconds": round(calibration_seconds(), 3),
+    }
+
+
+def format_alloc_report(payload: dict) -> str:
+    """Human-readable table of a :func:`run_alloc_bench` payload."""
+    lines = ["alloc bench: positive allocated-block deltas per dispatched event"]
+    for shape in ("traffic", "soak"):
+        figures = payload[shape]
+        lines.append(
+            f"  {shape:<8} {figures['blocks_per_event']:>7.3f} blocks/event  "
+            f"({figures['alloc_blocks']:,} blocks / {figures['events']:,} events, "
+            f"{figures['requests']} requests)")
+    return "\n".join(lines)
+
+
 def format_parallel_report(payload: dict) -> str:
     """Human-readable table of a :func:`run_parallel_bench` payload."""
     lines = [f"parallel bench: {payload['requests']} requests on "

@@ -382,7 +382,7 @@ class _LocalShard:
         # serial kernel would use.
         self.sim.inject(
             arrival, chain,
-            partial(self.network._deliver_bound, message, destination),
+            partial(self.network._deliver_bound, message),
             name="xshard")
 
     def run_window(self, stop: float, budget: int) -> int:

@@ -35,6 +35,12 @@ class Thread:
     ``None`` after a sleep).
     """
 
+    __slots__ = ("id", "process", "generator", "name", "alive", "finished",
+                 "_pending_timer", "_pending_receive", "_pending_future",
+                 "_pending_future_callback", "_wait_token", "_armed_token",
+                 "_armed_result", "_fire_cb", "_future_cb", "_timer_name",
+                 "_mailbox_name", "_future_name")
+
     def __init__(self, process: "Process", generator: ProtocolGenerator, name: str):
         # Thread ids are scoped to the hosting process: waiter ordering only
         # ever compares threads of one process, and a process-local counter
@@ -64,11 +70,20 @@ class Thread:
         self._future_cb = self._on_future
         # Event names are only read by humans debugging a run; building them
         # per wait with f-strings was measurable on the hot path, so they are
-        # rendered once per thread.
-        base = f"{process.name}/{name}"
-        self._timer_name = base + ":timer"
-        self._mailbox_name = base + ":mailbox"
-        self._future_name = base + ":future"
+        # rendered once per (process, thread-name) pair and shared by every
+        # short-lived thread reusing the same name.  Per-request names
+        # ("as-handle:c1:37") would grow the cache by one entry per
+        # transaction for the rest of the run, so it is cleared when it
+        # outgrows the stable name set.
+        cache = process._thread_names
+        names = cache.get(name)
+        if names is None:
+            base = f"{process.name}/{name}"
+            names = (base + ":timer", base + ":mailbox", base + ":future")
+            if len(cache) >= 64:
+                cache.clear()
+            cache[name] = names
+        self._timer_name, self._mailbox_name, self._future_name = names
 
     # ----------------------------------------------------------------- state
 
@@ -152,8 +167,17 @@ class Thread:
                 f"thread {self.name!r} yielded unsupported wait object {wait!r}"
             )
 
-    def _fire(self) -> None:
-        """Prebound timer/mailbox wake-up: resume with the armed result."""
+    def _fire(self, _arg: Any = None) -> None:
+        """Prebound timer/mailbox wake-up: resume with the armed result.
+
+        Dropping the handle *first* is what lets the wake-up events come
+        from the kernel's recycled pool (``schedule_call``): once an event
+        has fired, no stale ``_pending_timer`` reference survives for
+        ``_cancel_pending`` to cancel, so a cancel can never land on a
+        recycled, live event.  The ``_arg`` parameter only absorbs the
+        argument-carrying kernels pass; it is unused.
+        """
+        self._pending_timer = None
         if self.alive and self._armed_token == self._wait_token:
             self.resume(self._armed_result)
 
@@ -165,8 +189,11 @@ class Thread:
     def _arm_timer(self, delay: float, result: Any) -> None:
         self._armed_token = self._wait_token
         self._armed_result = result
-        self._pending_timer = self.process.sim.schedule(
-            delay, self._fire_cb, name=self._timer_name
+        # Pooled event: safe because _fire clears _pending_timer before it
+        # can ever be cancelled (see _fire), so the handle is never retained
+        # past dispatch.
+        self._pending_timer = self.process.sim.schedule_call(
+            delay, self._fire_cb, None, name=self._timer_name
         )
 
     def _handle_receive(self, wait: Receive) -> None:
@@ -176,8 +203,8 @@ class Thread:
             # and to avoid unbounded recursion through long message chains.
             self._armed_token = self._wait_token
             self._armed_result = message
-            self._pending_timer = self.process.sim.call_soon(
-                self._fire_cb, name=self._mailbox_name
+            self._pending_timer = self.process.sim.call_soon_call(
+                self._fire_cb, None, name=self._mailbox_name
             )
             return
         self._pending_receive = wait
@@ -189,8 +216,8 @@ class Thread:
         if wait.future.resolved:
             self._armed_token = self._wait_token
             self._armed_result = wait.future.value
-            self._pending_timer = self.process.sim.call_soon(
-                self._fire_cb, name=self._future_name
+            self._pending_timer = self.process.sim.call_soon_call(
+                self._fire_cb, None, name=self._future_name
             )
             return
         self._armed_token = self._wait_token
@@ -237,6 +264,7 @@ class Process:
         self._kv_waiters: dict[tuple, dict[int, Thread]] = {}
         self._typed_waiters: dict[str, dict[int, Thread]] = {}
         self._wildcard_waiters: dict[int, Thread] = {}
+        self._thread_names: dict[str, tuple[str, str, str]] = {}
         self._finished_threads = 0
         self._thread_ids = 0
         self._transport: Optional[Any] = None  # installed by repro.net.Network
@@ -336,15 +364,28 @@ class Process:
         There is no atomicity guarantee (matching the paper's model); each copy
         is an independent message with its own identifier.
         """
+        copier = getattr(message, "copy", None)
+        if copier is None or not callable(copier):
+            for destination in destinations:
+                self.send(destination, message)
+            return
+        send = self.send
         for destination in destinations:
-            payload = message.copy() if hasattr(message, "copy") and callable(message.copy) else message
-            self.send(destination, payload)
+            send(destination, copier())
 
     def _waiter_buckets(self, wait: Receive):
-        """The index buckets a blocked receive belongs to (created lazily)."""
+        """The index-bucket slots a blocked receive belongs to.
+
+        Yields ``(bucket, None)`` for the long-lived type/wildcard buckets
+        (message types form a small closed set, so those dicts live forever)
+        and ``(self._kv_waiters, key)`` for correlation buckets -- those keys
+        are transaction scoped, so the bucket itself is created at register
+        time and pruned once it empties, instead of accumulating one dead
+        dict per transaction for the rest of the run.
+        """
         matcher = wait.matcher
         if matcher is None:
-            yield self._wildcard_waiters
+            yield self._wildcard_waiters, None
             return
         correlation = getattr(matcher, "msg_corr", None)
         types = getattr(matcher, "msg_types", None)
@@ -355,15 +396,15 @@ class Process:
                 values = correlation.get(msg_type)
                 if isinstance(values, frozenset):
                     for value in values:
-                        yield self._kv_waiters.setdefault((msg_type, value), {})
+                        yield self._kv_waiters, (msg_type, value)
                 else:  # ANY_CORRELATION or no entry for this type
-                    yield self._typed_waiters.setdefault(msg_type, {})
+                    yield self._typed_waiters.setdefault(msg_type, {}), None
             return
         if types is None:
-            yield self._wildcard_waiters
+            yield self._wildcard_waiters, None
             return
         for msg_type in types:
-            yield self._typed_waiters.setdefault(msg_type, {})
+            yield self._typed_waiters.setdefault(msg_type, {}), None
 
     def _register_waiter(self, thread: Thread, wait: Receive) -> None:
         """Index a thread that just blocked on a receive.
@@ -376,8 +417,14 @@ class Process:
         if buckets is None:
             buckets = wait._buckets = list(self._waiter_buckets(wait))
         thread_id = thread.id
-        for bucket in buckets:
-            bucket[thread_id] = thread
+        for container, key in buckets:
+            if key is not None:
+                bucket = container.get(key)
+                if bucket is None:
+                    bucket = container[key] = {}
+                bucket[thread_id] = thread
+            else:
+                container[thread_id] = thread
 
     def _unregister_waiter(self, thread: Thread, wait: Receive) -> None:
         """Drop a thread from the waiter index (wait satisfied or cancelled)."""
@@ -385,8 +432,15 @@ class Process:
         if buckets is None:  # pragma: no cover - unregister without register
             buckets = wait._buckets = list(self._waiter_buckets(wait))
         thread_id = thread.id
-        for bucket in buckets:
-            bucket.pop(thread_id, None)
+        for container, key in buckets:
+            if key is not None:
+                bucket = container.get(key)
+                if bucket is not None:
+                    bucket.pop(thread_id, None)
+                    if not bucket:
+                        del container[key]
+            else:
+                container.pop(thread_id, None)
 
     def _note_thread_finished(self) -> None:
         """Called by a thread whose coroutine ran to completion."""
@@ -404,25 +458,59 @@ class Process:
         if not self.up:
             return
         msg_type = getattr(message, "msg_type", None)
-        candidates: list[tuple[int, Thread]] = []
-        payload = getattr(message, "payload", None)
-        if isinstance(payload, dict) and self._kv_waiters:
-            correlation = payload.get("j")
+        # Read the payload dict without touching ``Message.payload``: the
+        # property would materialize a private copy of a COW-shared dict,
+        # defeating the whole point of copy-on-write multicast.
+        payload = getattr(message, "_payload", None)
+        if payload is None:
+            payload = getattr(message, "payload", None)
+            if not isinstance(payload, dict):
+                payload = None
+        keyed = None
+        if payload is not None and self._kv_waiters:
             try:
-                keyed = self._kv_waiters.get((msg_type, correlation))
+                keyed = self._kv_waiters.get((msg_type, payload.get("j")))
             except TypeError:  # unhashable correlation value
                 keyed = None
-            if keyed:
-                candidates.extend(keyed.items())
         typed = self._typed_waiters.get(msg_type)
-        if typed:
-            candidates.extend(typed.items())
-        if self._wildcard_waiters:
-            candidates.extend(self._wildcard_waiters.items())
-        if len(candidates) > 1:
-            candidates.sort(key=lambda item: item[0])
-        for _, thread in candidates:
-            wait = thread.waiting_on_receive
+        wild = self._wildcard_waiters
+        # Usually exactly one index bucket is populated, and it holds exactly
+        # one waiter: iterate the dict view directly (no tuples built).
+        # Merging and sorting a candidate list is only needed when several
+        # buckets -- or several waiters in one bucket -- compete.  Thread ids
+        # are unique per process, so tuple sort == sort by id.
+        if keyed:
+            if typed or wild:
+                pairs = list(keyed.items())
+                if typed:
+                    pairs.extend(typed.items())
+                if wild:
+                    pairs.extend(wild.items())
+                pairs.sort()
+                candidates = [thread for _, thread in pairs]
+            elif len(keyed) > 1:
+                candidates = [thread for _, thread in sorted(keyed.items())]
+            else:
+                candidates = keyed.values()
+        elif typed:
+            if wild:
+                pairs = list(typed.items())
+                pairs.extend(wild.items())
+                pairs.sort()
+                candidates = [thread for _, thread in pairs]
+            elif len(typed) > 1:
+                candidates = [thread for _, thread in sorted(typed.items())]
+            else:
+                candidates = typed.values()
+        elif wild:
+            if len(wild) > 1:
+                candidates = [thread for _, thread in sorted(wild.items())]
+            else:
+                candidates = wild.values()
+        else:
+            candidates = ()
+        for thread in candidates:
+            wait = thread._pending_receive
             if wait is not None and wait.matches(message):
                 thread.resume(message)
                 return
@@ -430,12 +518,12 @@ class Process:
         # prune the dead ones now and then so the thread list stays
         # proportional to the number of *live* threads, not to the run's
         # total history.
-        if self._finished_threads > 32 and \
+        if self._finished_threads > 8 and \
                 self._finished_threads > len(self._threads) // 2:
             self._threads = [t for t in self._threads if t.alive or not t.finished]
             self._finished_threads = 0
         self._mailbox_seq += 1
-        correlation = payload.get("j") if isinstance(payload, dict) else _UNKEYED
+        correlation = payload.get("j") if payload is not None else _UNKEYED
         by_corr = self._mailbox.setdefault(msg_type, {})
         try:
             bucket = by_corr.get(correlation)

@@ -35,6 +35,16 @@ from repro.sim.wheel import DRAINED, L0_MASK, L0_SLOTS, TimerWheel
 
 _TIME_KEY = attrgetter("time")
 
+_NO_ARG = object()
+"""Sentinel in :attr:`ScheduledEvent.arg` marking a plain zero-argument
+callback.  Events carrying a real argument come from :meth:`Simulator.
+schedule_call`, fire as ``callback(arg)``, and are recycled through the
+kernel's free list after dispatch."""
+
+_EVENT_POOL_MAX = 512
+"""Free-list depth: enough to cover the in-flight message population of a
+busy run without pinning an unbounded pile of dead handles."""
+
 #: Ancestry levels kept in a shard-mode dispatch context.  Each event's
 #: context is ``(schedule_time, parent_context, discriminator)`` where the
 #: parent is the context of the dispatch that scheduled it, truncated to
@@ -130,7 +140,7 @@ class ScheduledEvent:
     can remove it in O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "name", "cancelled",
+    __slots__ = ("time", "seq", "callback", "name", "cancelled", "arg",
                  "_sim", "_slots", "_pos", "ctx")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None], name: str):
@@ -139,6 +149,7 @@ class ScheduledEvent:
         self.callback = callback
         self.name = name
         self.cancelled = False
+        self.arg = _NO_ARG
 
     def cancel(self) -> bool:
         """Prevent the callback from firing.
@@ -212,6 +223,10 @@ class Simulator(Kernel):
         self._ready: list[ScheduledEvent] = []
         self._ready_idx = 0
         self._ready_tick = -1
+        # Free list of fired argument-carrying events (see schedule_call):
+        # the per-message ScheduledEvent allocation of the network's
+        # delivery path is recycled across fire cycles.
+        self._event_pool: list[ScheduledEvent] = []
         # Shard mode (see repro.sim.parallel): off by default, one boolean
         # check on the schedule path is its only serial-run cost.
         self._shard_mode = False
@@ -280,6 +295,64 @@ class Simulator(Kernel):
             wheel.insert(event, tick)
         return event
 
+    def schedule_call(self, delay: float, callback: Callable, arg,
+                      name: str = "event") -> ScheduledEvent:
+        """Schedule ``callback(arg)`` to run ``delay`` time units from now.
+
+        The argument-carrying form of :meth:`schedule`, built for the
+        network's delivery path: it kills the per-message ``partial``
+        allocation, and the event object itself is drawn from (and, after
+        firing, returned to) a free list.  Because fired events are
+        recycled, the returned handle must not be *retained* -- cancelling
+        it before it fires is fine, but a cancel after the fire could hit a
+        recycled, live event instead of the documented no-op.  Callers that
+        keep handles around (timers, retransmits) must use :meth:`schedule`.
+        """
+        if delay < 0:
+            raise InvalidScheduling(f"negative delay {delay!r} for event {name!r}")
+        time = self.now + delay
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.name = name
+        else:
+            event = ScheduledEvent(time, self._seq, callback, name)
+            event._sim = self
+        event.arg = arg
+        self._seq += 1
+        if self._shard_mode:
+            event.ctx = Ctx((self.now, self._dispatch_trunc, 0))
+        # Identical placement logic to schedule() (kept inline: this is the
+        # hottest allocation site in a traffic run and a shared helper call
+        # would tax schedule() too).
+        wheel = self._wheel
+        tick = int(time)
+        offset = tick - wheel._base
+        if offset < L0_SLOTS:
+            if offset >= 0:
+                bucket = wheel._l0[tick & L0_MASK]
+                event._slots = bucket
+                event._pos = len(bucket)
+                bucket.append(event)
+                wheel._n0 += 1
+            else:
+                ready = self._ready
+                event._slots = DRAINED
+                idx = self._ready_idx
+                if idx > 1024 and idx + idx >= len(ready):
+                    del ready[:idx]
+                    self._ready_idx = 0
+                if not ready or ready[-1].time <= time:
+                    ready.append(event)
+                else:
+                    insort(ready, event, lo=self._ready_idx, key=_TIME_KEY)
+        else:
+            wheel.insert(event, tick)
+        return event
+
     def schedule_at(self, time: float, callback: Callable[[], None], name: str = "event") -> ScheduledEvent:
         """Schedule ``callback`` at absolute virtual time ``time`` (>= now)."""
         if time < self.now:
@@ -324,6 +397,44 @@ class Simulator(Kernel):
             insort(ready, event, lo=self._ready_idx, key=_TIME_KEY)
         return event
 
+    def call_soon_call(self, callback: Callable, arg, name: str = "soon") -> ScheduledEvent:
+        """Run ``callback(arg)`` at the current timestamp, pool-recycled.
+
+        :meth:`call_soon` with the :meth:`schedule_call` event free list:
+        the thread wake-up path (mailbox hits, resolved futures) burns one
+        of these per delivery, and like delivery events their handles are
+        dropped before dispatch completes, so cancel-after-fire never
+        happens and the event can go straight back to the pool.
+        """
+        time = self.now
+        if time >= self._ready_tick + 1:
+            return self.schedule_call(0.0, callback, arg, name)
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.name = name
+        else:
+            event = ScheduledEvent(time, self._seq, callback, name)
+            event._sim = self
+        event.arg = arg
+        self._seq += 1
+        if self._shard_mode:
+            event.ctx = Ctx((time, self._dispatch_trunc, 0))
+        event._slots = DRAINED
+        ready = self._ready
+        idx = self._ready_idx
+        if idx > 1024 and idx + idx >= len(ready):
+            del ready[:idx]
+            self._ready_idx = 0
+        if not ready or ready[-1].time <= time:
+            ready.append(event)
+        else:
+            insort(ready, event, lo=self._ready_idx, key=_TIME_KEY)
+        return event
+
     # --------------------------------------------------------------- running
 
     @property
@@ -354,7 +465,15 @@ class Simulator(Kernel):
                 self.now = event.time
                 event.callback = None
                 self._events_processed += 1
-                callback()
+                arg = event.arg
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    event.arg = _NO_ARG
+                    callback(arg)
+                    pool = self._event_pool
+                    if len(pool) < _EVENT_POOL_MAX:
+                        pool.append(event)
                 return True
             drained = self._wheel.drain_next()
             if drained is None:
@@ -399,7 +518,18 @@ class Simulator(Kernel):
                     raise SimulationLimitExceeded(
                         f"simulation exceeded {max_events} events (possible livelock)"
                     )
-                callback()
+                arg = event.arg
+                if arg is _NO_ARG:
+                    callback()
+                    continue
+                # Argument-carrying events (message deliveries) fire and go
+                # straight back to the free list; their handles are never
+                # retained past dispatch (see schedule_call).
+                event.arg = _NO_ARG
+                callback(arg)
+                pool = self._event_pool
+                if len(pool) < _EVENT_POOL_MAX:
+                    pool.append(event)
                 continue
             drained = wheel.drain_next()
             if drained is None:
@@ -450,7 +580,15 @@ class Simulator(Kernel):
                     raise SimulationLimitExceeded(
                         f"simulation exceeded {max_events} events (possible livelock)"
                     )
-                callback()
+                arg = event.arg
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    event.arg = _NO_ARG
+                    callback(arg)
+                    pool = self._event_pool
+                    if len(pool) < _EVENT_POOL_MAX:
+                        pool.append(event)
                 if predicate():
                     return True
                 continue
@@ -577,7 +715,15 @@ class Simulator(Kernel):
                     mark_seqs.append(self._seq)
                 self._dispatch_ctx = ctx
                 self._dispatch_trunc = trunc
-                callback()
+                arg = event.arg
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    event.arg = _NO_ARG
+                    callback(arg)
+                    pool = self._event_pool
+                    if len(pool) < _EVENT_POOL_MAX:
+                        pool.append(event)
                 continue
             drained = wheel.drain_next()
             if drained is None:
@@ -636,7 +782,15 @@ class Simulator(Kernel):
                     mark_seqs.append(self._seq)
                 self._dispatch_ctx = ctx
                 self._dispatch_trunc = trunc
-                callback()
+                arg = event.arg
+                if arg is _NO_ARG:
+                    callback()
+                else:
+                    event.arg = _NO_ARG
+                    callback(arg)
+                    pool = self._event_pool
+                    if len(pool) < _EVENT_POOL_MAX:
+                        pool.append(event)
                 if predicate():
                     return True
                 continue

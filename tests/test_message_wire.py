@@ -161,3 +161,51 @@ def test_unsupported_payloads_rejected():
         # Non-finite floats have no JSON spelling; allow_nan=False makes the
         # sender fail loudly instead of emitting a frame peers cannot parse.
         Message("X", payload={"x": math.inf}).to_wire()
+
+
+# -------------------------------------------------------------- copy-on-write
+
+
+def test_copy_shares_payload_until_mutation():
+    original = Message("Execute", sender="a1", payload={"j": ("c1", 1), "n": 0})
+    sibling = original.copy()
+    # The dict is shared for as long as nobody asks to mutate it...
+    assert sibling.get("j") == ("c1", 1)
+    assert sibling._payload is original._payload
+    # ...and the ``payload`` property is the mutation point: it hands each
+    # side a private dict, so writes never leak to the other copy.
+    sibling.payload["n"] = 1
+    assert original.get("n") == 0
+    assert sibling.get("n") == 1
+    assert sibling._payload is not original._payload
+
+
+def test_multicast_sibling_mutation_is_isolated():
+    template = Message("Decide", payload={"j": ("c2", 7), "outcome": "commit"})
+    siblings = [template.copy() for _ in range(3)]
+    siblings[0].payload["outcome"] = "abort"
+    # One recipient's mutation must not reach the template or its peers.
+    assert template.get("outcome") == "commit"
+    assert all(s.get("outcome") == "commit" for s in siblings[1:])
+
+
+def test_template_mutation_does_not_reach_copies():
+    template = Message("Prepare", payload={"j": ("c3", 2)})
+    sibling = template.copy()
+    template.payload["extra"] = True
+    assert sibling.get("extra") is None
+
+
+def test_wire_round_trip_of_shared_payload():
+    original = Message("Execute", sender="a1", destination="d1",
+                       payload={"j": ("c1", 4), "v": [1, 2]}, msg_id=9,
+                       send_time=3.5)
+    sibling = original.copy()
+    # Serialising a COW-shared message must neither unshare nor corrupt it.
+    decoded = Message.from_wire(original.to_wire())
+    assert decoded.payload == original._payload
+    assert sibling._payload is original._payload
+    # The decoded message owns a private dict: mutating it is invisible to
+    # the sender-side pair.
+    decoded.payload["v"].append(3)
+    assert original.get("v") == [1, 2]

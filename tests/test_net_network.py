@@ -103,8 +103,16 @@ def test_trace_records_send_and_deliver():
 
 
 def test_messages_have_unique_ids():
-    first = Message("A")
-    second = Message("A")
+    # Construction no longer burns a global counter: ids are stamped by the
+    # network at send time from the sender's per-source stream.
+    assert Message("A").msg_id == 0
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b"])
+    first, second = Message("A"), Message("A")
+    procs["a"].send("b", first)
+    procs["a"].send("b", second)
+    sim.run()
+    assert first.msg_id != 0 and second.msg_id != 0
     assert first.msg_id != second.msg_id
 
 
