@@ -1,0 +1,64 @@
+"""Reshard bench gate: online d=4 -> d=8 growth under live open-loop load.
+
+Runs :func:`repro.experiments.reshard.run` (the standard growth scenario and
+its fault-free twin, same seed) plus the reconfiguration-window fault
+campaign, writes the BENCH json (``benchmarks/out/reshard.json``) and
+enforces ``benchmarks/baseline/reshard.json``:
+
+* every request is delivered and both runs are spec-clean -- including the
+  epoch-confinement extension of S.1 judged across the reconfiguration;
+* the data tier actually grew (epoch advanced, eight shards committed) and
+  the migration window stayed under the committed bound;
+* throughput with the migration in the middle stays within the committed
+  ratio of the flat run's -- elasticity the client tier cannot see;
+* every window-targeted fault schedule (``RESHARD_CAMPAIGN_RUNS``
+  overridable for quick local runs) leaves the protocol spec-clean.
+"""
+
+import json
+import os
+
+from repro.experiments import reshard
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline",
+                             "reshard.json")
+
+with open(BASELINE_PATH, encoding="utf-8") as handle:
+    BASELINE = json.load(handle)
+
+CAMPAIGN_RUNS = int(os.environ.get("RESHARD_CAMPAIGN_RUNS",
+                                   BASELINE["campaign_runs"]))
+
+
+def test_bench_reshard_online_growth_and_window_campaign():
+    report = reshard.run(requests=BASELINE["requests_per_client"],
+                         window_ms=BASELINE["window_ms"])
+    report.campaign = reshard.run_campaign(runs=CAMPAIGN_RUNS,
+                                           seed=BASELINE["campaign_seed"])
+    print(f"\n{report.summary()}")
+
+    assert report.undelivered == 0, \
+        f"{report.undelivered} of {report.requested} requests never delivered"
+    assert report.spec_ok, report.spec_summary
+    # The tier really grew, online, and the migration window stayed tight.
+    assert report.final_epoch >= 1
+    assert len(report.final_shards) == 8, report.final_shards
+    window = report.reshard_commit - report.reshard_begin
+    assert 0 < window <= BASELINE["max_reshard_window_ms"], (
+        f"migration window {window:.0f} ms exceeds the committed "
+        f"{BASELINE['max_reshard_window_ms']:.0f} ms bound")
+    # Elasticity: the client tier must not see the growth.
+    assert report.throughput_ratio >= BASELINE["min_throughput_ratio"], (
+        f"resharded throughput is {report.throughput_ratio:.2f}x the flat "
+        f"run's (committed floor {BASELINE['min_throughput_ratio']}x)")
+    # Every fault schedule aimed at the reconfiguration window came out clean.
+    assert report.campaign.runs == CAMPAIGN_RUNS
+    assert report.campaign.clean, report.campaign.summary()
+    assert report.ok
+
+    out_dir = os.environ.get("BENCH_OUT", os.path.join("benchmarks", "out"))
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "reshard.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+    print(f"BENCH json written to {path}")

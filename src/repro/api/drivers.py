@@ -174,6 +174,7 @@ class EtxDriver(ProtocolDriver):
 
     def build(self, scenario, *, business_logic, initial_data, db_timing,
               protocol_timing, runtime):
+        has_reshards = any(fault.kind == "reshard" for fault in scenario.faults)
         config = DeploymentConfig(
             runtime=runtime,
             num_app_servers=scenario.num_app_servers,
@@ -196,6 +197,9 @@ class EtxDriver(ProtocolDriver):
             business_logic=business_logic,
             placement=scenario.placement,
             trace_retention=scenario.trace,
+            enable_reshard=has_reshards,
+            num_standby_db_servers=len(scenario.standby_db_server_names),
+            mailbox_limit=scenario.mailbox,
         )
         return EtxDeployment(config)
 
@@ -210,7 +214,17 @@ class _BaselineFamilyDriver(ProtocolDriver):
 
     deployment_class: type = BaselineDeployment
     ignored_fields = ("register_mode", "failure_detector", "use_reliable_channels",
-                      "detection_delay", "heartbeat_interval", "heartbeat_timeout")
+                      "detection_delay", "heartbeat_interval", "heartbeat_timeout",
+                      "mailbox")
+
+    def validate(self, scenario: Scenario) -> None:
+        super().validate(scenario)
+        # Online resharding is e-Transaction machinery: it rides on the epoch
+        # directory the comparison stacks do not have.
+        if any(fault.kind == "reshard" for fault in scenario.faults):
+            raise ScenarioError(
+                f"protocol {self.name!r} does not support online resharding; "
+                f"remove the reshard fault from the scenario")
 
     def _config(self, scenario, *, business_logic, initial_data, db_timing,
                 protocol_timing, runtime) -> BaselineConfig:

@@ -100,7 +100,11 @@ class ScenarioResult:
                 + (f"/{db.in_doubt}?" if db.in_doubt else "")
                 for name, db in stats.by_database.items())
             lines.insert(5, f"databases  {per_db}")
-        if stats.parallel:
+        if stats.saturation.get("shed_messages"):
+            sat = stats.saturation
+            lines.append(f"saturation {sat['shed_messages']} message(s) shed"
+                         f"   peak backlog {sat['mailbox_peak']}")
+        if stats.parallel and stats.parallel.get("jobs"):
             par = stats.parallel
             events = "   ".join(f"{shard} {count}"
                                 for shard, count in par["events"].items())

@@ -109,9 +109,17 @@ def default_app_servers(protocol: str) -> int:
 
 
 def _format_number(value: float) -> str:
-    """Shortest decimal text that parses back to exactly ``value``."""
+    """Shortest decimal text that parses back to exactly ``value``.
+
+    The text must also survive a URL query string unescaped: ``repr`` writes
+    large magnitudes as ``1e+16``, and ``parse_qsl`` decodes the ``+`` to a
+    space, so a serialised scenario failed to parse back.  ``1e16`` is the
+    same float, so the ``+`` is dropped.
+    """
     text = repr(float(value))
-    return text[:-2] if text.endswith(".0") else text
+    if text.endswith(".0"):
+        text = text[:-2]
+    return text.replace("e+", "e")
 
 
 @dataclass(frozen=True)
@@ -126,6 +134,7 @@ class FaultSpec:
         false_suspicion@15:a2:a1:200      a2 falsely suspects a1 for 200 ms
         partition@100:a1~a2|d1            split {a1,a2} from {d1} at t=100
         heal@300                          heal any partition at t=300
+        reshard@5000:d4->d8               grow the data tier 4 -> 8 at t=5000
 
     Partition groups are ``|``-separated, members ``~``-separated (``~`` and
     ``|`` survive URL query parsing unescaped; ``+`` would decode to a
@@ -139,10 +148,12 @@ class FaultSpec:
     observer: str = ""
     duration: float = 0.0
     groups: tuple[tuple[str, ...], ...] = ()
+    from_shards: int = 0
+    to_shards: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in ("crash", "recover", "crash_for", "false_suspicion",
-                             "partition", "heal"):
+                             "partition", "heal", "reshard"):
             raise ScenarioError(f"unknown fault kind {self.kind!r}")
         if self.time < 0:
             raise ScenarioError("fault time must be non-negative")
@@ -150,7 +161,7 @@ class FaultSpec:
                            tuple(tuple(group) for group in self.groups))
         if self.groups and self.kind != "partition":
             raise ScenarioError(f"fault kind {self.kind!r} takes no groups")
-        if self.kind in ("partition", "heal"):
+        if self.kind in ("partition", "heal", "reshard"):
             if self.target:
                 raise ScenarioError(f"fault kind {self.kind!r} takes no target")
         elif not self.target:
@@ -166,6 +177,8 @@ class FaultSpec:
                 inapplicable.append("observer")
             if self.duration:
                 inapplicable.append("duration")
+        if (self.from_shards or self.to_shards) and self.kind != "reshard":
+            inapplicable.append("from_shards/to_shards")
         if inapplicable:
             raise ScenarioError(f"fault kind {self.kind!r} takes no "
                                 f"{', '.join(inapplicable)}")
@@ -178,6 +191,8 @@ class FaultSpec:
                 validate_downtime(self.downtime)
             elif self.kind == "false_suspicion":
                 validate_suspicion(self.observer, self.target, self.duration)
+            elif self.kind == "reshard":
+                injection.validate_reshard(self.from_shards, self.to_shards)
         except ValueError as exc:
             raise ScenarioError(str(exc)) from None
 
@@ -214,6 +229,13 @@ class FaultSpec:
                 if args:
                     raise ValueError("heal takes no arguments")
                 return cls(kind, time)
+            if kind == "reshard":
+                (move,) = args
+                shape = re.fullmatch(r"d(\d+)->d(\d+)", move)
+                if shape is None:
+                    raise ValueError("reshard takes a d<from>->d<to> argument")
+                return cls(kind, time, from_shards=int(shape.group(1)),
+                           to_shards=int(shape.group(2)))
         except ScenarioError:
             raise  # a specific validation message (overlap, duration, ...)
         except ValueError:
@@ -237,6 +259,10 @@ class FaultSpec:
                        groups=tuple(tuple(g) for g in action.params["groups"]))
         if action.kind == injection.HEAL:
             return cls(injection.HEAL, action.time)
+        if action.kind == injection.RESHARD:
+            return cls(injection.RESHARD, action.time,
+                       from_shards=action.params["from_count"],
+                       to_shards=action.params["to_count"])
         raise ValueError(f"fault kind {action.kind!r} has no DSN form")
 
     def to_token(self) -> str:
@@ -251,6 +277,8 @@ class FaultSpec:
             return f"{head}:{layout}"
         if self.kind == "heal":
             return head
+        if self.kind == "reshard":
+            return f"{head}:d{self.from_shards}->d{self.to_shards}"
         return (f"{head}:{self.observer}:{self.target}:"
                 f"{_format_number(self.duration)}")
 
@@ -266,6 +294,8 @@ class FaultSpec:
             schedule.partition(self.time, *self.groups)
         elif self.kind == "heal":
             schedule.heal(self.time)
+        elif self.kind == "reshard":
+            schedule.reshard(self.time, self.from_shards, self.to_shards)
         else:
             schedule.false_suspicion(self.time, self.observer, self.target,
                                      duration=self.duration)
@@ -374,6 +404,7 @@ _QUERY_PARAMS: dict[str, tuple[str, Callable[[str], Any]]] = {
     "pace": ("pace", float),
     "jobs": ("jobs", int),
     "workers": ("workers", int),
+    "mailbox": ("mailbox", int),
 }
 
 # Endpoint parameters follow the database-DSN convention of edgedb et al.:
@@ -475,6 +506,12 @@ class Scenario:
     # wheel kernel's.
     jobs: int = 0
     workers: int = 0
+    # Admission control: ``mailbox`` bounds every application server's inbox
+    # to that many buffered messages; a message arriving at a full inbox is
+    # shed with a traced ``overload`` event (fair-lossy channels make a shed
+    # indistinguishable from a network loss, so safety is unaffected).
+    # 0 = unbounded, the historical behaviour.
+    mailbox: int = 0
     faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -569,8 +606,13 @@ class Scenario:
         if self.workers > self.jobs:
             raise ScenarioError(f"workers={self.workers} exceeds jobs={self.jobs}; "
                                 "extra workers would sit idle")
+        if self.mailbox < 0:
+            raise ScenarioError("mailbox bound must be non-negative "
+                                "(0 = unbounded)")
         object.__setattr__(self, "faults", tuple(self.faults))
-        known = set(self.app_server_names + self.db_server_names + self.client_names)
+        self._validate_reshards()
+        known = set(self.app_server_names + self.db_server_names
+                    + self.standby_db_server_names + self.client_names)
         for fault in self.faults:
             for name in fault.named_processes:
                 if name not in known:
@@ -578,6 +620,34 @@ class Scenario:
                         f"fault {fault.to_token()!r} names unknown process "
                         f"{name!r}; this scenario has processes "
                         f"{', '.join(sorted(known))}")
+
+    def _validate_reshards(self) -> None:
+        reshards = sorted((f for f in self.faults if f.kind == "reshard"),
+                          key=lambda f: f.time)
+        if not reshards:
+            return
+        if self.placement == PLACEMENT_REPLICATE:
+            raise ScenarioError("reshard needs a partitioned placement "
+                                "(placement=hash or placement=mod); under "
+                                "replication there is nothing to move")
+        if self.runtime != RUNTIME_SIM:
+            raise ScenarioError("reshard currently requires runtime=sim")
+        if self.jobs > 0:
+            raise ScenarioError("reshard does not support jobs > 0: the "
+                                "sharded kernel pins the server partition at "
+                                "build time")
+        if self.use_reliable_channels:
+            raise ScenarioError("reshard does not support reliable=true: the "
+                                "reconfiguration coordinator carries its own "
+                                "retransmission")
+        count = self.num_db_servers
+        for fault in reshards:
+            if fault.from_shards != count:
+                raise ScenarioError(
+                    f"fault {fault.to_token()!r} starts from d{fault.from_shards} "
+                    f"but the data tier holds d{count} at that point; chain "
+                    "reshards so each starts where the previous one ended")
+            count = fault.to_shards
 
     # ------------------------------------------------------------------- DSN
 
@@ -715,6 +785,18 @@ class Scenario:
     @property
     def db_server_names(self) -> list[str]:
         return [f"d{i + 1}" for i in range(self.num_db_servers)]
+
+    @property
+    def max_db_servers(self) -> int:
+        """The largest data tier this scenario ever grows to (via reshards)."""
+        return max([self.num_db_servers,
+                    *(f.to_shards for f in self.faults if f.kind == "reshard")])
+
+    @property
+    def standby_db_server_names(self) -> list[str]:
+        """Databases beyond the initial tier, held in reserve for reshards."""
+        return [f"d{i + 1}" for i in range(self.num_db_servers,
+                                           self.max_db_servers)]
 
     @property
     def sharding(self) -> Sharding:

@@ -22,6 +22,7 @@ PHASE_EXECUTING = "executing"
 PHASE_VOTING = "voting"
 PHASE_DECIDING = "deciding"
 PHASE_TERMINATING = "terminating"
+PHASE_RESHARDING = "resharding"
 
 _PHASE_ORDER = {PHASE_EXECUTING: 0, PHASE_VOTING: 1, PHASE_DECIDING: 2,
                 PHASE_TERMINATING: 3}
@@ -37,6 +38,7 @@ WINDOW_CATEGORIES = {
     "db_decide": PHASE_DECIDING,
     "client_deliver": PHASE_TERMINATING,
     "as_terminate": PHASE_TERMINATING,
+    "reshard": PHASE_RESHARDING,
 }
 
 
@@ -115,6 +117,14 @@ class FaultWindowObserver:
 
     def _on_event(self, event: TraceEvent) -> None:
         phase = WINDOW_CATEGORIES[event.category]
+        if event.category == "reshard":
+            # Reconfiguration instants are deployment-wide, not transaction-
+            # scoped: record them directly (begin/commit of each epoch) so a
+            # campaign can aim faults into the migration window.
+            self.transitions.append(PhaseTransition(
+                time=event.time, request_id=("reshard", event.get("epoch")),
+                phase=phase, process=event.process, event=event.category))
+            return
         request_id = self._request_id_of(event)
         if request_id is None:
             return

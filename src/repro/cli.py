@@ -36,7 +36,8 @@ from typing import Optional, Sequence
 
 from repro import api, campaign
 from repro.core import Request
-from repro.experiments import fault_sweep, figure1, figure7, figure8, scaleout, soak
+from repro.experiments import (fault_sweep, figure1, figure7, figure8,
+                               reshard, scaleout, soak)
 from repro.experiments.ablations import asynchrony_sweep, log_cost_sweep, scaling_sweep
 
 
@@ -324,6 +325,33 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_reshard(args: argparse.Namespace) -> int:
+    try:
+        dsn = args.dsn if args.dsn is not None else reshard.DEFAULT_RESHARD_DSN
+        scenario = api.Scenario.from_dsn(dsn)
+        if args.seed is not None:
+            scenario = scenario.with_(seed=_seed(args))
+        report = reshard.run(scenario, requests=args.requests,
+                             window_ms=args.window)
+        if args.campaign_runs > 0:
+            report.campaign = reshard.run_campaign(
+                scenario, runs=args.campaign_runs, seed=args.campaign_seed,
+                workers=args.workers)
+    except (api.ScenarioError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json:
+        import json
+        import os
+
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+        print(f"BENCH json written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _artifact_name(example: campaign.Counterexample, index: int) -> str:
     scenario = example.scenario()
     if example.kind == "certificate":
@@ -556,6 +584,29 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default benchmarks/out/soak.pstats) and "
                                "print the top of the cumulative profile")
     soak_cmd.set_defaults(func=_cmd_soak)
+
+    reshard_cmd = sub.add_parser(
+        "reshard", help="grow the data tier online under open-loop load, "
+                        "then aim a fault campaign at the migration window")
+    reshard_cmd.add_argument("dsn", nargs="?", default=None,
+                             help="open-loop scenario DSN with a "
+                                  "reshard@T:dX->dY fault (default: the "
+                                  "standard d4->d8 growth)")
+    reshard_cmd.add_argument("--requests", type=int, default=15,
+                             help="arrivals per client (default 15)")
+    reshard_cmd.add_argument("--window", type=float, default=2_000.0,
+                             help="throughput window width in virtual ms "
+                                  "(default 2000)")
+    reshard_cmd.add_argument("--campaign-runs", type=int, default=0,
+                             help="fault schedules to aim at the migration "
+                                  "window (default 0: skip the campaign)")
+    reshard_cmd.add_argument("--campaign-seed", type=int, default=0,
+                             help="master seed of the schedule search")
+    reshard_cmd.add_argument("--workers", type=int, default=1,
+                             help="worker processes for the campaign")
+    reshard_cmd.add_argument("--json", default=None, metavar="PATH",
+                             help="also write the machine-readable report here")
+    reshard_cmd.set_defaults(func=_cmd_reshard)
 
     kbench = sub.add_parser(
         "kernelbench", help="event-queue microbenchmarks: timer-wheel kernel "

@@ -108,13 +108,21 @@ class ApplicationServer(Process):
     consensus_host:
         Optional consensus endpoint backing the registers; when present it is
         (re)installed on start and reset on crash.
+    directory:
+        Optional live :class:`~repro.core.sharding.ShardDirectory` (online
+        resharding).  When present, requests that carry their key set are
+        routed against the *current epoch* at claim time -- a request built
+        against a stale placement gets an ``epoch_retry`` instead of being
+        misrouted -- and requests touching mid-migration keys are deferred
+        until the reconfiguration window closes over them.
     """
 
     def __init__(self, sim: Simulator, name: str, app_server_names: list[str],
                  db_server_names: list[str], registers: RegisterPair,
                  failure_detector: FailureDetector,
                  timing: Optional[ProtocolTiming] = None,
-                 consensus_host: Any = None):
+                 consensus_host: Any = None,
+                 directory: Optional[Any] = None):
         super().__init__(sim, name)
         self.app_server_names = list(app_server_names)
         self.db_server_names = list(db_server_names)
@@ -122,6 +130,7 @@ class ApplicationServer(Process):
         self.failure_detector = failure_detector
         self.timing = timing if timing is not None else ProtocolTiming()
         self.consensus_host = consensus_host
+        self.directory = directory
         # Volatile caches (lost on crash, rebuilt from the registers if needed).
         self._known_commits: dict[ResultKey, Decision] = {}
         self._cleaned: set[ResultKey] = set()
@@ -204,33 +213,71 @@ class ApplicationServer(Process):
     def _handle_request(self, key: ResultKey, request: Request, client: str):
         """One result's life from claim to termination (Figure 5, lines 5-12)."""
         j = key[1]
-        participants = self.participants_of(request)
-        phase_start = self.now
-        winner = yield self.wait_for(
-            self.registers.reg_a.write(key, claim_entry(self.name, participants)))
-        self.trace.record("as_phase", self.name, phase="regA_write", j=j, client=client,
-                          duration=self.now - phase_start)
-        claimant, claimed_participants = claim_parts(winner, self.db_server_names)
-        if claimant != self.name:
-            # Another server owns this result (Figure 5, lines 6-7); if it
-            # crashes the cleaning thread will take over.
+        directory = self.directory
+        retained = False
+        epoch: Optional[int] = None
+        try:
+            if directory is not None and request.keys:
+                # Online resharding: route against the live placement.  A key
+                # that is mid-migration defers the whole request until the
+                # window closes over it; then the participant set is derived
+                # fresh under the current epoch, so a request built against a
+                # stale placement is re-routed (epoch_retry) instead of
+                # tripping ShardOwnershipError at the old owner.  The
+                # retain/release bracket pins the keys for the transaction's
+                # lifetime: the migration snapshot refuses to copy a pinned
+                # key, which is how in-flight traffic drains on its epoch.
+                deferred = False
+                while directory.moving(request.keys):
+                    if not deferred:
+                        deferred = True
+                        self.trace.record("epoch_defer", self.name, client=client,
+                                          j=j, request_id=request.request_id,
+                                          epoch=directory.epoch)
+                    yield self.sleep(self.timing.execute_retry)
+                directory.retain(request.keys)
+                retained = True
+                epoch = directory.epoch
+                participants = list(directory.participants(request.keys))
+                if tuple(participants) != tuple(request.participants):
+                    self.trace.record("epoch_retry", self.name, client=client,
+                                      j=j, request_id=request.request_id,
+                                      epoch=epoch,
+                                      participants=list(participants))
+            else:
+                participants = self.participants_of(request)
+            phase_start = self.now
+            winner = yield self.wait_for(
+                self.registers.reg_a.write(key, claim_entry(self.name, participants)))
+            self.trace.record("as_phase", self.name, phase="regA_write", j=j, client=client,
+                              duration=self.now - phase_start)
+            claimant, claimed_participants = claim_parts(winner, self.db_server_names)
+            if claimant != self.name:
+                # Another server owns this result (Figure 5, lines 6-7); if it
+                # crashes the cleaning thread will take over.
+                return
+            participants = list(claimed_participants)
+            self.trace.record("as_claim", self.name, client=client, j=j,
+                              request_id=request.request_id,
+                              participants=list(participants))
+            result = yield from self._compute(key, request, participants, epoch)
+            outcome = yield from self._prepare(key, participants)
+            proposed = Decision(result=result, outcome=outcome)
+            phase_start = self.now
+            decision = yield self.wait_for(self.registers.reg_d.write(key, proposed))
+            self.trace.record("as_phase", self.name, phase="regD_write", j=j, client=client,
+                              duration=self.now - phase_start)
+            yield from self._terminate(key, decision, client, participants)
+        finally:
+            # Runs on every exit, including the crash path (the generator is
+            # closed when the process dies), so a crashed server never leaves
+            # keys pinned against the migration drain.
+            if retained:
+                directory.release(request.keys)
             self._inflight.discard(key)
-            return
-        participants = list(claimed_participants)
-        self.trace.record("as_claim", self.name, client=client, j=j,
-                          request_id=request.request_id,
-                          participants=list(participants))
-        result = yield from self._compute(key, request, participants)
-        outcome = yield from self._prepare(key, participants)
-        proposed = Decision(result=result, outcome=outcome)
-        phase_start = self.now
-        decision = yield self.wait_for(self.registers.reg_d.write(key, proposed))
-        self.trace.record("as_phase", self.name, phase="regD_write", j=j, client=client,
-                          duration=self.now - phase_start)
-        yield from self._terminate(key, decision, client, participants)
-        self._inflight.discard(key)
 
-    def _compute(self, key: ResultKey, request: Request, participants: list[str]):
+    def _compute(self, key: ResultKey, request: Request, participants: list[str],
+                 epoch: Optional[int] = None):
         """The paper's ``compute()``: transient data manipulation on every
         participant database.
 
@@ -269,9 +316,15 @@ class ApplicationServer(Process):
             pending = set(participants) - set(values)
         merged = self._merge_values(values, participants)
         result = Result(value=merged, request_id=request.request_id, computed_by=self.name)
-        self.trace.record("as_compute", self.name, client=client, j=j,
-                          request_id=request.request_id, result=repr(merged),
-                          participants=list(participants))
+        if epoch is None:
+            # Static deployments keep the historical event shape byte-for-byte.
+            self.trace.record("as_compute", self.name, client=client, j=j,
+                              request_id=request.request_id, result=repr(merged),
+                              participants=list(participants))
+        else:
+            self.trace.record("as_compute", self.name, client=client, j=j,
+                              request_id=request.request_id, result=repr(merged),
+                              participants=list(participants), epoch=epoch)
         self.trace.record("as_phase", self.name, phase="compute", j=j, client=client,
                           duration=self.now - phase_start)
         return result

@@ -59,7 +59,8 @@ class DatabaseServer(Process):
                  business_logic: BusinessLogicFactory,
                  timing: Optional[DatabaseTiming] = None,
                  initial_data: Optional[dict[str, Any]] = None,
-                 owns_key: Optional[Callable[[str], bool]] = None):
+                 owns_key: Optional[Callable[[str], bool]] = None,
+                 directory: Optional[Any] = None):
         super().__init__(sim, name)
         self.app_server_names = list(app_server_names)
         self.business_logic = business_logic
@@ -72,6 +73,11 @@ class DatabaseServer(Process):
         # Makes Execute idempotent under retransmission (volatile: an unprepared
         # transaction does not survive a crash anyway).
         self._executed: dict[Any, tuple[Any, bool]] = {}
+        # Online resharding: the live ShardDirectory, shared with the whole
+        # deployment.  Only set when the scenario carries reshard faults --
+        # the extra migration-serving thread must not exist otherwise, so
+        # static deployments keep byte-identical thread/event structure.
+        self.directory = directory
 
     # --------------------------------------------------------------- lifecycle
 
@@ -84,6 +90,8 @@ class DatabaseServer(Process):
         self.spawn(self._serve_execute(), name="db-execute")
         self.spawn(self._serve_prepare(), name="db-prepare")
         self.spawn(self._serve_decide(), name="db-decide")
+        if self.directory is not None:
+            self.spawn(self._serve_migrate(), name="db-migrate")
 
     def on_crash(self) -> None:
         self.resource.crash()
@@ -153,6 +161,69 @@ class DatabaseServer(Process):
             self.trace.record("db_decide", self.name, j=key, outcome=final,
                               requested=outcome)
             self.send(message.sender, msg.ack_decide_message(key))
+
+    def _serve_migrate(self):
+        """Serve the reconfiguration coordinator's migration traffic.
+
+        Three idempotent exchanges, all correlated by the *target* epoch:
+
+        * ``MigrateSnapshot``: report which of this shard's committed keys
+          move where under the pending placement (with their values).  While
+          a moving key is pinned -- locked by an active or in-doubt
+          transaction here, or retained by an in-flight transaction at the
+          application tier -- the reply says *busy* and the coordinator asks
+          again: old-epoch traffic drains before its data moves.  New
+          transactions on moving keys are deferred at the application tier,
+          so the drain terminates and repeated snapshots of one epoch are
+          identical.
+        * ``MigrateInstall``: durably adopt committed values moving here.
+        * ``MigrateRelease``: durably drop keys that moved away.
+
+        None of these emit ``db_execute``/``db_vote``/``db_decide`` events:
+        migration is not a transaction, and the specification checker judges
+        it only through the epoch stamps on regular commits.
+        """
+        applied: set[tuple[int, str]] = set()
+        matcher = is_type(msg.MIGRATE_SNAPSHOT, msg.MIGRATE_INSTALL,
+                          msg.MIGRATE_RELEASE)
+        while True:
+            message = yield self.receive(matcher)
+            epoch = message["j"]
+            if message.msg_type == msg.MIGRATE_SNAPSHOT:
+                plan = self.directory.migration_plan(
+                    self.name, sorted(self.store.committed_snapshot()))
+                moving = [key for keys in plan.values() for key in keys]
+                busy = (any(self.store.locks.holder(key) is not None
+                            for key in moving)
+                        or self.directory.retained(moving))
+                data = {} if busy else {
+                    dest: {key: self.store.get_committed(key) for key in keys}
+                    for dest, keys in sorted(plan.items())}
+                self.send(message.sender, msg.migrate_snapshot_reply_message(
+                    epoch, self.name, data, busy=busy))
+                continue
+            if message.msg_type == msg.MIGRATE_INSTALL:
+                if (epoch, "install") not in applied:
+                    applied.add((epoch, "install"))
+                    cost = self.store.migrate_install(epoch, message["data"])
+                    if cost > 0:
+                        yield self.sleep(cost)
+                    self.trace.record("db_migrate", self.name, j=epoch,
+                                      stage="install",
+                                      keys=len(message["data"]))
+                self.send(message.sender, msg.migrate_ack_message(
+                    epoch, self.name, "install"))
+                continue
+            if (epoch, "release") not in applied:
+                applied.add((epoch, "release"))
+                keys = tuple(message["keys"])
+                cost = self.store.migrate_release(epoch, keys)
+                if cost > 0:
+                    yield self.sleep(cost)
+                self.trace.record("db_migrate", self.name, j=epoch,
+                                  stage="release", keys=len(keys))
+            self.send(message.sender, msg.migrate_ack_message(
+                epoch, self.name, "release"))
 
     # ------------------------------------------------------------------- query
 

@@ -16,9 +16,11 @@ from repro.consensus.synod import ConsensusHost
 from repro.core.appserver import ApplicationServer, RegisterPair
 from repro.core.client import Client, IssuedRequest
 from repro.core.dataserver import DatabaseServer
+from repro.core.reshard import RESHARD_COORDINATOR, ReshardCoordinator
 from repro.core.sharding import (
     KNOWN_PLACEMENTS,
     PLACEMENT_REPLICATE,
+    ShardDirectory,
     Sharding,
     validate_participants,
 )
@@ -32,7 +34,7 @@ from repro.failure.detectors import (
 from repro.failure.injection import FaultSchedule
 from repro.metrics.latency import LatencyComponentStream
 from repro.metrics.stream import DatabaseOutcomeStream
-from repro.net.latency import PerLinkLatency, three_tier_latency
+from repro.net.latency import FixedLatency, PerLinkLatency, three_tier_latency
 from repro.net.reliable import ReliableChannelLayer
 from repro.registers.consensus_backed import ConsensusRegisterArray
 from repro.registers.local import LocalRegisterArray, LocalRegisterStore
@@ -90,6 +92,17 @@ class DeploymentConfig:
     # Which kernel/transport pair executes the deployment: the discrete-event
     # simulator (default) or an asyncio event loop with real TCP sockets.
     runtime: RuntimeSpec = field(default_factory=RuntimeSpec)
+    # Online reconfiguration: when enabled, the deployment gets a live
+    # ShardDirectory, a reconfiguration coordinator, and (optionally) standby
+    # database servers that start empty and receive keys when the tier grows.
+    # Off by default so static deployments keep byte-identical process/thread
+    # structure (and therefore byte-identical traces).
+    enable_reshard: bool = False
+    num_standby_db_servers: int = 0
+    # Admission control: bound on each application server's mailbox (0 =
+    # unbounded, the historical behaviour).  A server at its bound sheds the
+    # incoming message with a traced ``overload`` event.
+    mailbox_limit: int = 0
 
     def __post_init__(self) -> None:
         if self.num_app_servers < 1 or self.num_db_servers < 1 or self.num_clients < 1:
@@ -101,11 +114,23 @@ class DeploymentConfig:
         if self.placement not in KNOWN_PLACEMENTS:
             raise ValueError(f"unknown placement {self.placement!r}; known: "
                              f"{', '.join(KNOWN_PLACEMENTS)}")
+        if self.num_standby_db_servers < 0:
+            raise ValueError("num_standby_db_servers must be >= 0")
+        if self.mailbox_limit < 0:
+            raise ValueError("mailbox_limit must be >= 0 (0 = unbounded)")
+        if self.num_standby_db_servers and not self.enable_reshard:
+            raise ValueError("standby database servers need enable_reshard")
+        if self.enable_reshard and self.placement == PLACEMENT_REPLICATE:
+            raise ValueError("online resharding needs a partitioned placement "
+                             "(hash or mod)")
+        if self.enable_reshard and self.runtime.kind != "sim":
+            raise ValueError("online resharding is only supported on the "
+                             "simulated runtime")
         parse_retention(self.trace_retention)  # fail fast on bad policies
 
     @property
     def sharding(self) -> Sharding:
-        """Key-placement map of the database tier under this config."""
+        """Key-placement map of the database tier under this config (epoch 0)."""
         return Sharding(tuple(self.db_server_names), self.placement)
 
     @property
@@ -120,6 +145,12 @@ class DeploymentConfig:
     def db_server_names(self) -> list[str]:
         return [f"d{i + 1}" for i in range(self.num_db_servers)]
 
+    @property
+    def all_db_server_names(self) -> list[str]:
+        """Running shards plus reshard standbys, in growth order."""
+        return [f"d{i + 1}" for i in
+                range(self.num_db_servers + self.num_standby_db_servers)]
+
 
 class EtxDeployment:
     """A fully wired three-tier system running the e-Transaction protocol."""
@@ -131,23 +162,34 @@ class EtxDeployment:
             config = replace(config, **overrides)
         self.config = config
         self.sharding = config.sharding
+        # Online reconfiguration state: the shared directory and coordinator
+        # exist only when the scenario asked for resharding, so static runs
+        # keep byte-identical process registration and thread structure.
+        self.directory: Optional[ShardDirectory] = (
+            ShardDirectory(self.sharding) if config.enable_reshard else None)
+        self._spec_db_names = (config.all_db_server_names if config.enable_reshard
+                               else config.db_server_names)
         self.sim = create_kernel(config.runtime, seed=config.seed)
         self.sim.trace.set_retention(config.trace_retention)
         # Streaming observers subscribe before any process runs, so they see
         # the complete event stream regardless of the retention policy.
         self.spec_monitor = SpecMonitor.attach(
-            self.sim.trace, config.db_server_names, config.client_names)
+            self.sim.trace, self._spec_db_names, config.client_names)
         self.db_outcomes = DatabaseOutcomeStream(
-            self.sim.trace, config.db_server_names)
+            self.sim.trace, self._spec_db_names)
         self.latency_components = LatencyComponentStream(self.sim.trace)
+        process_names = (config.app_server_names + self._spec_db_names
+                         + config.client_names)
+        if config.enable_reshard:
+            process_names = process_names + [RESHARD_COORDINATOR]
         self.network = create_network(
             config.runtime, self.sim, latency=self._build_latency(),
             loss_probability=config.loss_probability,
-            process_names=(config.app_server_names + config.db_server_names
-                           + config.client_names))
+            process_names=process_names)
         self.clients: dict[str, Client] = {}
         self.app_servers: dict[str, ApplicationServer] = {}
         self.db_servers: dict[str, DatabaseServer] = {}
+        self.reshard_coordinator: Optional[ReshardCoordinator] = None
         self._local_stores: dict[str, LocalRegisterStore] = {}
         self._build_processes()
         # The oracle (eventually perfect) detector always exists: it is what the
@@ -176,16 +218,26 @@ class EtxDeployment:
 
     def _build_latency(self) -> PerLinkLatency:
         config = self.config
-        return three_tier_latency(config.client_names, config.app_server_names,
-                                  config.db_server_names,
-                                  client_app_latency=config.client_app_latency,
-                                  app_app_latency=config.app_app_latency,
-                                  app_db_latency=config.app_db_latency)
+        latency = three_tier_latency(config.client_names, config.app_server_names,
+                                     self._spec_db_names,
+                                     client_app_latency=config.client_app_latency,
+                                     app_app_latency=config.app_app_latency,
+                                     app_db_latency=config.app_db_latency)
+        if config.enable_reshard:
+            # The coordinator lives in the cluster next to the app tier, so
+            # its migration traffic crosses the app<->db hop.
+            for db_name in self._spec_db_names:
+                latency.set_link(RESHARD_COORDINATOR, db_name,
+                                 FixedLatency(config.app_db_latency))
+                latency.set_link(db_name, RESHARD_COORDINATOR,
+                                 FixedLatency(config.app_db_latency))
+        return latency
 
     def _build_processes(self) -> None:
         config = self.config
         app_names = config.app_server_names
-        db_names = config.db_server_names
+        db_names = self._spec_db_names
+        active_db_names = set(config.db_server_names)
         default_primary = app_names[0]
         if config.register_mode == REGISTER_LOCAL:
             self._local_stores = {
@@ -195,12 +247,18 @@ class EtxDeployment:
                                            operation_latency=config.protocol_timing.fast_write_latency),
             }
         for name in db_names:
+            # Standby shards start empty; they receive keys through migration.
+            initial = (self.sharding.shard_data(name, config.initial_data)
+                       if name in active_db_names else {})
+            owns_key = (self.directory.owner_predicate(name)
+                        if self.directory is not None
+                        else self.sharding.owner_predicate(name))
             server = DatabaseServer(self.sim, name, app_names,
                                     business_logic=config.business_logic,
                                     timing=config.db_timing,
-                                    initial_data=self.sharding.shard_data(
-                                        name, config.initial_data),
-                                    owns_key=self.sharding.owner_predicate(name))
+                                    initial_data=initial,
+                                    owns_key=owns_key,
+                                    directory=self.directory)
             self.network.register(server)
             self.db_servers[name] = server
         for name in app_names:
@@ -210,7 +268,8 @@ class EtxDeployment:
                     self.sim, name, app_names, db_names,
                     registers=RegisterPair(None, None),  # type: ignore[arg-type]
                     failure_detector=None,  # type: ignore[arg-type]
-                    timing=config.protocol_timing)
+                    timing=config.protocol_timing,
+                    directory=self.directory)
                 self.network.register(process)
                 consensus_host = ConsensusHost(process, app_names,
                                                fast_path_owner=default_primary)
@@ -227,14 +286,21 @@ class EtxDeployment:
                         LocalRegisterArray(self._local_stores["regD"], owner=name),
                     ),
                     failure_detector=None,  # type: ignore[arg-type]
-                    timing=config.protocol_timing)
+                    timing=config.protocol_timing,
+                    directory=self.directory)
                 self.network.register(process)
+            process.mailbox_limit = config.mailbox_limit
             self.app_servers[name] = process
         for name in config.client_names:
             client = Client(self.sim, name, app_names, timing=config.protocol_timing,
                             default_primary=default_primary)
             self.network.register(client)
             self.clients[name] = client
+        if self.directory is not None:
+            self.reshard_coordinator = ReshardCoordinator(
+                self.sim, self.directory, db_names,
+                retry_interval=config.protocol_timing.execute_retry)
+            self.network.register(self.reshard_coordinator)
 
     def _attach_failure_detector(self) -> None:
         detector = self.heartbeat_detector if self.heartbeat_detector is not None \
@@ -250,6 +316,13 @@ class EtxDeployment:
             for process in group.values():
                 if self.network.hosts(process.name):
                     process.start()
+        if self.reshard_coordinator is not None:
+            self.reshard_coordinator.start()
+            # Anchor the epoch ledger: the spec checkers learn each epoch's
+            # shard universe from ``reshard`` events, including the initial one.
+            self.trace.record("reshard", self.reshard_coordinator.name,
+                              stage="init", epoch=0,
+                              shards=list(self.sharding.shards))
 
     # --------------------------------------------------------------- shortcuts
 
@@ -278,7 +351,23 @@ class EtxDeployment:
         """
         if self.config.runtime.distributed:
             schedule = schedule.restricted_to(set(self.config.runtime.only))
-        schedule.apply(self.sim, self.network, self.failure_detector)
+        reshard = (self.reshard_coordinator.request
+                   if self.reshard_coordinator is not None else None)
+        schedule.apply(self.sim, self.network, self.failure_detector,
+                       reshard=reshard)
+
+    def saturation_stats(self) -> dict[str, int]:
+        """Admission-control counters of the application tier.
+
+        ``shed_messages`` counts messages refused at a full mailbox across all
+        application servers; ``mailbox_peak`` is the highest backlog any one
+        of them reached.  Both are zero when no bound is configured.
+        """
+        return {
+            "shed_messages": sum(s.shed_messages for s in self.app_servers.values()),
+            "mailbox_peak": max((s.mailbox_peak for s in self.app_servers.values()),
+                                default=0),
+        }
 
     def close(self) -> None:
         """Release runtime resources (TCP sockets, event loop); idempotent."""
@@ -289,7 +378,7 @@ class EtxDeployment:
 
     def issue(self, request: Request, client: Optional[str] = None) -> IssuedRequest:
         """Issue a request from the named (or first) client."""
-        validate_participants(request, self.config.db_server_names)
+        validate_participants(request, self._spec_db_names)
         target = self.clients[client] if client is not None else self.client
         return target.issue(request)
 
@@ -316,7 +405,7 @@ class EtxDeployment:
         Needs ``full`` retention; prefer :attr:`spec_monitor` (the online
         checker), which works under any retention policy.
         """
-        return SpecificationChecker(self.trace, self.config.db_server_names,
+        return SpecificationChecker(self.trace, self._spec_db_names,
                                     self.config.client_names)
 
     def check_spec(self, check_termination: bool = True) -> SpecReport:

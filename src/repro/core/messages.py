@@ -24,6 +24,16 @@ READY = "Ready"
 EXECUTE = "Execute"
 EXECUTE_RESULT = "ExecuteResult"
 
+# Online-reconfiguration traffic (no counterpart in the paper): the
+# coordinator snapshots moving keys off their old owner, installs them at the
+# new owner, then releases them from the old owner.  Every exchange is
+# idempotent per epoch, so the coordinator can retransmit under loss.
+MIGRATE_SNAPSHOT = "MigrateSnapshot"
+MIGRATE_SNAPSHOT_REPLY = "MigrateSnapshotReply"
+MIGRATE_INSTALL = "MigrateInstall"
+MIGRATE_RELEASE = "MigrateRelease"
+MIGRATE_ACK = "MigrateAck"
+
 
 def request_message(request: Request, j: int) -> Message:
     """``[Request, request, j]`` from the client to an application server."""
@@ -78,3 +88,37 @@ def execute_message(key: Any, request: Request) -> Message:
 def execute_result_message(key: Any, value: Any, ok: bool = True) -> Message:
     """Reply to :func:`execute_message` carrying the computed business value."""
     return Message(EXECUTE_RESULT, payload={"j": key, "value": value, "ok": ok})
+
+
+def migrate_snapshot_message(epoch: int, keys: tuple[str, ...]) -> Message:
+    """Coordinator -> old owner: send me the committed values of ``keys``."""
+    return Message(MIGRATE_SNAPSHOT, payload={"j": epoch, "keys": tuple(keys)})
+
+
+def migrate_snapshot_reply_message(epoch: int, sender_shard: str,
+                                   data: dict[str, Any],
+                                   busy: bool = False) -> Message:
+    """Old owner -> coordinator: the committed values of the moving keys.
+
+    ``busy`` means a moving key is still pinned by an in-flight or in-doubt
+    transaction; the coordinator must let it drain and ask again.
+    """
+    return Message(MIGRATE_SNAPSHOT_REPLY,
+                   payload={"j": epoch, "shard": sender_shard, "data": dict(data),
+                            "busy": busy})
+
+
+def migrate_install_message(epoch: int, data: dict[str, Any]) -> Message:
+    """Coordinator -> new owner: durably install these committed values."""
+    return Message(MIGRATE_INSTALL, payload={"j": epoch, "data": dict(data)})
+
+
+def migrate_release_message(epoch: int, keys: tuple[str, ...]) -> Message:
+    """Coordinator -> old owner: durably drop the migrated keys."""
+    return Message(MIGRATE_RELEASE, payload={"j": epoch, "keys": tuple(keys)})
+
+
+def migrate_ack_message(epoch: int, sender_shard: str, stage: str) -> Message:
+    """Database -> coordinator: the install/release for ``epoch`` is durable."""
+    return Message(MIGRATE_ACK, payload={"j": epoch, "shard": sender_shard,
+                                         "stage": stage})

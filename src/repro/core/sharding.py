@@ -66,10 +66,16 @@ class Sharding:
     selects the policy (see the module docstring).  The object is immutable
     and cheap, so every layer that needs routing decisions can hold its own
     reference.
+
+    ``epoch`` stamps one *generation* of the placement: online reconfiguration
+    replaces a sharding with a successor carrying ``epoch + 1`` (see
+    :class:`ShardDirectory`), so traces, ``regA`` claims and the specification
+    checker can tell which placement a transaction routed against.
     """
 
     shards: tuple[str, ...]
     placement: str = PLACEMENT_REPLICATE
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if not self.shards:
@@ -79,7 +85,14 @@ class Sharding:
         if self.placement not in KNOWN_PLACEMENTS:
             raise ValueError(f"unknown placement {self.placement!r}; known: "
                              f"{', '.join(KNOWN_PLACEMENTS)}")
+        if self.epoch < 0:
+            raise ValueError(f"negative sharding epoch {self.epoch}")
         object.__setattr__(self, "shards", tuple(self.shards))
+
+    def resized(self, shards: Sequence[str]) -> "Sharding":
+        """The successor placement over ``shards``, stamped ``epoch + 1``."""
+        return Sharding(shards=tuple(shards), placement=self.placement,
+                        epoch=self.epoch + 1)
 
     # ------------------------------------------------------------- ownership
 
@@ -182,3 +195,134 @@ def validate_participants(request: Any, db_server_names: Sequence[str]) -> None:
         raise ValueError(f"request {request.request_id} names unknown "
                          f"participant(s) {sorted(unknown)}; this deployment "
                          f"has databases {list(db_server_names)}")
+
+
+# ------------------------------------------------------ online reconfiguration
+
+
+class ShardDirectory:
+    """The live, mutable view of a deployment's placement across epochs.
+
+    A deployment that supports online resharding holds exactly one directory;
+    every router (application servers, the storage ownership predicates, the
+    reconfiguration coordinator) shares it by reference.  The directory always
+    exposes a *current* :class:`Sharding` and, during a reconfiguration
+    window, a *pending* successor:
+
+    * :meth:`begin` opens the window -- traffic keeps routing against the
+      current epoch, but keys whose owner changes under the pending placement
+      are reported :meth:`moving` so the application tier can defer them;
+    * :meth:`commit` atomically installs the pending placement as current
+      (epoch advances by one) and closes the window.
+
+    Ownership checks at the storage layer are deliberately *permissive during
+    the window* (:meth:`owns`): a shard owns a key if either epoch says so,
+    which lets migration install keys at their new owner before the switch
+    without tripping :class:`~repro.storage.kvstore.ShardOwnershipError`.
+    """
+
+    def __init__(self, initial: Sharding):
+        self.current = initial
+        self.pending: Optional[Sharding] = None
+        self.reshard_count = 0
+        # Keys of transactions currently in flight at the application tier
+        # (a refcount per key).  The migration snapshot refuses to run while
+        # a *moving* key is retained, so a transaction that routed against
+        # the old epoch always finishes against the old owner before its
+        # data moves -- the drain half of "in-flight transactions drain on
+        # the old epoch".
+        self._retained: dict[str, int] = {}
+
+    # ------------------------------------------------------------ transitions
+
+    def begin(self, target: Sharding) -> None:
+        """Open a reconfiguration window towards ``target``."""
+        if self.pending is not None:
+            raise ValueError("a reconfiguration is already in progress")
+        if target.epoch != self.current.epoch + 1:
+            raise ValueError(f"pending epoch {target.epoch} does not succeed "
+                             f"current epoch {self.current.epoch}")
+        if target.placement != self.current.placement:
+            raise ValueError("reconfiguration cannot change the placement policy")
+        self.pending = target
+
+    def commit(self) -> Sharding:
+        """Install the pending placement as current and close the window."""
+        if self.pending is None:
+            raise ValueError("no reconfiguration in progress")
+        self.current, self.pending = self.pending, None
+        self.reshard_count += 1
+        return self.current
+
+    # -------------------------------------------------------------- routing
+
+    @property
+    def epoch(self) -> int:
+        """The epoch traffic currently routes against."""
+        return self.current.epoch
+
+    @property
+    def reconfiguring(self) -> bool:
+        """Whether a reconfiguration window is open."""
+        return self.pending is not None
+
+    def participants(self, keys: Iterable[str]) -> tuple[str, ...]:
+        """Participant set of ``keys`` under the current epoch."""
+        return self.current.participants(keys)
+
+    def moving(self, keys: Iterable[str]) -> bool:
+        """Whether any of ``keys`` changes owner under the pending placement."""
+        if self.pending is None:
+            return False
+        return any(self.current.owner(key) != self.pending.owner(key)
+                   for key in keys)
+
+    def owns(self, shard: str, key: str) -> bool:
+        """Whether ``shard`` may hold ``key`` (either epoch during a window)."""
+        if self.current.owns(shard, key):
+            return True
+        return self.pending is not None and self.pending.owns(shard, key)
+
+    def owner_predicate(self, shard: str) -> Optional[Callable[[str], bool]]:
+        """A live ``key -> owned?`` predicate for ``shard`` (``None`` = all)."""
+        if not self.current.partitioned:
+            return None
+        return lambda key: self.owns(shard, key)
+
+    # ------------------------------------------------------------- draining
+
+    def retain(self, keys: Iterable[str]) -> None:
+        """Mark ``keys`` as touched by an in-flight transaction."""
+        for key in keys:
+            self._retained[key] = self._retained.get(key, 0) + 1
+
+    def release(self, keys: Iterable[str]) -> None:
+        """Drop one in-flight reference per key (transaction finished)."""
+        for key in keys:
+            count = self._retained.get(key, 0) - 1
+            if count <= 0:
+                self._retained.pop(key, None)
+            else:
+                self._retained[key] = count
+
+    def retained(self, keys: Iterable[str]) -> bool:
+        """Whether any of ``keys`` belongs to an in-flight transaction."""
+        return any(key in self._retained for key in keys)
+
+    def migration_plan(self, source: str,
+                       held_keys: Iterable[str]) -> dict[str, list[str]]:
+        """Which of ``source``'s keys move where under the pending placement.
+
+        Returns ``{destination shard: [keys]}`` for the keys ``source`` holds
+        that the pending placement assigns elsewhere; empty outside a window.
+        """
+        plan: dict[str, list[str]] = {}
+        if self.pending is None:
+            return plan
+        for key in held_keys:
+            dest = self.pending.owner(key)
+            if dest is not None and dest != source:
+                plan.setdefault(dest, []).append(key)
+        for keys in plan.values():
+            keys.sort()
+        return plan

@@ -44,6 +44,15 @@ database (on an unpartitioned deployment the two coincide):
   would catch a missing participant) nor over-approximate (S.1 catches a
   spurious one).
 
+Under **online resharding** the shard universe itself changes over a run:
+``reshard`` trace events publish each epoch's shard set, computations are
+stamped with the epoch they routed against, and S.1 additionally requires
+every stamped participant set to be contained in its epoch's universe --
+a transaction must never route against shards its epoch does not know.
+A.1/V.2/S.1 otherwise apply unchanged across epochs, because they quantify
+over the *recorded* participant set of each result, whichever placement
+generation produced it.
+
 Termination properties are only meaningful if the run was given enough time
 and the correctness assumptions held (majority of application servers up,
 databases eventually up); the caller states this with ``check_termination``.
@@ -164,6 +173,15 @@ def _s1_committed_violation(db: str, key: tuple, participants: tuple) -> Propert
         "S.1",
         f"database {db} committed result {key} outside its "
         f"participant set {list(participants)}")
+
+
+def _s1_epoch_violation(key: tuple, epoch: Any, participants: tuple,
+                        universe: tuple) -> PropertyViolation:
+    return PropertyViolation(
+        "S.1",
+        f"result {key} was computed against epoch {epoch} but its participant "
+        f"set {list(participants)} is not contained in that epoch's shard "
+        f"universe {list(universe)}")
 
 
 def _key_of_value(key: Any) -> tuple:
@@ -366,7 +384,28 @@ class SpecificationChecker:
                 participants = self.participants_of(key)
                 if db not in participants:
                     violations.append(_s1_committed_violation(db, key, participants))
+        # Epoch confinement (online resharding): a computation stamped with an
+        # epoch must route only against shards that epoch's universe knows.
+        universes = self._epoch_universes()
+        for event in self.trace.select("as_compute"):
+            epoch = event.get("epoch")
+            if epoch is None:
+                continue
+            key = (event.get("client"), event.get("j"))
+            participants = tuple(event.get("participants") or ())
+            universe = universes.get(epoch, ())
+            if not set(participants) <= set(universe):
+                violations.append(_s1_epoch_violation(key, epoch, participants,
+                                                      universe))
         return violations
+
+    def _epoch_universes(self) -> dict[Any, tuple[str, ...]]:
+        """Epoch -> shard universe, from the run's ``reshard`` events."""
+        universes: dict[Any, tuple[str, ...]] = {}
+        for event in self.trace.select("reshard"):
+            if event.get("stage") in ("init", "commit"):
+                universes[event.get("epoch")] = tuple(event.get("shards") or ())
+        return universes
 
     # ----------------------------------------------------------------- helpers
 
@@ -392,7 +431,8 @@ def check_run(trace: TraceRecorder, db_server_names: list[str],
 # --------------------------------------------------------------------------
 
 SPEC_CATEGORIES = ("crash", "recover", "client_issue", "client_deliver",
-                   "as_compute", "db_vote", "db_decide", "db_execute")
+                   "as_compute", "db_vote", "db_decide", "db_execute",
+                   "reshard")
 """Trace categories the online monitor consumes."""
 
 
@@ -450,6 +490,11 @@ class SpecMonitor:
         self._executes: dict[str, list[tuple]] = {d: [] for d in self.db_server_names}
         # per-db request-id -> committed keys, for the eager A.2 check.
         self._a2_index: dict[str, dict[Any, set]] = {d: {} for d in self.db_server_names}
+        # online resharding -------------------------------------------------
+        # epoch -> shard universe (from ``reshard`` events), and the ordered
+        # (key, epoch, participants) stamps of epoch-routed computations.
+        self._epoch_universes: dict[Any, tuple[str, ...]] = {}
+        self._epoch_stamps: list[tuple[tuple, Any, tuple[str, ...]]] = []
         # in-flight transaction tracking ------------------------------------
         self._pending_decides: dict[tuple, set] = {}
         self._pending_commits: dict[tuple, set] = {}
@@ -473,6 +518,7 @@ class SpecMonitor:
             "db_vote": monitor._on_db_vote,
             "db_decide": monitor._on_db_decide,
             "db_execute": monitor._on_db_execute,
+            "reshard": monitor._on_reshard,
         }
         for category, handler in handlers.items():
             monitor._unsubscribers.append(trace.subscribe(category, handler))
@@ -546,6 +592,11 @@ class SpecMonitor:
         else:
             self._retire(key)
 
+    def _on_reshard(self, event: TraceEvent) -> None:
+        if event.get("stage") in ("init", "commit"):
+            self._epoch_universes[event.get("epoch")] = \
+                tuple(event.get("shards") or ())
+
     def _on_as_compute(self, event: TraceEvent) -> None:
         self._computed.add(event.get("request_id"))
         key = (event.get("client"), event.get("j"))
@@ -554,6 +605,15 @@ class SpecMonitor:
             self._participants[key] = tuple(recorded)
         self._result_request.setdefault(key, event.get("request_id"))
         self._pending_decides.setdefault(key, set()).update(self.participants_of(key))
+        epoch = event.get("epoch")
+        if epoch is not None:
+            participants = tuple(recorded or ())
+            self._epoch_stamps.append((key, epoch, participants))
+            # Epoch confinement, eagerly certain: the universe of an epoch is
+            # published (reshard init/commit) before anything routes on it.
+            universe = self._epoch_universes.get(epoch, ())
+            if not set(participants) <= set(universe):
+                self._emit(_s1_epoch_violation(key, epoch, participants, universe))
 
     def _on_db_vote(self, event: TraceEvent) -> None:
         if event.get("vote") != VOTE_YES:
@@ -732,4 +792,9 @@ class SpecMonitor:
                 participants = self.participants_of(key)
                 if db not in participants:
                     violations.append(_s1_committed_violation(db, key, participants))
+        for key, epoch, participants in self._epoch_stamps:
+            universe = self._epoch_universes.get(epoch, ())
+            if not set(participants) <= set(universe):
+                violations.append(_s1_epoch_violation(key, epoch, participants,
+                                                      universe))
         return violations

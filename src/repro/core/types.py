@@ -48,15 +48,23 @@ class Request:
     "every database" (the protocol's historical full fan-out), a non-empty
     tuple restricts execution, voting and decision to exactly those shards --
     the application servers route the whole commit protocol through it.
+
+    ``keys`` optionally names the storage keys the request touches.  Under a
+    static placement it is redundant with ``participants``; under online
+    resharding it is what lets an application server *re-derive* the
+    participant set against the placement epoch that is current at claim
+    time, instead of trusting a routing decision taken an epoch ago.
     """
 
     operation: str
     params: dict[str, Any] = field(default_factory=dict)
     request_id: str = field(default_factory=lambda: f"req-{next(_request_counter)}")
     participants: tuple[str, ...] = ()
+    keys: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "participants", tuple(self.participants))
+        object.__setattr__(self, "keys", tuple(self.keys))
 
     def describe(self) -> str:
         """Short human-readable form used in traces and reports."""

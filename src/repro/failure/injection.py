@@ -25,8 +25,10 @@ CRASH_FOR = "crash_for"
 PARTITION = "partition"
 HEAL = "heal"
 FALSE_SUSPICION = "false_suspicion"
+RESHARD = "reshard"
 
-_VALID_KINDS = {CRASH, RECOVER, CRASH_FOR, PARTITION, HEAL, FALSE_SUSPICION}
+_VALID_KINDS = {CRASH, RECOVER, CRASH_FOR, PARTITION, HEAL, FALSE_SUSPICION,
+                RESHARD}
 
 # Kind -> the exact ``params`` keys it takes.  Anything else is a typo that
 # used to surface as a ``KeyError`` deep inside ``apply``; now it is rejected
@@ -38,6 +40,7 @@ _PARAM_KEYS = {
     PARTITION: frozenset({"groups"}),
     HEAL: frozenset(),
     FALSE_SUSPICION: frozenset({"observer", "duration"}),
+    RESHARD: frozenset({"from_count", "to_count"}),
 }
 
 
@@ -59,6 +62,17 @@ def validate_suspicion(observer: Any, target: str, duration: Any) -> None:
             or duration <= 0:
         raise ValueError(f"false_suspicion needs a positive numeric "
                          f"'duration', got {duration!r}")
+
+
+def validate_reshard(from_count: Any, to_count: Any) -> None:
+    """Check a reshard's shard counts (shared by FaultAction and FaultSpec)."""
+    for label, count in (("from_count", from_count), ("to_count", to_count)):
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise ValueError(f"reshard needs a positive integer {label!r}, "
+                             f"got {count!r}")
+    if from_count == to_count:
+        raise ValueError(f"reshard from_count and to_count must differ "
+                         f"(both {from_count})")
 
 
 def validate_partition_groups(groups: Any) -> list[list[str]]:
@@ -130,6 +144,9 @@ class FaultAction:
         elif self.kind == FALSE_SUSPICION:
             validate_suspicion(self.params.get("observer"), self.target,
                                self.params.get("duration"))
+        elif self.kind == RESHARD:
+            validate_reshard(self.params.get("from_count"),
+                             self.params.get("to_count"))
 
 
 class FaultSchedule:
@@ -170,6 +187,12 @@ class FaultSchedule:
         """Make ``observer`` falsely suspect ``target`` for ``duration`` starting at ``time``."""
         self.actions.append(FaultAction(time, FALSE_SUSPICION, target,
                                         {"observer": observer, "duration": duration}))
+        return self
+
+    def reshard(self, time: float, from_count: int, to_count: int) -> "FaultSchedule":
+        """Start an online reconfiguration ``from_count`` -> ``to_count`` shards at ``time``."""
+        self.actions.append(FaultAction(time, RESHARD, params={
+            "from_count": from_count, "to_count": to_count}))
         return self
 
     def extend(self, other: "FaultSchedule") -> "FaultSchedule":
@@ -217,13 +240,21 @@ class FaultSchedule:
     # ----------------------------------------------------------------- apply
 
     def apply(self, sim: Simulator, network: Network,
-              failure_detector: Optional[EventuallyPerfectFailureDetector] = None) -> None:
-        """Schedule every action on ``sim`` against ``network``'s processes."""
+              failure_detector: Optional[EventuallyPerfectFailureDetector] = None,
+              reshard: Optional[Any] = None) -> None:
+        """Schedule every action on ``sim`` against ``network``'s processes.
+
+        ``reshard`` is the deployment's reconfiguration entry point, a
+        ``(from_count, to_count) -> None`` callable; deployments without an
+        online-reshard coordinator leave it ``None`` and reshard actions are
+        rejected at apply time.
+        """
         for action in self:
-            self._apply_one(action, sim, network, failure_detector)
+            self._apply_one(action, sim, network, failure_detector, reshard)
 
     def _apply_one(self, action: FaultAction, sim: Simulator, network: Network,
-                   fd: Optional[EventuallyPerfectFailureDetector]) -> None:
+                   fd: Optional[EventuallyPerfectFailureDetector],
+                   reshard: Optional[Any] = None) -> None:
         if action.kind == CRASH:
             target = network.processes[action.target]
             sim.schedule_at(action.time, target.crash, name=f"fault:crash:{action.target}")
@@ -246,6 +277,13 @@ class FaultSchedule:
                 raise ValueError("false_suspicion requires an EventuallyPerfectFailureDetector")
             fd.inject_false_suspicion(action.params["observer"], action.target,
                                       action.time, action.params["duration"])
+        elif action.kind == RESHARD:
+            if reshard is None:
+                raise ValueError("reshard requires a deployment with an "
+                                 "online-reconfiguration coordinator")
+            frm, to = action.params["from_count"], action.params["to_count"]
+            sim.schedule_at(action.time, lambda f=frm, t=to: reshard(f, t),
+                            name=f"fault:reshard:d{frm}->d{to}")
 
     def describe(self) -> list[str]:
         """Human-readable description of the schedule (for reports)."""
@@ -259,6 +297,9 @@ class FaultSchedule:
                              f"{action.target} for {action.params['duration']:g}")
             elif action.kind == PARTITION:
                 lines.append(f"t={action.time:g}: partition {action.params['groups']}")
+            elif action.kind == RESHARD:
+                lines.append(f"t={action.time:g}: reshard "
+                             f"d{action.params['from_count']}->d{action.params['to_count']}")
             else:
                 lines.append(f"t={action.time:g}: {action.kind} {action.target}".rstrip())
         return lines

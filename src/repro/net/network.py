@@ -176,18 +176,57 @@ class Network:
         self._partition_groups = named
         self.sim.trace.record("partition", "", groups=[sorted(g) for g in named])
 
-    def heal_partition(self) -> None:
-        """Remove any partition; all links work again."""
-        self._partition_groups = []
-        self.sim.trace.record("partition_heal", "")
+    def heal_partition(self, *names: str) -> None:
+        """Remove a partition; links to the healed processes work again.
+
+        Called with no arguments (the historical form) every group is
+        dropped and all links work.  Called with process names, only those
+        processes are healed: they leave their groups and regain symmetric
+        connectivity with everyone, while the remaining groups stay split.
+        The surviving layout is re-validated through
+        :func:`~repro.failure.injection.validate_partition_groups`, so a
+        partial heal can never leave behind an overlapping or empty group
+        that a later ``partition()`` call composed badly with.
+        """
+        if not names:
+            self._partition_groups = []
+            self.sim.trace.record("partition_heal", "")
+            return
+        from repro.failure.injection import validate_partition_groups
+
+        for name in names:
+            if name not in self.processes:
+                raise ValueError(f"heal names unknown process {name!r}")
+        healed = set(names)
+        remaining = [group - healed for group in self._partition_groups]
+        remaining = [group for group in remaining if group]
+        if len(remaining) < 2:
+            # One group cannot split anything: fully healed.
+            self._partition_groups = []
+        else:
+            self._partition_groups = [
+                set(g) for g in validate_partition_groups(
+                    [sorted(group) for group in remaining])]
+        self.sim.trace.record("partition_heal", "", names=sorted(healed))
 
     def _partitioned(self, source: str, destination: str) -> bool:
         if not self._partition_groups:
             return False
+        # Blocked only when both endpoints sit in *different* groups: a
+        # process in no group (e.g. after a partial heal) talks to everyone,
+        # symmetrically.  ``partition()`` always files every process into a
+        # group (the implicit rest group), so full partitions behave as
+        # before.
+        source_group = None
         for group in self._partition_groups:
             if source in group:
-                return destination not in group
-        return False
+                source_group = group
+                break
+        if source_group is None:
+            return False
+        if destination in source_group:
+            return False
+        return any(destination in group for group in self._partition_groups)
 
     # ---------------------------------------------------------------- sending
 

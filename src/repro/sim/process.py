@@ -255,6 +255,14 @@ class Process:
         self._mailbox: dict[Any, dict[Any, deque[tuple[int, Any]]]] = {}
         self._mailbox_seq = 0
         self._mailbox_count = 0
+        # Admission control: with a non-zero limit, a message that would grow
+        # the buffered backlog past it is shed (with an ``overload`` trace
+        # event) instead of buffered.  Shedding is safe under the paper's
+        # fair-lossy channel model -- senders cannot distinguish a shed from a
+        # network loss -- and keeps a saturated process's memory bounded.
+        self.mailbox_limit = 0
+        self.shed_messages = 0
+        self.mailbox_peak = 0
         self._threads: list[Thread] = []
         # Threads blocked on a receive, indexed by what their matcher could
         # accept: by (message type, correlation id) when the matcher pins a
@@ -522,6 +530,14 @@ class Process:
                 self._finished_threads > len(self._threads) // 2:
             self._threads = [t for t in self._threads if t.alive or not t.finished]
             self._finished_threads = 0
+        limit = self.mailbox_limit
+        if limit and self._mailbox_count >= limit:
+            self.shed_messages += 1
+            trace = self.sim.trace
+            if trace.wants("overload"):
+                trace.record("overload", self.name, msg_type=msg_type,
+                             backlog=self._mailbox_count)
+            return
         self._mailbox_seq += 1
         correlation = payload.get("j") if payload is not None else _UNKEYED
         by_corr = self._mailbox.setdefault(msg_type, {})
@@ -534,6 +550,8 @@ class Process:
             bucket = by_corr[correlation] = deque()
         bucket.append((self._mailbox_seq, message))
         self._mailbox_count += 1
+        if self._mailbox_count > self.mailbox_peak:
+            self.mailbox_peak = self._mailbox_count
 
     def _mailbox_buckets(self, wait: Receive) -> list[tuple[dict, Any, deque]]:
         """The non-empty mailbox buckets ``wait`` could take a message from.

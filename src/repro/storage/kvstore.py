@@ -140,6 +140,28 @@ class TransactionalKVStore:
         """Copy of the whole committed state (tests and invariant checks)."""
         return dict(self._committed)
 
+    # -------------------------------------------------------------- migration
+
+    def migrate_install(self, epoch: int, data: dict[str, Any]) -> float:
+        """Durably install committed values migrating onto this shard.
+
+        Part of online resharding: the new owner accepts the moving keys'
+        committed values *outside* any transaction (the reconfiguration
+        window defers transactions touching them).  The install is logged, so
+        it survives a crash and replays in order against later commits.
+        Re-installing the same epoch's data is harmless (same values).
+        """
+        cost = self.wal.append_migrate_in(epoch, data, forced=True)
+        self._committed.update(data)
+        return cost
+
+    def migrate_release(self, epoch: int, keys: tuple[str, ...]) -> float:
+        """Durably drop committed keys that migrated off this shard."""
+        cost = self.wal.append_migrate_out(epoch, tuple(keys), forced=True)
+        for key in keys:
+            self._committed.pop(key, None)
+        return cost
+
     # ------------------------------------------------------------- commitment
 
     def prepare(self, transaction_id: TransactionId) -> tuple[str, float]:
@@ -225,6 +247,11 @@ class TransactionalKVStore:
         self._committed = dict(self.storage.get("__initial__", {}))
         replay = self.wal.replay()
         self._committed.update(replay.committed_state)
+        # Migrated-away keys may predate the log (initial data) or have been
+        # committed by transactions older than the migration; either way they
+        # left this shard, so recovery must not resurrect them.
+        for key in replay.released_keys:
+            self._committed.pop(key, None)
         self._transactions = {}
         self.locks.clear()
         for transaction_id in replay.committed_transactions:

@@ -18,8 +18,10 @@ from repro.storage.stable import StableStorage
 PREPARE = "prepare"
 COMMIT = "commit"
 ABORT = "abort"
+MIGRATE_IN = "migrate_in"
+MIGRATE_OUT = "migrate_out"
 
-_VALID_KINDS = {PREPARE, COMMIT, ABORT}
+_VALID_KINDS = {PREPARE, COMMIT, ABORT, MIGRATE_IN, MIGRATE_OUT}
 
 
 @dataclass(frozen=True)
@@ -29,6 +31,7 @@ class LogRecord:
     kind: str
     transaction_id: Any
     writes: dict[str, Any] = field(default_factory=dict)
+    removes: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in _VALID_KINDS:
@@ -43,6 +46,10 @@ class ReplayResult:
     in_doubt: dict[Any, dict[str, Any]]
     committed_transactions: list[Any]
     aborted_transactions: list[Any]
+    # Keys migrated off this shard (and not written again later): recovery
+    # must delete them even when they predate the log (initial data), so they
+    # ride next to the replayed state rather than inside it.
+    released_keys: set[str] = field(default_factory=set)
 
 
 class WriteAheadLog:
@@ -76,6 +83,18 @@ class WriteAheadLog:
         record = LogRecord(ABORT, transaction_id)
         return self.storage.append(self.LOG_KEY, record, forced=forced)
 
+    def append_migrate_in(self, epoch: int, data: dict[str, Any],
+                          forced: bool = True) -> float:
+        """Log committed values installed by an epoch-``epoch`` migration."""
+        record = LogRecord(MIGRATE_IN, ("migrate", epoch), dict(data))
+        return self.storage.append(self.LOG_KEY, record, forced=forced)
+
+    def append_migrate_out(self, epoch: int, keys: tuple[str, ...],
+                           forced: bool = True) -> float:
+        """Log keys released to another shard by an epoch-``epoch`` migration."""
+        record = LogRecord(MIGRATE_OUT, ("migrate", epoch), removes=tuple(keys))
+        return self.storage.append(self.LOG_KEY, record, forced=forced)
+
     # ------------------------------------------------------------------- read
 
     def records(self) -> list[LogRecord]:
@@ -91,20 +110,30 @@ class WriteAheadLog:
         prepared: dict[Any, dict[str, Any]] = {}
         committed: list[Any] = []
         aborted: list[Any] = []
+        released: set[str] = set()
         for record in self.records():
             if record.kind == PREPARE:
                 prepared[record.transaction_id] = dict(record.writes)
             elif record.kind == COMMIT:
                 writes = record.writes or prepared.get(record.transaction_id, {})
                 committed_state.update(writes)
+                released.difference_update(writes)
                 prepared.pop(record.transaction_id, None)
                 committed.append(record.transaction_id)
             elif record.kind == ABORT:
                 prepared.pop(record.transaction_id, None)
                 aborted.append(record.transaction_id)
+            elif record.kind == MIGRATE_IN:
+                committed_state.update(record.writes)
+                released.difference_update(record.writes)
+            elif record.kind == MIGRATE_OUT:
+                for key in record.removes:
+                    committed_state.pop(key, None)
+                released.update(record.removes)
         return ReplayResult(
             committed_state=committed_state,
             in_doubt=prepared,
             committed_transactions=committed,
             aborted_transactions=aborted,
+            released_keys=released,
         )

@@ -76,19 +76,23 @@ class BankWorkload:
               participants: tuple[str, ...] = ()) -> Request:
         """A request debiting ``amount`` from ``account``."""
         return Request(DEBIT, {"account": account, "amount": amount},
-                       participants=participants)
+                       participants=participants,
+                       keys=(self.account_key(account),))
 
     def credit(self, account: int, amount: int,
                participants: tuple[str, ...] = ()) -> Request:
         """A request crediting ``amount`` to ``account``."""
         return Request(CREDIT, {"account": account, "amount": amount},
-                       participants=participants)
+                       participants=participants,
+                       keys=(self.account_key(account),))
 
     def transfer(self, source: int, destination: int, amount: int,
                  participants: tuple[str, ...] = ()) -> Request:
         """A request transferring ``amount`` between two accounts."""
         return Request(TRANSFER, {"source": source, "destination": destination,
-                                  "amount": amount}, participants=participants)
+                                  "amount": amount}, participants=participants,
+                       keys=(self.account_key(source),
+                             self.account_key(destination)))
 
     def random_request(self, rng: random.Random) -> Request:
         """A random debit/credit/transfer with small amounts."""

@@ -30,6 +30,12 @@ ROUND_TRIP_SCENARIOS = [
     Scenario(protocol="etx", num_clients=8, rate=50.0, seed=7),
     Scenario(protocol="etx", num_clients=4, rate=12.5, arrival="uniform"),
     Scenario(protocol="pb", num_clients=4, think_time=250.0),
+    Scenario(protocol="etx", num_db_servers=4, num_clients=8, rate=6.0,
+             seed=7, placement="hash", mailbox=8,
+             faults=(FaultSpec("reshard", 5000.0, from_shards=4, to_shards=8),)),
+    Scenario(protocol="etx", runtime="asyncio", host="localhost", port=7450,
+             pace=0.05),
+    Scenario(protocol="etx", num_db_servers=3, jobs=4, workers=2, rate=20.0),
 ]
 
 
@@ -301,3 +307,122 @@ def test_missing_indirect_sources_are_clear_errors(monkeypatch, tmp_path):
     with pytest.raises(ScenarioError, match="port_file"):
         Scenario.from_dsn(
             f"etx://?runtime=asyncio&port_file={tmp_path / 'absent'}")
+
+
+# ------------------------------------------------- full-surface round-trip
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+# Fault instants: plain integers plus awkward floats -- including values big
+# enough that repr() uses scientific notation, which must survive a URL
+# (the serializer strips the '+' that urlencode would turn into a space).
+_times = st.one_of(
+    st.integers(min_value=0, max_value=10**6).map(float),
+    st.floats(min_value=0.0, max_value=1e21, allow_nan=False,
+              allow_infinity=False),
+)
+_positive_times = _times.filter(lambda t: t > 0)
+
+
+@st.composite
+def _fault_lists(draw, names, allow_reshard, num_db_servers):
+    """0..6 fault atoms over the deployment's process names."""
+    faults = []
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        kind = draw(st.sampled_from(
+            ["crash", "recover", "crash_for", "false_suspicion",
+             "partition", "heal"]))
+        time = draw(_times)
+        if kind in ("crash", "recover"):
+            faults.append(FaultSpec(kind, time, draw(st.sampled_from(names))))
+        elif kind == "crash_for":
+            faults.append(FaultSpec(kind, time, draw(st.sampled_from(names)),
+                                    downtime=draw(_positive_times)))
+        elif kind == "false_suspicion":
+            observer, target = draw(st.permutations(names).map(lambda p: p[:2]))
+            faults.append(FaultSpec(kind, time, target, observer=observer,
+                                    duration=draw(_positive_times)))
+        elif kind == "partition":
+            split = draw(st.integers(min_value=1, max_value=len(names) - 1))
+            members = draw(st.permutations(names))
+            faults.append(FaultSpec(kind, time, groups=(
+                tuple(members[:split]), tuple(members[split:]))))
+        else:
+            faults.append(FaultSpec(kind, time))
+    if allow_reshard and draw(st.booleans()):
+        count = num_db_servers
+        time = 0.0
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            grown = draw(st.integers(min_value=1, max_value=9)
+                         .filter(lambda n: n != count))
+            time += draw(_positive_times)
+            faults.append(FaultSpec("reshard", time, from_shards=count,
+                                    to_shards=grown))
+            count = grown
+    return tuple(faults)
+
+
+@st.composite
+def _scenarios(draw):
+    protocol = draw(st.sampled_from(["etx", "2pc", "pb", "baseline"]))
+    apps = draw(st.integers(min_value=1, max_value=5))
+    dbs = draw(st.integers(min_value=1, max_value=4))
+    clients = draw(st.integers(min_value=1, max_value=8))
+    kwargs = {
+        "protocol": protocol,
+        "num_app_servers": apps,
+        "num_db_servers": dbs,
+        "num_clients": clients,
+        "seed": draw(st.integers(min_value=0, max_value=2**31)),
+        "mailbox": draw(st.integers(min_value=0, max_value=64)),
+        "trace": draw(st.sampled_from(["full", "off"])
+                      | st.integers(min_value=1, max_value=10**6)
+                        .map(lambda n: f"ring:{n}")),
+        "use_reliable_channels": draw(st.booleans()),
+    }
+    rate = draw(st.floats(min_value=0.0, max_value=5000.0, allow_nan=False))
+    kwargs["rate"] = rate
+    if rate > 0:
+        kwargs["arrival"] = draw(st.sampled_from(["poisson", "uniform"]))
+    else:
+        kwargs["think_time"] = draw(st.floats(min_value=0.0, max_value=1e4,
+                                              allow_nan=False))
+    placement = draw(st.sampled_from(["replicate", "hash", "mod"]))
+    kwargs["placement"] = placement
+    if placement != "replicate":
+        kwargs["xshard"] = draw(st.floats(min_value=0.0, max_value=1.0,
+                                          allow_nan=False))
+    runtime = draw(st.sampled_from(["sim", "asyncio"]))
+    kwargs["runtime"] = runtime
+    allow_reshard = placement != "replicate" and runtime == "sim" \
+        and not kwargs["use_reliable_channels"]
+    if runtime == "asyncio":
+        kwargs["host"] = draw(st.sampled_from(
+            ["", "localhost", "127.0.0.1", "db-0.example.com"]))
+        kwargs["port"] = draw(st.sampled_from([0, 7450, 60000]))
+        kwargs["pace"] = draw(st.floats(min_value=0.01, max_value=10.0,
+                                        allow_nan=False))
+    elif not kwargs["use_reliable_channels"] and draw(st.booleans()):
+        jobs = draw(st.integers(min_value=0, max_value=apps + dbs))
+        kwargs["jobs"] = jobs
+        if jobs:
+            kwargs["workers"] = draw(st.integers(min_value=0, max_value=jobs))
+        allow_reshard = allow_reshard and jobs == 0
+    names = ([f"a{i + 1}" for i in range(apps)]
+             + [f"d{i + 1}" for i in range(dbs)]
+             + [f"c{i + 1}" for i in range(clients)])
+    kwargs["faults"] = draw(_fault_lists(names, allow_reshard, dbs))
+    return Scenario(**kwargs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(scenario=_scenarios())
+def test_dsn_round_trips_over_the_full_parameter_surface(scenario):
+    # Parse -> serialise -> parse must be lossless for every expressible
+    # scenario, and the serialised form must be a fixed point: a DSN that
+    # came out of to_dsn() re-serialises byte-identically (including the
+    # faults= comma-list spill past the repeated-token threshold).
+    dsn = scenario.to_dsn()
+    reparsed = Scenario.from_dsn(dsn)
+    assert reparsed == scenario
+    assert reparsed.to_dsn() == dsn

@@ -147,3 +147,64 @@ def test_report_summary_mentions_violations():
     assert "T.1" in report.summary()
     good = make_checker(base_commit_trace()).check()
     assert "all properties hold" in good.summary()
+
+
+# -------------------------------------------------- S.1 epoch confinement
+
+
+def epoch_stamped_trace(participants, universe=("d1", "d2")):
+    """A committed run whose computation is epoch-stamped (online resharding)."""
+    trace = TraceRecorder()
+    trace.record("reshard", "reshard-coord", stage="init", epoch=0,
+                 shards=list(universe))
+    trace.record("client_issue", "c1", request_id="req-1", operation="pay")
+    trace.record("as_compute", "a1", client="c1", j=1, request_id="req-1",
+                 result="{}", epoch=0, participants=list(participants))
+    for db in participants:
+        trace.record("db_vote", db, j=("c1", 1), vote="yes")
+    for db in participants:
+        trace.record("db_decide", db, j=("c1", 1), outcome=COMMIT, requested=COMMIT)
+    trace.record("client_deliver", "c1", j=1, request_id="req-1",
+                 result_request_id="req-1", computed_by="a1", value="{}")
+    return trace
+
+
+def test_s1_epoch_stamped_computation_inside_universe_passes():
+    report = make_checker(epoch_stamped_trace(("d1", "d2"))).check()
+    assert report.ok
+
+
+def test_s1_detects_participant_outside_its_epochs_universe():
+    # d2 is a legal participant of the deployment, but epoch 0's universe
+    # is only (d1,): the computation routed against a shard its epoch does
+    # not know.
+    trace = epoch_stamped_trace(("d1", "d2"), universe=("d1",))
+    report = make_checker(trace).check(check_termination=False)
+    assert report.violated("S.1")
+    assert any("epoch 0" in str(v) for v in report.violations)
+
+
+def test_s1_epoch_universe_updates_at_commit():
+    # After a reshard commits epoch 1 with a grown universe, computations
+    # stamped with epoch 1 may route against the new shards -- and ones
+    # stamped with epoch 0 still may not.
+    trace = epoch_stamped_trace(("d1",), universe=("d1",))
+    trace.record("reshard", "reshard-coord", stage="begin", epoch=1)
+    trace.record("reshard", "reshard-coord", stage="commit", epoch=1,
+                 shards=["d1", "d2"])
+    trace.record("client_issue", "c1", request_id="req-2", operation="pay")
+    trace.record("as_compute", "a1", client="c1", j=2, request_id="req-2",
+                 result="{}", epoch=1, participants=["d2"])
+    trace.record("db_vote", "d2", j=("c1", 2), vote="yes")
+    trace.record("db_decide", "d2", j=("c1", 2), outcome=COMMIT, requested=COMMIT)
+    trace.record("client_deliver", "c1", j=2, request_id="req-2",
+                 result_request_id="req-2", computed_by="a1", value="{}")
+    report = make_checker(trace).check()
+    assert report.ok
+    stale = epoch_stamped_trace(("d1",), universe=("d1",))
+    stale.record("reshard", "reshard-coord", stage="commit", epoch=1,
+                 shards=["d1", "d2"])
+    stale.record("as_compute", "a1", client="c1", j=2, request_id="req-2",
+                 result="{}", epoch=0, participants=["d2"])
+    report = make_checker(stale).check(check_termination=False)
+    assert report.violated("S.1")

@@ -190,3 +190,60 @@ def test_message_payload_access():
     assert message["j"] == 1
     assert message.get("vote") == "yes"
     assert message.get("missing", "default") == "default"
+
+
+def test_partial_heal_frees_named_processes_and_keeps_the_rest_split():
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b", "c", "d"])
+    network.partition(["a"], ["b", "c"])  # implicit third group: {d}
+    network.heal_partition("a")
+    procs["a"].send("b", Message("Ping"))   # healed: talks to everyone
+    procs["b"].send("a", Message("Ping"))   # symmetrically
+    procs["b"].send("d", Message("Ping"))   # survivors stay split from d
+    sim.run()
+    assert network.stats.delivered == 2
+    assert network.stats.dropped_partition == 1
+
+
+def test_partial_heal_collapsing_to_one_group_heals_fully():
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b", "c"])
+    network.partition(["a"], ["b"])  # implicit third group: {c}
+    network.heal_partition("a", "c")
+    # Only {b} would remain: one group cannot split anything.
+    for source, destination in [("a", "b"), ("b", "c"), ("c", "a")]:
+        procs[source].send(destination, Message("Ping"))
+    sim.run()
+    assert network.stats.delivered == 3
+    assert network.stats.dropped_partition == 0
+
+
+def test_partition_partial_heal_repartition_sequence_stays_consistent():
+    # The PR-8 regression: a partial heal used to leave stale group state
+    # behind that a later partition() composed badly with.
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b", "c", "d"])
+    network.partition(["a", "b"], ["c", "d"])
+    network.heal_partition("b")
+    procs["b"].send("c", Message("Ping"))   # healed process reaches everyone
+    sim.run()
+    assert network.stats.delivered == 1
+    network.partition(["a", "c"], ["b", "d"])  # a fresh, different layout
+    procs["a"].send("c", Message("Ping"))   # same group now
+    procs["a"].send("b", Message("Ping"))   # cross-group again
+    procs["b"].send("d", Message("Ping"))   # same group now
+    sim.run()
+    assert network.stats.delivered == 3
+    assert network.stats.dropped_partition == 1
+    network.heal_partition()
+    procs["a"].send("b", Message("Ping"))
+    sim.run()
+    assert network.stats.delivered == 4
+
+
+def test_heal_rejects_unknown_process_names():
+    sim = Simulator()
+    network, procs = build(sim, ["a", "b"])
+    network.partition(["a"])
+    with pytest.raises(ValueError):
+        network.heal_partition("ghost")

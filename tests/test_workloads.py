@@ -216,3 +216,17 @@ def test_open_loop_rejects_bad_parameters():
         OpenLoop(rate=5.0, arrival="bursty")
     with pytest.raises(ValueError):
         ClosedLoop(think_time=-1.0)
+
+
+def test_serial_run_emits_full_parallel_and_saturation_schema():
+    # Schema parity: a serial (jobs=0) run reports the same parallel and
+    # saturation keys a sharded run does, zeroed -- consumers of soak.json
+    # and sweep rows must never KeyError on the serial path.
+    bank = BankWorkload(num_accounts=1, initial_balance=100)
+    deployment = EtxDeployment(DeploymentConfig(
+        business_logic=bank.business_logic, initial_data=bank.initial_data()))
+    stats = ClosedLoop().run(deployment, [bank.debit(0, 10) for _ in range(2)])
+    assert stats.parallel == {"jobs": 0, "workers": 0, "rounds": 0,
+                              "stalled_windows": 0, "events": {},
+                              "balance": 1.0}
+    assert stats.saturation == {"shed_messages": 0, "mailbox_peak": 0}
